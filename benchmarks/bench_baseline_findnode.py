@@ -1,0 +1,59 @@
+"""Section 4 (W2): FIND_NODE crawling measures inactive, not active, edges.
+
+Paper: "This method cannot distinguish a node's (50) active neighbors from
+its (272) inactive ones and does not reveal the exact topology information
+as TopoShot does."
+
+Reproduction: crawl every routing table, compare the inactive-edge graph
+against the true active topology, and contrast with TopoShot on the same
+network.
+"""
+
+import pytest
+
+from benchmarks.harness import emit, run_once
+from repro.baselines.findnode import crawl_inactive_edges
+from repro.core.campaign import TopoShot
+from repro.eth.supernode import Supernode
+from repro.eth.transaction import gwei
+from repro.netgen.ethereum import quick_network
+from repro.netgen.workloads import prefill_mempools
+
+
+def run_comparison():
+    network = quick_network(
+        n_nodes=30, seed=17, outbound_dials=5, max_peers=14,
+        mempool_capacity=256, routing_table_capacity=20,
+    )
+    prefill_mempools(network, median_price=gwei(1.0))
+    supernode = Supernode.join(network)
+    crawl = crawl_inactive_edges(network, supernode)
+    supernode.clear_observations()
+    network.forget_known_transactions()
+    shot = TopoShot(network, supernode)
+    shot.config = shot.config.with_repeats(3)
+    measurement = shot.measure_network(preprocess=False)
+    return network, crawl, measurement
+
+
+@pytest.mark.benchmark(group="baseline-findnode")
+def test_findnode_inactive_vs_active(benchmark):
+    network, crawl, measurement = run_once(benchmark, run_comparison)
+    truth_edges = len(network.ground_truth_edges())
+    lines = [
+        f"true active links              : {truth_edges}",
+        f"crawled inactive edges         : {len(crawl.inactive_edges)}",
+        f"FIND_NODE precision vs active  : {crawl.active_edge_precision:.3f}",
+        f"FIND_NODE recall vs active     : {crawl.active_edge_coverage:.3f}",
+        f"TopoShot precision             : {measurement.score.precision:.3f}",
+        f"TopoShot recall                : {measurement.score.recall:.3f}",
+        "",
+        "paper: routing tables hold 272 inactive neighbours vs ~50 active; "
+        "crawls cannot reveal the active topology (W2 vs W3)",
+    ]
+    emit("baseline_findnode", "\n".join(lines))
+
+    # Inactive sets are large and unspecific; TopoShot is exact.
+    assert len(crawl.inactive_edges) > truth_edges
+    assert crawl.active_edge_precision < measurement.score.precision
+    assert measurement.score.precision == 1.0

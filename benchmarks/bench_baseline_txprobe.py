@@ -1,0 +1,67 @@
+"""Section 4.1 / Appendix A: TxProbe's (in)applicability to Ethereum.
+
+Two propagation regimes, same topology, same TxProbe procedure:
+
+- Bitcoin-style announce-only propagation: announcement-hold blocking
+  enforces isolation and TxProbe measures correctly (why it works for
+  Bitcoin);
+- Ethereum's push+announce propagation: pushes bypass the hold, markers
+  relay through third parties, and precision collapses with false
+  positives ("the existence of direct propagation, no matter how small
+  portion it plays, negates the isolation property").
+"""
+
+import itertools
+
+import pytest
+
+from benchmarks.harness import emit, run_once
+from repro.baselines.txprobe import txprobe_survey
+from repro.eth.supernode import Supernode
+from repro.eth.transaction import gwei
+from repro.netgen.ethereum import quick_network
+from repro.netgen.workloads import prefill_mempools
+
+
+def survey(announce_only: bool):
+    network = quick_network(
+        n_nodes=20, seed=31, announce_only=announce_only,
+        outbound_dials=4, max_peers=12,
+    )
+    truth = network.ground_truth_graph()
+    prefill_mempools(network, median_price=gwei(1.0))
+    supernode = Supernode.join(network)
+    pairs = list(
+        itertools.islice(itertools.combinations(sorted(truth.nodes()), 2), 40)
+    )
+    return txprobe_survey(network, supernode, pairs)
+
+
+@pytest.mark.benchmark(group="baseline-txprobe")
+def test_txprobe_inapplicability(benchmark):
+    results = run_once(
+        benchmark,
+        lambda: {
+            "bitcoin-style (announce only)": survey(announce_only=True),
+            "ethereum (push + announce)": survey(announce_only=False),
+        },
+    )
+    lines = [f"{'propagation regime':<30} {'precision':>10} {'recall':>8} {'FPs':>5}"]
+    for name, outcome in results.items():
+        score = outcome.score
+        lines.append(
+            f"{name:<30} {score.precision:>10.3f} {score.recall:>8.3f} "
+            f"{score.false_positives:>5}"
+        )
+    lines.append("")
+    lines.append(
+        "paper: TxProbe's isolation relies on announcement blocking; "
+        "Ethereum's direct pushes negate it (Section 4.1)"
+    )
+    emit("baseline_txprobe", "\n".join(lines))
+
+    bitcoin = results["bitcoin-style (announce only)"].score
+    ethereum = results["ethereum (push + announce)"].score
+    assert bitcoin.precision == 1.0  # works on Bitcoin-style propagation
+    assert ethereum.false_positives > 0  # breaks on Ethereum
+    assert ethereum.precision < bitcoin.precision

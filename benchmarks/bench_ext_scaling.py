@@ -1,0 +1,72 @@
+"""Extension: how TopoShot's cost scales with network size.
+
+Not a paper table — the paper quotes only the quadratic pair count and the
+$60M price tag — but the question a deployer asks first: as N grows, how do
+iterations, injected transactions, network messages and measurement time
+scale? Expectation from the design: pairs grow ~N^2, iterations ~N/K +
+log K, and per-iteration cost ~N·Z, so injected transactions scale roughly
+quadratically while time scales ~linearly in the iteration count.
+"""
+
+import pytest
+
+from benchmarks.harness import emit, run_once
+from repro.core.campaign import TopoShot
+from repro.netgen.ethereum import NetworkSpec, generate_network
+from repro.netgen.workloads import prefill_mempools
+
+SIZES = (10, 16, 24, 32)
+
+
+def measure_at(n: int):
+    network = generate_network(
+        NetworkSpec(n_nodes=n, seed=6, mempool_capacity=256)
+    )
+    prefill_mempools(network)
+    before_messages = network.messages_sent
+    shot = TopoShot.attach(network)
+    measurement = shot.measure_network(preprocess=False)
+    return {
+        "n": n,
+        "pairs": n * (n - 1) // 2,
+        "iterations": measurement.iterations,
+        "txs": measurement.transactions_sent,
+        "messages": network.messages_sent - before_messages,
+        "sim_time": measurement.duration,
+        "recall": measurement.score.recall,
+        "precision": measurement.score.precision,
+    }
+
+
+@pytest.mark.benchmark(group="ext-scaling")
+def test_extension_cost_scaling(benchmark):
+    rows = run_once(benchmark, lambda: [measure_at(n) for n in SIZES])
+    header = (
+        f"{'N':>4} {'pairs':>6} {'iters':>6} {'txs injected':>13} "
+        f"{'messages':>9} {'sim time':>9} {'prec':>6} {'recall':>7}"
+    )
+    lines = [header]
+    for row in rows:
+        lines.append(
+            f"{row['n']:>4} {row['pairs']:>6} {row['iterations']:>6} "
+            f"{row['txs']:>13} {row['messages']:>9} "
+            f"{row['sim_time']:>8.0f}s {row['precision']:>6.2f} "
+            f"{row['recall']:>7.2f}"
+        )
+    first, last = rows[0], rows[-1]
+    n_ratio = last["n"] / first["n"]
+    tx_ratio = last["txs"] / first["txs"]
+    time_ratio = last["sim_time"] / first["sim_time"]
+    lines.append("")
+    lines.append(
+        f"N x{n_ratio:.1f} -> injected txs x{tx_ratio:.1f} "
+        f"(~quadratic), sim time x{time_ratio:.1f} (~iteration count)"
+    )
+    emit("ext_scaling", "\n".join(lines))
+
+    for row in rows:
+        assert row["precision"] == 1.0
+    # Transactions scale super-linearly (towards quadratic)...
+    assert tx_ratio > n_ratio
+    # ...while time tracks the much-slower iteration growth.
+    assert time_ratio < tx_ratio

@@ -1,0 +1,63 @@
+"""Figure 4a: recall grows with the number of future transactions (Z).
+
+Paper: validating the serial primitive against a controlled node B in
+Ropsten, recall climbs from 84% to 97% as the flood grows, because some
+targets run larger-than-default mempools that a small Z cannot flush.
+
+Reproduction: a heterogeneous testnet (some nodes with 2.2x pools, some
+with custom R / silent behaviour that no Z can fix) measured at a sweep of
+Z values; recall must increase monotonically-ish with Z and plateau below
+100%.
+"""
+
+import pytest
+
+from benchmarks.harness import emit, run_once
+from repro.core.campaign import TopoShot
+from repro.netgen.ethereum import NetworkSpec, generate_network
+from repro.netgen.workloads import prefill_mempools
+
+SPEC = NetworkSpec(
+    n_nodes=24,
+    seed=5,
+    mempool_capacity=256,
+    fraction_custom_capacity=0.20,
+    custom_capacity_factor=2.2,
+    fraction_custom_bump=0.04,
+    fraction_non_relaying=0.04,
+)
+Z_SWEEP = (128, 192, 256, 384, 512, 640)
+
+
+def sweep():
+    results = []
+    for z in Z_SWEEP:
+        network = generate_network(SPEC)
+        prefill_mempools(network)
+        shot = TopoShot.attach(network)
+        shot.config = shot.config.with_future_count(z).with_repeats(2)
+        measurement = shot.measure_network()
+        results.append((z, measurement.score))
+    return results
+
+
+@pytest.mark.benchmark(group="fig4a")
+def test_fig4a_recall_vs_future_transactions(benchmark):
+    results = run_once(benchmark, sweep)
+    lines = [f"{'Z (future txs)':>15} {'recall':>8} {'precision':>10}"]
+    recalls = []
+    for z, score in results:
+        lines.append(f"{z:>15} {score.recall:>8.3f} {score.precision:>10.3f}")
+        recalls.append(score.recall)
+        assert score.precision == 1.0  # precision never degrades with Z
+    lines.append("")
+    lines.append(
+        "paper: recall 84% -> 97% with growing Z, never reaching 100% "
+        "(nodes with custom R or silent forwarding remain invisible)"
+    )
+    emit("fig4a_recall_vs_future_txs", "\n".join(lines))
+    # Shape assertions: recall rises from the small-Z end to the large-Z
+    # end and plateaus strictly below 1.0.
+    assert recalls[-1] > recalls[0]
+    assert recalls[-1] < 1.0
+    assert recalls[-1] >= 0.85

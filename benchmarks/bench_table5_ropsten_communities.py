@@ -1,0 +1,35 @@
+"""Table 5: Louvain communities detected in the measured Ropsten testnet.
+
+Paper: seven communities; the largest holds ~22% of the nodes; intra-
+community densities sit between 6% and 18%; every community has far more
+inter-community than intra-community edges (consistent with the very low
+modularity of Table 4).
+"""
+
+import pytest
+
+from benchmarks.harness import emit, run_once
+from repro.analysis.communities import community_table, detect_communities
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_ropsten_communities(benchmark, ropsten_campaign):
+    _, _, measurement = ropsten_campaign
+    rows = run_once(
+        benchmark, lambda: detect_communities(measurement.graph, seed=1)
+    )
+    text = community_table(rows)
+    text += (
+        "\n\npaper: 7 communities, largest = 22% of nodes, densities "
+        "6%-18%, inter >> intra everywhere"
+    )
+    emit("table5_ropsten_communities", text)
+
+    n_nodes = measurement.graph.number_of_nodes()
+    assert 2 <= len(rows) <= 10
+    largest_share = rows[0].n_nodes / n_nodes
+    assert largest_share <= 0.6
+    # The signature of low modularity: inter-community edges dominate
+    # intra-community ones for most communities.
+    dominated = sum(1 for row in rows if row.inter_edges > row.intra_edges)
+    assert dominated >= len(rows) // 2

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""TopoShot versus the prior art, on one identical network.
+
+Puts the Section 4 arguments on a single scoreboard:
+
+- **FIND_NODE crawl** (W2, Gao et al.): measures routing-table (inactive)
+  edges — cheap, but a poor predictor of the active topology;
+- **TxProbe** (W3, Bitcoin): announcement-hold blocking fails against
+  Ethereum's direct pushes -> false positives;
+- **timing inference** (W3, Neudecker-style): first-arrival correlation,
+  limited accuracy;
+- **TopoShot**: replacement/eviction based, 100% precision.
+
+Run:  python examples/baseline_comparison.py
+"""
+
+import itertools
+
+from repro import TopoShot, quick_network
+from repro.baselines.findnode import crawl_inactive_edges
+from repro.baselines.timing import timing_inference
+from repro.baselines.txprobe import txprobe_survey
+from repro.eth.supernode import Supernode
+from repro.netgen.workloads import prefill_mempools
+
+
+def fresh_network(seed=21, n=30):
+    network = quick_network(
+        n_nodes=n,
+        seed=seed,
+        outbound_dials=5,
+        max_peers=14,
+        mempool_capacity=256,  # slot budget must cover 2*(n-2) seeds
+    )
+    prefill_mempools(network)
+    return network
+
+
+def main() -> None:
+    print("== Four measurement methods, one hidden topology ==\n")
+    seed, n = 21, 30
+    truth = fresh_network(seed, n).ground_truth_graph()
+    print(
+        f"hidden topology: {truth.number_of_nodes()} nodes, "
+        f"{truth.number_of_edges()} active links\n"
+    )
+    rows = []
+
+    # --- FIND_NODE crawl (inactive edges) ------------------------------
+    network = fresh_network(seed, n)
+    supernode = Supernode.join(network)
+    crawl = crawl_inactive_edges(network, supernode)
+    rows.append(
+        (
+            "FIND_NODE crawl (W2)",
+            crawl.score_vs_active.precision,
+            crawl.score_vs_active.recall,
+        )
+    )
+
+    # --- TxProbe adaptation --------------------------------------------
+    network = fresh_network(seed, n)
+    supernode = Supernode.join(network)
+    sample_pairs = list(
+        itertools.islice(
+            itertools.combinations(sorted(truth.nodes()), 2), 30
+        )
+    )
+    survey = txprobe_survey(network, supernode, sample_pairs)
+    rows.append(
+        ("TxProbe on Ethereum (W3)", survey.score.precision, survey.score.recall)
+    )
+
+    # --- Timing inference ------------------------------------------------
+    network = fresh_network(seed, n)
+    supernode = Supernode.join(network)
+    timing = timing_inference(network, supernode, probes_per_node=2)
+    rows.append(
+        (
+            "Timing inference (W3)",
+            timing.score_vs_active.precision,
+            timing.score_vs_active.recall,
+        )
+    )
+
+    # --- TopoShot ---------------------------------------------------------
+    network = fresh_network(seed, n)
+    shot = TopoShot.attach(network)
+    shot.config = shot.config.with_repeats(3)
+    measurement = shot.measure_network()
+    rows.append(("TopoShot", measurement.score.precision, measurement.score.recall))
+
+    print(f"{'method':<26} {'precision':>10} {'recall':>10}")
+    print("-" * 48)
+    for name, precision, recall in rows:
+        print(f"{name:<26} {precision:>10.3f} {recall:>10.3f}")
+    print(
+        "\nTopoShot is the only method combining perfect precision with "
+        "near-perfect recall\non active links, matching the paper's "
+        "Section 4 comparison."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Black-box client profiling — the full-scale Table 3 reproduction.
+
+Runs the paper's replacement/eviction unit tests (Section 5.1) against all
+five simulated clients at their *real* mempool sizes (Geth L=5120, Parity
+L=8192, ...) and prints the recovered R / U / P / L next to the published
+values.
+
+Run:  python examples/client_profiling.py
+"""
+
+from repro.core.profiler import profile_client
+from repro.eth.policies import ALETH, BESU, GETH, NETHERMIND, PARITY
+
+PAPER_TABLE_3 = {
+    "geth": ("10%", "4096", "0", "5120"),
+    "parity": ("12.5%", "81", "2000", "8192"),
+    "nethermind": ("0%", "17", "0", "2048"),
+    "besu": ("10%", "inf", "0", "4096"),
+    "aleth": ("0%", "1", "0", "2048"),
+}
+
+
+def main() -> None:
+    print("== Black-box mempool profiling (Table 3, full scale) ==\n")
+    header = (
+        f"{'client':<12} {'R (meas)':>9} {'R (paper)':>10} "
+        f"{'U (meas)':>9} {'U (paper)':>10} "
+        f"{'P (meas)':>9} {'P (paper)':>10} "
+        f"{'L (meas)':>9} {'L (paper)':>10}  measurable"
+    )
+    print(header)
+    print("-" * len(header))
+    for policy in (GETH, PARITY, NETHERMIND, BESU, ALETH):
+        profile = profile_client(policy)
+        paper_r, paper_u, paper_p, paper_l = PAPER_TABLE_3[policy.name]
+        measurable = "yes" if policy.measurable else "NO (R=0 flaw)"
+        print(
+            f"{profile.name:<12} "
+            f"{profile.replace_bump_percent():>9} {paper_r:>10} "
+            f"{profile.future_limit_str():>9} {paper_u:>10} "
+            f"{profile.eviction_floor:>9} {paper_p:>10} "
+            f"{profile.capacity:>9} {paper_l:>10}  {measurable}"
+        )
+    print(
+        "\nNethermind and Aleth report R = 0: an equal-priced transaction "
+        "replaces an existing one,\nwhich TopoShot cannot measure and which "
+        "the paper reported to the Ethereum bug bounty\nas a free "
+        "re-propagation / flooding vector."
+    )
+
+
+if __name__ == "__main__":
+    main()

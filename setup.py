@@ -1,0 +1,21 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` also works on
+offline environments whose setuptools lacks the ``wheel`` package (legacy
+editable installs go through ``setup.py develop``, which needs no wheel).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'TopoShot: Uncovering Ethereum's Network Topology "
+        "Leveraging Replacement Transactions' (IMC 2021)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["networkx>=3.0", "numpy", "scipy"],
+)

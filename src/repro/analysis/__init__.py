@@ -1,0 +1,37 @@
+"""Graph-theoretic analysis of measured topologies (Section 6.2).
+
+Computes every statistic the paper tabulates — distances (diameter,
+radius, periphery/center sizes, eccentricity), clustering (coefficient,
+transitivity), degree assortativity, clique counts, modularity — plus the
+random-graph comparisons (ER/CM/BA) of Tables 4/9/10, the Louvain community
+breakdown of Table 5 and the degree histograms of Figures 6/8/9.
+"""
+
+from repro.analysis.communities import CommunityRow, detect_communities
+from repro.analysis.degrees import DegreeDistribution, degree_distribution
+from repro.analysis.metrics import GraphMetrics, compute_metrics
+from repro.analysis.randomgraphs import comparison_table, metrics_for_baselines
+from repro.analysis.report import render_comparison, render_table
+from repro.analysis.security import (
+    critical_nodes,
+    eclipse_targets,
+    neighbor_fingerprints,
+    partition_resilience_score,
+)
+
+__all__ = [
+    "CommunityRow",
+    "DegreeDistribution",
+    "GraphMetrics",
+    "comparison_table",
+    "compute_metrics",
+    "critical_nodes",
+    "degree_distribution",
+    "detect_communities",
+    "eclipse_targets",
+    "metrics_for_baselines",
+    "neighbor_fingerprints",
+    "partition_resilience_score",
+    "render_comparison",
+    "render_table",
+]

@@ -1,0 +1,162 @@
+"""Propagation-delay measurement (Section 3, use cases 4 and 5).
+
+A miner whose blocks propagate slowly loses block races and revenue
+(use case 4); a client wants an RPC relay whose transactions reach miners
+fast (use case 5). Both decisions need per-node propagation profiles on the
+*active* topology — which is exactly what TopoShot recovers.
+
+This module measures those profiles in the simulator: inject probes (or
+mine blocks) at an origin and record first-arrival times across the
+network via node observers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import AnalysisError
+from repro.eth.account import Wallet
+from repro.eth.chain import Block
+from repro.eth.miner import Miner
+from repro.eth.network import Network
+from repro.eth.transaction import Transaction, TransactionFactory, gwei
+
+
+@dataclass
+class PropagationProfile:
+    """First-arrival delays from one origin, over one or more probes."""
+
+    origin: str
+    delays: Dict[str, List[float]] = field(default_factory=dict)
+    probes: int = 0
+
+    def _all_delays(self) -> List[float]:
+        return [d for samples in self.delays.values() for d in samples]
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of (node, probe) pairs that ever saw the probe."""
+        possible = len(self.delays) * self.probes
+        return 0.0 if possible == 0 else len(self._all_delays()) / possible
+
+    def median_delay(self) -> float:
+        samples = sorted(self._all_delays())
+        if not samples:
+            raise AnalysisError("no arrivals recorded")
+        return samples[len(samples) // 2]
+
+    def percentile_delay(self, q: float) -> float:
+        """q in [0, 1]; e.g. 0.9 for the tail that loses block races."""
+        samples = sorted(self._all_delays())
+        if not samples:
+            raise AnalysisError("no arrivals recorded")
+        index = min(len(samples) - 1, int(math.ceil(q * len(samples))) - 1)
+        return samples[max(0, index)]
+
+    def node_median(self, node_id: str) -> Optional[float]:
+        samples = sorted(self.delays.get(node_id, []))
+        return samples[len(samples) // 2] if samples else None
+
+    def summary(self) -> str:
+        return (
+            f"from {self.origin}: median {self.median_delay() * 1000:.0f} ms, "
+            f"p90 {self.percentile_delay(0.9) * 1000:.0f} ms, "
+            f"coverage {self.coverage:.0%} over {self.probes} probe(s)"
+        )
+
+
+def measure_tx_propagation(
+    network: Network,
+    origin: str,
+    probes: int = 3,
+    wait: float = 10.0,
+    price: Optional[int] = None,
+    wallet: Optional[Wallet] = None,
+) -> PropagationProfile:
+    """Inject ``probes`` transactions at ``origin``; record first arrivals
+    at every other measurable node."""
+    wallet = wallet or Wallet(f"prop-{origin}-{network.sim.now:.3f}")
+    factory = TransactionFactory()
+    targets = [nid for nid in network.measurable_node_ids() if nid != origin]
+    profile = PropagationProfile(
+        origin=origin, delays={nid: [] for nid in targets}, probes=probes
+    )
+
+    observers = []
+    for node_id in targets:
+        def observe(_from, tx, result, nid=node_id):
+            if result.admitted and tx.hash in pending_probe:
+                profile.delays[nid].append(
+                    network.sim.now - pending_probe[tx.hash]
+                )
+
+        network.node(node_id).tx_observers.append(observe)
+        observers.append((node_id, observe))
+
+    pending_probe: Dict[str, float] = {}
+    if price is None:
+        pool_median = network.node(origin).mempool.median_pending_price()
+        price = int((pool_median or gwei(1.0)) * 1.5)
+    for _ in range(probes):
+        probe = factory.transfer(wallet.fresh_account(), gas_price=price)
+        pending_probe[probe.hash] = network.sim.now
+        network.node(origin).submit_transaction(probe)
+        network.run(wait)
+
+    for node_id, observe in observers:
+        network.node(node_id).tx_observers.remove(observe)
+    return profile
+
+
+def measure_block_propagation(
+    network: Network,
+    miner_node: str,
+    blocks: int = 3,
+    wait: float = 10.0,
+) -> PropagationProfile:
+    """Mine ``blocks`` empty-interval blocks at ``miner_node`` and measure
+    their first arrival at every other node (use case 4's latency)."""
+    targets = [
+        nid for nid in network.measurable_node_ids() if nid != miner_node
+    ]
+    profile = PropagationProfile(
+        origin=miner_node, delays={nid: [] for nid in targets}, probes=blocks
+    )
+    mined_at: Dict[str, float] = {}
+
+    observers = []
+    for node_id in targets:
+        def observe(_from, block: Block, nid=node_id):
+            if block.hash in mined_at:
+                profile.delays[nid].append(network.sim.now - mined_at[block.hash])
+
+        network.node(node_id).block_observers.append(observe)
+        observers.append((node_id, observe))
+
+    miner = Miner(network.node(miner_node), network.chain, block_interval=wait)
+    for _ in range(blocks):
+        block = miner.mine_block()
+        mined_at[block.hash] = network.sim.now
+        network.run(wait)
+
+    for node_id, observe in observers:
+        network.node(node_id).block_observers.remove(observe)
+    return profile
+
+
+def rank_origins_by_delay(
+    network: Network,
+    candidates: Sequence[str],
+    probes: int = 2,
+    wait: float = 8.0,
+) -> List[PropagationProfile]:
+    """Profile several candidate origins (e.g. relay services or mining
+    pools) and return them best-connected first — the informed choice of
+    use cases 4/5."""
+    profiles = [
+        measure_tx_propagation(network, origin, probes=probes, wait=wait)
+        for origin in candidates
+    ]
+    return sorted(profiles, key=lambda p: p.median_delay())

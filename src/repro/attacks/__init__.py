@@ -1,0 +1,39 @@
+"""Executable versions of the attacks that motivate topology measurement.
+
+Section 3 of the paper argues that knowing the active topology matters
+because it enables (or defends against) concrete attacks. This subpackage
+implements those attacks *in the simulator*, so the claims become
+measurable experiments rather than assertions:
+
+- :mod:`repro.attacks.eclipse` -- use case 1: eclipse a victim by cutting
+  exactly its measured active links, and compare against a blind attacker
+  with the same budget;
+- :mod:`repro.attacks.deter` -- the DETER-style mempool eviction DoS the
+  paper cites (Li et al., CCS'21), plus the R=0 free-replacement flooding
+  flaw the authors reported to the Ethereum bug bounty;
+- :mod:`repro.attacks.partition` -- use case 2: dynamically verify that
+  removing topology-critical nodes splits information propagation;
+- :mod:`repro.attacks.deanonymize` -- use case 3: attribute transaction
+  origins to NAT'd clients via their measured neighbour fingerprints
+  (Biryukov et al.).
+
+All of this is defensive/reproduction tooling: the targets are simulated
+nodes inside this package's own discrete-event network.
+"""
+
+from repro.attacks.deanonymize import DeanonymizationResult, run_deanonymization
+from repro.attacks.deter import DeterOutcome, flooding_amplification, run_deter_attack
+from repro.attacks.eclipse import EclipseOutcome, run_eclipse_attack
+from repro.attacks.partition import PartitionOutcome, run_partition_attack
+
+__all__ = [
+    "DeanonymizationResult",
+    "DeterOutcome",
+    "EclipseOutcome",
+    "PartitionOutcome",
+    "flooding_amplification",
+    "run_deanonymization",
+    "run_deter_attack",
+    "run_eclipse_attack",
+    "run_partition_attack",
+]

@@ -1,0 +1,182 @@
+"""Mempool denial-of-service (the DETER attacks the paper builds on).
+
+TopoShot's eviction flood *is* a benign, bounded use of the DETER-X
+primitive (Li et al., CCS'21): future transactions displace pending ones
+from a full pool without ever being minable themselves. Run at full
+capacity against a miner it becomes a DoS — the miner's next block loses
+the evicted transactions.
+
+The module also demonstrates the R=0 replacement flaw the authors reported
+to the Ethereum bug bounty: on a client with a zero price bump, an attacker
+replaces the same slot over and over at the *same* price, and every
+replacement is re-propagated network-wide — message amplification at no
+additional Ether cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.eth.account import Wallet
+from repro.eth.miner import Miner
+from repro.eth.network import Network
+from repro.eth.transaction import Transaction, TransactionFactory, gwei
+
+
+@dataclass(frozen=True)
+class DeterOutcome:
+    """Effect of one eviction flood on a victim's pool (and its block)."""
+
+    victim: str
+    pending_before: int
+    pending_after: int
+    flood_sent: int
+    flood_admitted: int
+
+    @property
+    def evicted(self) -> int:
+        return max(0, self.pending_before - self.pending_after)
+
+    @property
+    def eviction_ratio(self) -> float:
+        if self.pending_before == 0:
+            return 0.0
+        return self.evicted / self.pending_before
+
+    def summary(self) -> str:
+        return (
+            f"DETER on {self.victim}: {self.evicted}/{self.pending_before} "
+            f"pending evicted ({self.eviction_ratio:.0%}) by "
+            f"{self.flood_admitted} admitted future txs"
+        )
+
+
+def run_deter_attack(
+    network: Network,
+    victim: str,
+    flood_size: Optional[int] = None,
+    price_multiplier: float = 2.0,
+    wallet: Optional[Wallet] = None,
+) -> DeterOutcome:
+    """Flood ``victim`` with high-priced future transactions.
+
+    ``flood_size`` defaults to the victim's pool capacity. The futures are
+    priced above the pool's top bid so every pending transaction is an
+    eligible eviction victim.
+    """
+    node = network.node(victim)
+    pool = node.mempool
+    wallet = wallet or Wallet(f"deter-{network.sim.now:.3f}")
+    factory = TransactionFactory()
+    size = flood_size if flood_size is not None else pool.policy.capacity
+    top_bid = max(pool.pending_prices(), default=gwei(1.0))
+    price = int(top_bid * price_multiplier)
+    limit = pool.policy.future_limit_per_account or size
+
+    pending_before = pool.pending_count
+    admitted = 0
+    sent = 0
+    account = wallet.fresh_account(prefix="deter")
+    used = 0
+    for index in range(size):
+        if used >= limit:
+            account = wallet.fresh_account(prefix="deter")
+            used = 0
+        tx = factory.future(account, gas_price=price, index=index)
+        sent += 1
+        used += 1
+        if node.receive_transaction("attacker", tx).admitted:
+            admitted += 1
+    return DeterOutcome(
+        victim=victim,
+        pending_before=pending_before,
+        pending_after=pool.pending_count,
+        flood_sent=sent,
+        flood_admitted=admitted,
+    )
+
+
+def block_damage(network: Network, miner_node: str) -> int:
+    """Transactions the victim-miner can still put in its next block."""
+    miner = Miner(network.node(miner_node), network.chain)
+    return len(miner.build_block_transactions())
+
+
+@dataclass(frozen=True)
+class FloodingAmplification:
+    """The R=0 replacement flaw: free re-propagation measurements."""
+
+    replace_bump: float
+    replacements_accepted: int
+    transactions_propagated: int  # deliveries of the spam at other nodes
+    extra_cost_wei: int
+
+    def summary(self) -> str:
+        return (
+            f"R={self.replace_bump:.0%}: {self.replacements_accepted} "
+            f"replacements accepted, {self.transactions_propagated} spam "
+            f"deliveries network-wide, extra fee exposure "
+            f"{self.extra_cost_wei} wei"
+        )
+
+
+def flooding_amplification(
+    network: Network,
+    entry: str,
+    rounds: int = 20,
+    wallet: Optional[Wallet] = None,
+) -> FloodingAmplification:
+    """Replace one pool slot ``rounds`` times at the minimal allowed bump.
+
+    On an R=0 client every equal-priced variant is accepted and
+    re-propagated — unbounded traffic for one transaction's worth of fees.
+    On a sane client (R>0) the attacker must raise the price exponentially,
+    so the same behaviour has a real cost; at equal *zero* extra spend the
+    replacements are simply rejected.
+    """
+    node = network.node(entry)
+    policy = node.config.policy
+    wallet = wallet or Wallet(f"flood-{network.sim.now:.3f}")
+    factory = TransactionFactory()
+    account = wallet.fresh_account(prefix="spam")
+    spam_sender = account.address
+
+    # Count every delivery of the spammer's transactions anywhere else in
+    # the network (packets batch, so raw message counts understate it).
+    deliveries = [0]
+
+    def count_spam(_from_id: str, tx: Transaction, _result) -> None:
+        if tx.sender == spam_sender:
+            deliveries[0] += 1
+
+    for node_id in network.measurable_node_ids():
+        if node_id != entry:
+            network.node(node_id).tx_observers.append(count_spam)
+
+    base_price = gwei(1.0)
+    original = factory.transfer(account, gas_price=base_price, nonce=0)
+    node.receive_transaction("attacker", original)
+    accepted = 0
+    for round_index in range(1, rounds + 1):
+        # Zero extra spend: identical price, different payload.
+        variant = Transaction(
+            sender=account.address,
+            nonce=0,
+            gas_price=base_price,
+            value=round_index,
+        )
+        if node.receive_transaction("attacker", variant).admitted:
+            accepted += 1
+    network.run(5.0)
+    for node_id in network.measurable_node_ids():
+        if node_id != entry:
+            observers = network.node(node_id).tx_observers
+            if count_spam in observers:
+                observers.remove(count_spam)
+    return FloodingAmplification(
+        replace_bump=policy.replace_bump,
+        replacements_accepted=accepted,
+        transactions_propagated=deliveries[0],
+        extra_cost_wei=0,
+    )

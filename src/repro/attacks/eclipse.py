@@ -1,0 +1,136 @@
+"""Targeted eclipse attacks (Section 3, use case 1).
+
+"If a blockchain node is found to be of a low degree, such a node is
+particularly vulnerable under a targeted eclipse attack. [...] an attacker
+only needs to disable the 50 active neighbors to block information
+propagation" — not the 272 inactive ones.
+
+:func:`run_eclipse_attack` cuts a chosen set of the victim's links, then
+empirically tests isolation: a transaction submitted elsewhere must never
+reach the victim. :func:`compare_informed_vs_blind` quantifies the value of
+TopoShot's output: an attacker who knows the victim's *active* links
+succeeds with a budget equal to the victim's degree, while a blind attacker
+spending the same budget on routing-table (inactive) candidates usually
+leaves live links standing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.eth.account import Wallet
+from repro.eth.network import Network
+from repro.eth.transaction import TransactionFactory, gwei
+
+
+@dataclass(frozen=True)
+class EclipseOutcome:
+    """Result of one eclipse attempt."""
+
+    victim: str
+    links_cut: int
+    links_remaining: int
+    isolated: bool  # did the probe transaction fail to reach the victim?
+
+    def summary(self) -> str:
+        status = "ISOLATED" if self.isolated else "still connected"
+        return (
+            f"victim {self.victim}: cut {self.links_cut} links "
+            f"({self.links_remaining} remain) -> {status}"
+        )
+
+
+def run_eclipse_attack(
+    network: Network,
+    victim: str,
+    links_to_cut: Optional[Sequence[str]] = None,
+    probe_wait: float = 10.0,
+    wallet: Optional[Wallet] = None,
+) -> EclipseOutcome:
+    """Cut the given neighbour links of ``victim`` and probe isolation.
+
+    ``links_to_cut`` defaults to *all* of the victim's current neighbours
+    (the fully informed attacker). Supernode links are ignored: measurement
+    supernodes never relay transactions, so they are not escape routes.
+
+    The probe: submit a fresh transaction at a node far from the victim and
+    check whether it lands in the victim's pool within ``probe_wait``.
+    """
+    node = network.node(victim)
+    neighbors = [
+        peer for peer in node.peer_ids if peer not in network.supernode_ids
+    ]
+    targets = list(links_to_cut) if links_to_cut is not None else neighbors
+    cut = 0
+    for peer in targets:
+        if network.are_connected(victim, peer):
+            network.disconnect(victim, peer)
+            cut += 1
+    remaining = [
+        peer
+        for peer in network.node(victim).peer_ids
+        if peer not in network.supernode_ids
+    ]
+
+    wallet = wallet or Wallet(f"eclipse-{network.sim.now:.3f}")
+    factory = TransactionFactory()
+    origin = next(
+        nid
+        for nid in network.measurable_node_ids()
+        if nid != victim and nid not in remaining
+    )
+    probe = factory.transfer(wallet.fresh_account(), gas_price=gwei(2.0))
+    network.node(origin).submit_transaction(probe)
+    network.run(probe_wait)
+    isolated = probe.hash not in network.node(victim).mempool
+    return EclipseOutcome(
+        victim=victim,
+        links_cut=cut,
+        links_remaining=len(remaining),
+        isolated=isolated,
+    )
+
+
+@dataclass(frozen=True)
+class InformedVsBlind:
+    """Head-to-head: topology-informed vs blind eclipse at equal budget."""
+
+    informed: EclipseOutcome
+    blind: EclipseOutcome
+
+    @property
+    def knowledge_paid_off(self) -> bool:
+        return self.informed.isolated and not self.blind.isolated
+
+
+def compare_informed_vs_blind(
+    build_network,
+    victim: str,
+    budget: Optional[int] = None,
+) -> InformedVsBlind:
+    """Run the same eclipse budget with and without topology knowledge.
+
+    ``build_network`` is a zero-argument factory returning a *fresh*,
+    identically seeded network (the two worlds must start identical).
+    The informed attacker cuts the victim's actual active links; the blind
+    attacker spends the same budget on candidates drawn from the victim's
+    routing table (the inactive neighbours a FIND_NODE crawl would give).
+    """
+    informed_net: Network = build_network()
+    active = [
+        peer
+        for peer in informed_net.node(victim).peer_ids
+        if peer not in informed_net.supernode_ids
+    ]
+    spend = len(active) if budget is None else budget
+    informed = run_eclipse_attack(informed_net, victim, active[:spend])
+
+    blind_net: Network = build_network()
+    table: List[str] = [
+        entry
+        for entry in blind_net.node(victim).routing_table
+        if entry in blind_net.nodes
+    ]
+    blind = run_eclipse_attack(blind_net, victim, table[:spend])
+    return InformedVsBlind(informed=informed, blind=blind)

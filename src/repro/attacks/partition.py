@@ -1,0 +1,97 @@
+"""Partition attacks on topology-critical nodes (Section 3, use case 2).
+
+The static analysis (:func:`repro.analysis.security.critical_nodes`) finds
+cut nodes on the measured graph; this module *verifies the consequence
+dynamically*: knock the node offline in the simulator and show that
+transactions injected on one side no longer reach the other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import networkx as nx
+
+from repro.eth.account import Wallet
+from repro.eth.network import Network
+from repro.eth.transaction import TransactionFactory, gwei
+
+
+@dataclass(frozen=True)
+class PartitionOutcome:
+    """Effect of removing one node from the live network."""
+
+    removed: str
+    component_sizes: tuple
+    stranded_nodes: int
+    propagation_reached: int
+    propagation_total: int
+
+    @property
+    def partitioned(self) -> bool:
+        return len(self.component_sizes) > 1
+
+    @property
+    def coverage(self) -> float:
+        if self.propagation_total == 0:
+            return 0.0
+        return self.propagation_reached / self.propagation_total
+
+    def summary(self) -> str:
+        return (
+            f"removed {self.removed}: components {self.component_sizes}, "
+            f"probe reached {self.propagation_reached}/"
+            f"{self.propagation_total} nodes ({self.coverage:.0%})"
+        )
+
+
+def take_node_offline(network: Network, node_id: str) -> List[str]:
+    """Disconnect every link of ``node_id`` (a DoS'd node); returns the
+    peers it lost."""
+    peers = list(network.node(node_id).peer_ids)
+    for peer in peers:
+        network.disconnect(node_id, peer)
+    return peers
+
+
+def run_partition_attack(
+    network: Network,
+    target: str,
+    probe_wait: float = 10.0,
+    wallet: Optional[Wallet] = None,
+) -> PartitionOutcome:
+    """Knock ``target`` offline and measure propagation coverage.
+
+    A probe transaction is injected at a surviving node; coverage counts
+    which other surviving nodes receive it. With a true cut node removed,
+    coverage drops to the injector's component.
+    """
+    take_node_offline(network, target)
+    survivors = [
+        nid
+        for nid in network.measurable_node_ids()
+        if nid != target
+    ]
+    graph = network.ground_truth_graph()
+    graph.remove_node(target)
+    components = tuple(
+        sorted((len(c) for c in nx.connected_components(graph)), reverse=True)
+    )
+
+    wallet = wallet or Wallet(f"partition-{network.sim.now:.3f}")
+    factory = TransactionFactory()
+    origin = survivors[0]
+    probe = factory.transfer(wallet.fresh_account(), gas_price=gwei(2.0))
+    network.node(origin).submit_transaction(probe)
+    network.run(probe_wait)
+    reached = sum(
+        1 for nid in survivors if probe.hash in network.node(nid).mempool
+    )
+    return PartitionOutcome(
+        removed=target,
+        component_sizes=components,
+        stranded_nodes=len(survivors) - components[0] if components else 0,
+        propagation_reached=reached,
+        propagation_total=len(survivors),
+    )

@@ -1,0 +1,28 @@
+"""Baseline topology-measurement methods the paper compares against.
+
+- :mod:`repro.baselines.txprobe` -- TxProbe (Delgado-Segura et al., FC'19)
+  adapted to Ethereum, demonstrating why announcement-blocking fails when
+  direct pushes exist (Section 4.1, Appendix A).
+- :mod:`repro.baselines.findnode` -- the W2 approach (Gao et al.): crawl
+  routing tables with FIND_NODE; measures *inactive* edges that do not
+  reveal the active topology.
+- :mod:`repro.baselines.timing` -- timing-correlation inference
+  (Neudecker et al. 2016 style), the low-accuracy W3 baseline.
+"""
+
+from repro.baselines.census import NodeCensus, run_census
+from repro.baselines.findnode import FindNodeCrawl, crawl_inactive_edges
+from repro.baselines.timing import TimingInference, timing_inference
+from repro.baselines.txprobe import TxProbeReport, txprobe_measure_link, txprobe_survey
+
+__all__ = [
+    "FindNodeCrawl",
+    "NodeCensus",
+    "TimingInference",
+    "TxProbeReport",
+    "crawl_inactive_edges",
+    "run_census",
+    "timing_inference",
+    "txprobe_measure_link",
+    "txprobe_survey",
+]

@@ -1,0 +1,71 @@
+"""FIND_NODE routing-table crawling (the W2 class of related work).
+
+Gao et al. and Paphitis et al. measure Ethereum "topology" by querying
+every node's discovery routing table. That reveals *inactive* neighbours —
+a superset-ish, loosely correlated set that "cannot distinguish a node's
+(50) active neighbors from its (272) inactive ones" (Section 4). The crawl
+here reproduces the method and quantifies exactly how poorly routing-table
+edges predict active links, which is the gap TopoShot closes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set
+
+from repro.core.results import Edge, ValidationScore, score_edges
+from repro.eth.network import Network
+from repro.eth.supernode import Supernode
+
+
+@dataclass
+class FindNodeCrawl:
+    """Outcome of a full routing-table crawl."""
+
+    inactive_edges: Set[Edge]
+    responses: int
+    score_vs_active: ValidationScore
+
+    @property
+    def active_edge_coverage(self) -> float:
+        """Recall: how many active links also appear as table entries."""
+        return self.score_vs_active.recall
+
+    @property
+    def active_edge_precision(self) -> float:
+        """Precision: how many crawled entries are actually active links."""
+        return self.score_vs_active.precision
+
+    def summary(self) -> str:
+        return (
+            f"FIND_NODE crawl: {len(self.inactive_edges)} inactive edges from "
+            f"{self.responses} responses; vs active topology "
+            f"precision={self.active_edge_precision:.3f} "
+            f"recall={self.active_edge_coverage:.3f}"
+        )
+
+
+def crawl_inactive_edges(
+    network: Network,
+    supernode: Supernode,
+    wait: float = 2.0,
+) -> FindNodeCrawl:
+    """Send FIND_NODE to every peer and assemble the inactive-edge graph."""
+    supernode.clear_neighbor_responses()
+    for peer_id in supernode.peer_ids:
+        supernode.send_find_node(peer_id)
+    network.run(wait)
+
+    inactive: Set[Edge] = set()
+    known_ids = set(network.measurable_node_ids())
+    for node_id, entries in supernode.neighbor_responses.items():
+        for entry in entries:
+            if entry in known_ids and entry != node_id:
+                inactive.add(frozenset((node_id, entry)))
+
+    truth = network.ground_truth_edges()
+    return FindNodeCrawl(
+        inactive_edges=inactive,
+        responses=len(supernode.neighbor_responses),
+        score_vs_active=score_edges(inactive, truth),
+    )

@@ -1,0 +1,93 @@
+"""Timing-analysis topology inference (Neudecker et al. 2016 style).
+
+The W3 baseline the paper calls "limited in terms of low accuracy": inject
+probe transactions at known origins, record each peer's first-observation
+time at the supernode, and guess that the earliest responders after the
+origin are its neighbours. The heuristic scores every (origin, peer) pair
+by rank-weighted votes over many probes and keeps the best-scoring edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.results import Edge, ValidationScore, edge, score_edges
+from repro.eth.account import Wallet
+from repro.eth.network import Network
+from repro.eth.supernode import Supernode
+from repro.eth.transaction import TransactionFactory, gwei
+
+
+@dataclass
+class TimingInference:
+    """Result of the timing heuristic."""
+
+    predicted: Set[Edge] = field(default_factory=set)
+    scores: Dict[Edge, float] = field(default_factory=dict)
+    probes: int = 0
+    score_vs_active: Optional[ValidationScore] = None
+
+    def summary(self) -> str:
+        v = self.score_vs_active
+        scored = (
+            f" precision={v.precision:.3f} recall={v.recall:.3f}" if v else ""
+        )
+        return (
+            f"timing inference: {len(self.predicted)} predicted edges from "
+            f"{self.probes} probes;{scored}"
+        )
+
+
+def timing_inference(
+    network: Network,
+    supernode: Supernode,
+    probes_per_node: int = 3,
+    neighbor_guess: int = 6,
+    min_votes: float = 1.0,
+    wait: float = 2.0,
+    wallet: Optional[Wallet] = None,
+) -> TimingInference:
+    """Run the timing heuristic against every measurable node.
+
+    For each probe injected at origin ``o``, the ``neighbor_guess``
+    earliest peers to show the transaction (excluding ``o`` itself) each
+    get a vote of weight ``1/rank`` for the edge (o, peer). Edges with
+    accumulated weight >= ``min_votes`` are predicted.
+    """
+    wallet = wallet or Wallet("timing")
+    factory = TransactionFactory()
+    result = TimingInference()
+    votes: Dict[Edge, float] = {}
+    targets = network.measurable_node_ids()
+    median = supernode.mempool.median_pending_price() or gwei(1.0)
+
+    for origin in targets:
+        for _ in range(probes_per_node):
+            probe = factory.transfer(
+                wallet.fresh_account(prefix="probe"), int(median * 1.2)
+            )
+            inject_time = network.sim.now
+            supernode.send_transactions(origin, [probe])
+            network.run(wait)
+            result.probes += 1
+            arrivals: List[Tuple[float, str]] = []
+            for peer in targets:
+                if peer == origin:
+                    continue
+                seen = supernode.first_observation_time(peer, probe.hash)
+                if seen is not None:
+                    arrivals.append((seen - inject_time, peer))
+            arrivals.sort()
+            for rank, (_, peer) in enumerate(arrivals[:neighbor_guess], start=1):
+                key = edge(origin, peer)
+                votes[key] = votes.get(key, 0.0) + 1.0 / rank
+        supernode.clear_observations()
+        network.forget_known_transactions()
+
+    result.scores = votes
+    result.predicted = {e for e, score in votes.items() if score >= min_votes}
+    result.score_vs_active = score_edges(
+        result.predicted, network.ground_truth_edges()
+    )
+    return result

@@ -1,0 +1,231 @@
+"""Command-line interface.
+
+Four subcommands mirroring the main workflows::
+
+    toposhot-repro measure --preset ropsten --seed 1 --repeats 3
+    toposhot-repro profile
+    toposhot-repro schedule --nodes 500 --budget 2000
+    toposhot-repro estimate-cost --nodes 8000 --eth-price 2700
+
+Also runnable as ``python -m repro.cli ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.degrees import degree_distribution
+from repro.analysis.randomgraphs import (
+    comparison_table,
+    modularity_lower_than_baselines,
+)
+from repro.analysis.report import render_comparison
+from repro.core.campaign import TopoShot
+from repro.core.cost import MainnetEstimate, PAPER_COST_PER_PAIR_ETHER
+from repro.core.profiler import profile_client
+from repro.core.schedule import build_schedule, expected_iteration_count
+from repro.eth.policies import ALETH, BESU, GETH, NETHERMIND, PARITY
+from repro.netgen.ethereum import (
+    generate_network,
+    goerli_like,
+    quick_network,
+    rinkeby_like,
+    ropsten_like,
+)
+from repro.netgen.workloads import prefill_mempools
+
+PRESETS = {
+    "ropsten": ropsten_like,
+    "rinkeby": rinkeby_like,
+    "goerli": goerli_like,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="toposhot-repro",
+        description="TopoShot (IMC'21) reproduction: measure simulated "
+        "Ethereum topologies via replacement transactions.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    measure = sub.add_parser(
+        "measure", help="run a full topology measurement campaign"
+    )
+    measure.add_argument(
+        "--preset", choices=sorted(PRESETS), default=None,
+        help="testnet preset; omit for a generic quick network",
+    )
+    measure.add_argument("--nodes", type=int, default=24,
+                         help="node count for the generic network")
+    measure.add_argument("--seed", type=int, default=0)
+    measure.add_argument("--repeats", type=int, default=1,
+                         help="measurements per link (union of positives)")
+    measure.add_argument("--group-size", type=int, default=None,
+                         help="override the schedule group size K")
+    measure.add_argument("--analyze", action="store_true",
+                         help="print Table 4-style analysis of the result")
+    measure.add_argument("--no-preprocess", action="store_true")
+    measure.add_argument("--output", type=str, default=None,
+                         help="write the measurement to this JSON file")
+    measure.add_argument("--export-graph", type=str, default=None,
+                         help="write the measured graph (edge list) here")
+
+    sub.add_parser("profile", help="Table 3: profile the five clients")
+
+    schedule = sub.add_parser(
+        "schedule", help="inspect the parallel schedule for (N, K)"
+    )
+    schedule.add_argument("--nodes", type=int, required=True)
+    schedule.add_argument("--group-size", type=int, default=None)
+    schedule.add_argument("--budget", type=int, default=2000,
+                          help="mempool slot budget (paper: 2000)")
+
+    analyze = sub.add_parser(
+        "analyze", help="re-analyze a saved measurement JSON"
+    )
+    analyze.add_argument("measurement", type=str,
+                         help="path to a JSON file written by 'measure --output'")
+    analyze.add_argument("--communities", action="store_true")
+    analyze.add_argument("--security", action="store_true")
+
+    cost = sub.add_parser(
+        "estimate-cost", help="full-network measurement cost extrapolation"
+    )
+    cost.add_argument("--nodes", type=int, default=8000)
+    cost.add_argument("--eth-price", type=float, default=2700.0)
+    cost.add_argument(
+        "--per-pair", type=float, default=PAPER_COST_PER_PAIR_ETHER,
+        help="Ether cost per measured pair (paper: 7.1e-4)",
+    )
+    return parser
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    if args.preset:
+        network = generate_network(PRESETS[args.preset](seed=args.seed))
+    else:
+        network = quick_network(n_nodes=args.nodes, seed=args.seed)
+    prefill_mempools(network)
+    shot = TopoShot.attach(network)
+    shot.config = shot.config.with_repeats(args.repeats)
+    print(
+        f"measuring {len(network.measurable_node_ids())} nodes "
+        f"(Z={shot.config.future_count}, R={shot.config.replace_bump:.1%})"
+    )
+    measurement = shot.measure_network(
+        group_size=args.group_size,
+        preprocess=not args.no_preprocess,
+    )
+    print()
+    print(measurement.summary())
+    if args.output:
+        from repro.io import save_measurement
+
+        print(f"\nmeasurement written to {save_measurement(measurement, args.output)}")
+    if args.export_graph:
+        from repro.io import export_graph
+
+        print(
+            "graph written to "
+            f"{export_graph(measurement.graph, args.export_graph)}"
+        )
+    if args.analyze:
+        graph = measurement.graph
+        print("\ndegree distribution:")
+        print(degree_distribution(graph).ascii_plot(width=36, max_rows=20))
+        table = comparison_table(graph, "Measured", trials=5, seed=args.seed)
+        print()
+        print(render_comparison(table, title="graph statistics vs ER/CM/BA"))
+        print(
+            "\nmodularity below all baselines: "
+            f"{modularity_lower_than_baselines(table)}"
+        )
+    return 0
+
+
+def _cmd_profile(_args: argparse.Namespace) -> int:
+    print(f"{'client':<12} {'R':>7} {'U':>6} {'P':>6} {'L':>6}  measurable")
+    for policy in (GETH, PARITY, NETHERMIND, BESU, ALETH):
+        profile = profile_client(policy)
+        measurable = "yes" if policy.measurable else "NO (R=0)"
+        print(
+            f"{profile.name:<12} {profile.replace_bump_percent():>7} "
+            f"{profile.future_limit_str():>6} {profile.eviction_floor:>6} "
+            f"{profile.capacity:>6}  {measurable}"
+        )
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    n = args.nodes
+    k = args.group_size or max(2, args.budget // n)
+    ids = [f"n{i}" for i in range(n)]
+    iterations = build_schedule(ids, k)
+    pairs = n * (n - 1) // 2
+    print(f"N={n} nodes, K={k} (budget {args.budget} slots)")
+    print(f"pairs to cover     : {pairs}")
+    print(f"iterations         : {len(iterations)}")
+    print(f"paper formula      : N/K + log K = {expected_iteration_count(n, k)}")
+    largest = max(it.edge_count for it in iterations)
+    print(f"largest iteration  : {largest} edges")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.io import load_measurement
+
+    measurement = load_measurement(args.measurement)
+    print(measurement.summary())
+    graph = measurement.graph
+    print("\ndegree distribution:")
+    print(degree_distribution(graph).ascii_plot(width=36, max_rows=20))
+    table = comparison_table(graph, "Measured", trials=5, seed=0)
+    print()
+    print(render_comparison(table, title="graph statistics vs ER/CM/BA"))
+    if args.communities:
+        from repro.analysis.communities import community_table, detect_communities
+
+        print("\ncommunities:")
+        print(community_table(detect_communities(graph, seed=0)))
+    if args.security:
+        from repro.analysis.security import (
+            critical_nodes,
+            eclipse_targets,
+            neighbor_fingerprints,
+        )
+
+        print("\nsecurity assessment:")
+        targets = eclipse_targets(graph, max_degree=3)
+        print(f"  eclipse targets (degree <= 3): {len(targets)}")
+        print(f"  {critical_nodes(graph).summary()}")
+        print(f"  {neighbor_fingerprints(graph).summary()}")
+    return 0
+
+
+def _cmd_estimate_cost(args: argparse.Namespace) -> int:
+    estimate = MainnetEstimate(
+        n_nodes=args.nodes,
+        cost_per_pair_ether=args.per_pair,
+        eth_price_usd=args.eth_price,
+    )
+    print(estimate.summary())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "measure": _cmd_measure,
+        "profile": _cmd_profile,
+        "schedule": _cmd_schedule,
+        "analyze": _cmd_analyze,
+        "estimate-cost": _cmd_estimate_cost,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

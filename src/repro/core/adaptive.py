@@ -1,0 +1,146 @@
+"""Workload-adaptive measurement configuration (Section 6.3).
+
+The mainnet study "proposes workload-adaptive mechanisms to configure
+TopoShot for minimal service interruption": the measurement price Y must
+sit *below* what miners are currently including (so txC is never the best
+candidate and V2 holds) yet *above* the eviction waterline (so txC is not
+immediately evicted by organic traffic). Both bounds move with the
+workload, so Y is chosen from live observations:
+
+- the inclusion floor: the minimum effective price across recent blocks;
+- the pool waterline: a low percentile of the pool's pending prices.
+
+``choose_adaptive_y`` picks a Y under the inclusion floor by a safety
+margin, clamped above the waterline; ``AdaptiveYController`` re-estimates
+before every measurement round, which is the "we apply the estimation
+method before every measurement study and obtain Y dynamically" of
+Section 5.2.1 taken to the mainnet's moving fee market.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import MeasurementError
+from repro.eth.chain import Chain
+from repro.eth.node import Node
+
+
+@dataclass(frozen=True)
+class YDecision:
+    """A chosen measurement price and the evidence behind it."""
+
+    y: int
+    inclusion_floor: Optional[int]
+    pool_waterline: Optional[int]
+    blocks_inspected: int
+
+    def summary(self) -> str:
+        floor = self.inclusion_floor
+        waterline = self.pool_waterline
+        return (
+            f"Y={self.y} (inclusion floor="
+            f"{floor if floor is not None else 'n/a'}, pool waterline="
+            f"{waterline if waterline is not None else 'n/a'}, "
+            f"{self.blocks_inspected} blocks inspected)"
+        )
+
+
+def inclusion_floor(chain: Chain, window: int = 10) -> Optional[int]:
+    """Minimum effective gas price included over the last ``window`` blocks
+    (ignoring empty blocks). None when no priced block exists yet."""
+    floors = []
+    for block in chain.blocks[-window:]:
+        price = block.min_included_price()
+        if price is not None:
+            floors.append(price)
+    return min(floors) if floors else None
+
+
+def pool_waterline(node: Node, percentile: float = 0.1) -> Optional[int]:
+    """A low percentile of the node's pending prices: anything priced below
+    this is living on borrowed time in the pool."""
+    prices = sorted(node.mempool.pending_prices())
+    if not prices:
+        return None
+    index = min(len(prices) - 1, int(percentile * len(prices)))
+    return prices[index]
+
+
+def choose_adaptive_y(
+    chain: Chain,
+    observer: Node,
+    margin: float = 0.8,
+    window: int = 10,
+    percentile: float = 0.1,
+) -> YDecision:
+    """Pick Y = margin * inclusion_floor, clamped above the pool waterline.
+
+    Raises :class:`MeasurementError` when the two constraints cannot be
+    satisfied together (floor*margin below the waterline): the fee market
+    leaves no safe band and the measurement should wait — exactly the
+    condition under which the paper's V1/V2 verification would fail.
+    """
+    if not 0 < margin < 1:
+        raise MeasurementError("margin must be in (0, 1)")
+    floor = inclusion_floor(chain, window=window)
+    waterline = pool_waterline(observer, percentile=percentile)
+    blocks = min(window, len(chain.blocks))
+
+    if floor is None:
+        # No mining signal (testnets before the background workload): fall
+        # back to the pool median, the Section 5.2.1 estimator.
+        median = observer.mempool.median_pending_price()
+        if median is None:
+            raise MeasurementError(
+                "no inclusion data and an empty pool: cannot choose Y"
+            )
+        return YDecision(
+            y=median,
+            inclusion_floor=None,
+            pool_waterline=waterline,
+            blocks_inspected=blocks,
+        )
+
+    y = int(floor * margin)
+    if waterline is not None and y < waterline:
+        raise MeasurementError(
+            f"no safe price band: {margin:.0%} of the inclusion floor "
+            f"({y}) sits below the pool waterline ({waterline}); wait for "
+            "the fee market to widen"
+        )
+    return YDecision(
+        y=y,
+        inclusion_floor=floor,
+        pool_waterline=waterline,
+        blocks_inspected=blocks,
+    )
+
+
+class AdaptiveYController:
+    """Re-estimates Y before every round and remembers the decisions."""
+
+    def __init__(
+        self,
+        chain: Chain,
+        observer: Node,
+        margin: float = 0.8,
+        window: int = 10,
+    ) -> None:
+        self.chain = chain
+        self.observer = observer
+        self.margin = margin
+        self.window = window
+        self.decisions: list[YDecision] = []
+
+    def next_y(self) -> int:
+        decision = choose_adaptive_y(
+            self.chain, self.observer, margin=self.margin, window=self.window
+        )
+        self.decisions.append(decision)
+        return decision.y
+
+    @property
+    def last_decision(self) -> Optional[YDecision]:
+        return self.decisions[-1] if self.decisions else None

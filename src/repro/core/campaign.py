@@ -1,0 +1,344 @@
+"""Whole-network measurement orchestration (Section 6).
+
+:class:`TopoShot` glues everything together: it attaches a supernode to a
+network, pre-processes targets, walks the parallel schedule, unions the
+per-iteration detections, and scores the measured topology against the
+simulator's ground truth.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.config import MeasurementConfig
+from repro.core.parallel import ParallelProbeReport, measure_par_with_repeats
+from repro.core.preprocess import PreprocessReport, preprocess_targets
+from repro.core.primitive import ProbeReport, measure_link_with_repeats
+from repro.core.results import (
+    Edge,
+    LinkResult,
+    NetworkMeasurement,
+    ValidationScore,
+    edge,
+)
+from repro.core.schedule import ScheduleIteration, build_schedule
+from repro.errors import MeasurementError
+from repro.eth.account import Wallet
+from repro.eth.network import Network
+from repro.eth.supernode import Supernode
+
+ProgressCallback = Callable[[int, int, ScheduleIteration, ParallelProbeReport], None]
+
+
+class TopoShot:
+    """A measurement session against one network.
+
+    Typical use::
+
+        net = quick_network(n_nodes=40, seed=7)
+        shot = TopoShot.attach(net)
+        measurement = shot.measure_network()
+        print(measurement.summary())
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        supernode: Supernode,
+        config: Optional[MeasurementConfig] = None,
+        wallet: Optional[Wallet] = None,
+    ) -> None:
+        self.network = network
+        self.supernode = supernode
+        self.config = config or self._default_config(network)
+        self.wallet = wallet or Wallet("toposhot")
+        self.last_preprocess: Optional[PreprocessReport] = None
+        self.measurement_senders: List[str] = []
+        # Per-target flood-size overrides discovered by calibration
+        # (Section 5.2.3: "use a 'right' parameter on the connections
+        # involving node A'").
+        self.z_overrides: Dict[str, int] = {}
+        # Ambient background price, pinned at the first pool refresh so the
+        # compressed churn does not ratchet the fee level upward (each
+        # measurement evicts the cheap half of a pool, biasing its median).
+        self.ambient_price: Optional[int] = None
+
+    @staticmethod
+    def _default_config(network: Network) -> MeasurementConfig:
+        """Derive Z/R/U from the dominant measurable client in the network
+        (the paper configures them per target client, Table 3)."""
+        policies = [
+            network.node(nid).config.policy
+            for nid in network.measurable_node_ids()
+        ]
+        measurable = [p for p in policies if p.measurable]
+        if not measurable:
+            raise MeasurementError("network has no measurable clients (R > 0)")
+        # The most common *exact* policy wins. Counting by full identity
+        # matters: selecting a node's custom high-R variant would price txA
+        # at (1 + R_custom/2) * Y, enough to replace txC on default-R nodes
+        # and silently break isolation network-wide.
+        counts = Counter(measurable)
+        dominant, _ = counts.most_common(1)[0]
+        return MeasurementConfig.for_policy(dominant)
+
+    @classmethod
+    def attach(
+        cls,
+        network: Network,
+        config: Optional[MeasurementConfig] = None,
+        targets: Optional[Sequence[str]] = None,
+        node_id: str = "supernode-M",
+    ) -> "TopoShot":
+        """Create and connect a measurement supernode, then wrap it."""
+        supernode = Supernode.join(network, node_id=node_id, targets=targets)
+        return cls(network, supernode, config=config)
+
+    def _refresh_pools(self) -> None:
+        """Compressed organic churn between iterations/repeats (see
+        :func:`repro.netgen.workloads.refresh_mempools`).
+
+        The replacement background traffic keeps the *ambient* price level,
+        sampled from a target node's current pool — not the measurement
+        price Y, which may sit deliberately below it (Section 6.3 sets a
+        conservatively low Y on the mainnet).
+        """
+        from repro.netgen.workloads import refresh_mempools
+
+        self._capture_ambient()
+        refresh_mempools(
+            self.network,
+            median_price=self.ambient_price or self.config.default_gas_price_y,
+        )
+
+    def _capture_ambient(self) -> None:
+        """Pin the ambient price from the first node with a priced pool.
+
+        Called before the first measurement touches any pool, so later
+        refreshes restore the *original* fee level rather than the
+        measurement-biased one.
+        """
+        if self.ambient_price is not None:
+            return
+        for node_id in self.network.measurable_node_ids():
+            median = self.network.node(node_id).mempool.median_pending_price()
+            if median:
+                self.ambient_price = median
+                return
+
+    # ------------------------------------------------------------------
+    # Single links (serial primitive)
+    # ------------------------------------------------------------------
+    def measure_link(self, a: str, b: str) -> LinkResult:
+        """Measure one undirected link with the serial primitive,
+        ``config.repeats`` times, reporting the union of positives."""
+        self._capture_ambient()
+        reports: List[ProbeReport] = measure_link_with_repeats(
+            self.network,
+            self.supernode,
+            a,
+            b,
+            self.config,
+            self.wallet,
+            refresh=self._refresh_pools,
+        )
+        for report in reports:
+            self.measurement_senders.extend(report.measurement_senders)
+        positives = sum(1 for r in reports if r.connected)
+        return LinkResult(
+            a=a,
+            b=b,
+            connected=positives > 0,
+            attempts=len(reports),
+            positive_attempts=positives,
+            details=list(reports),
+        )
+
+    # ------------------------------------------------------------------
+    # Target selection
+    # ------------------------------------------------------------------
+    def preprocess(
+        self, candidates: Optional[Sequence[str]] = None, **kwargs: object
+    ) -> PreprocessReport:
+        """Run the pre-processing phase and cache its report."""
+        if candidates is None:
+            candidates = self.network.measurable_node_ids()
+        self.last_preprocess = preprocess_targets(
+            self.network,
+            self.supernode,
+            candidates,
+            self.config,
+            self.wallet,
+            **kwargs,  # type: ignore[arg-type]
+        )
+        self.supernode.clear_observations()
+        return self.last_preprocess
+
+    # ------------------------------------------------------------------
+    # Whole networks (parallel schedule)
+    # ------------------------------------------------------------------
+    def measure_network(
+        self,
+        targets: Optional[Sequence[str]] = None,
+        group_size: Optional[int] = None,
+        preprocess: bool = True,
+        validate: bool = True,
+        churn_between_iterations: bool = True,
+        progress: Optional[ProgressCallback] = None,
+    ) -> NetworkMeasurement:
+        """Measure the topology among ``targets`` (default: all nodes that
+        survive pre-processing) using the two-round parallel schedule."""
+        self._capture_ambient()
+        if targets is None:
+            targets = self.network.measurable_node_ids()
+        skipped: List[str] = []
+        if preprocess:
+            report = self.preprocess(targets)
+            skipped = report.rejected
+            targets = report.accepted
+        targets = list(targets)
+        if len(targets) < 2:
+            raise MeasurementError("need at least two targets to measure")
+        if group_size is None:
+            group_size = self.config.group_size_for(len(targets))
+
+        schedule = build_schedule(targets, group_size)
+        measurement = NetworkMeasurement(
+            node_ids=targets,
+            iterations=len(schedule),
+            sim_time_start=self.network.sim.now,
+            skipped_nodes=skipped,
+        )
+        refresh = self._refresh_pools if churn_between_iterations else None
+        for index, iteration in enumerate(schedule):
+            report = measure_par_with_repeats(
+                self.network,
+                self.supernode,
+                iteration.edges,
+                self._config_for_iteration(iteration),
+                self.wallet,
+                refresh=refresh,
+            )
+            measurement.add_edges(report.detected)
+            measurement.transactions_sent += report.transactions_sent
+            measurement.setup_failures += report.setup_failures
+            self.measurement_senders.extend(report.seed_senders)
+            if progress is not None:
+                progress(index, len(schedule), iteration, report)
+            # Bound memory and keep iterations independent.
+            self.supernode.clear_observations()
+            self.network.forget_known_transactions()
+            if churn_between_iterations and index + 1 < len(schedule):
+                self._refresh_pools()
+        measurement.sim_time_end = self.network.sim.now
+
+        if validate:
+            truth = self._truth_edges_among(targets)
+            measurement.validate_against(truth)
+        return measurement
+
+    def measure_pairs(
+        self,
+        pairs: Sequence[Tuple[str, str]],
+        group_size: int = 4,
+    ) -> Set[Edge]:
+        """Measure an explicit pair list (the mainnet critical-subnetwork
+        study of Section 6.3) and return the detected undirected edges."""
+        self._capture_ambient()
+        nodes: List[str] = []
+        for a, b in pairs:
+            for nid in (a, b):
+                if nid not in nodes:
+                    nodes.append(nid)
+        wanted = {edge(a, b) for a, b in pairs}
+        detected: Set[Edge] = set()
+        first_iteration = True
+        for iteration in build_schedule(nodes, group_size):
+            selected = [e for e in iteration.edges if edge(*e) in wanted]
+            if not selected:
+                continue
+            if not first_iteration:
+                self._refresh_pools()
+            first_iteration = False
+            report = measure_par_with_repeats(
+                self.network,
+                self.supernode,
+                selected,
+                self.config,
+                self.wallet,
+                refresh=self._refresh_pools,
+            )
+            detected |= report.detected
+            self.measurement_senders.extend(report.seed_senders)
+            self.supernode.clear_observations()
+            self.network.forget_known_transactions()
+        return detected & wanted
+
+    # ------------------------------------------------------------------
+    # Flood-size calibration (Section 5.2.3)
+    # ------------------------------------------------------------------
+    def _config_for_iteration(self, iteration: ScheduleIteration) -> MeasurementConfig:
+        """Apply per-target Z overrides: an iteration touching a node known
+        to run a larger-than-default mempool uses a flood big enough for
+        it (the pre-processing phase's "right parameter")."""
+        if not self.z_overrides:
+            return self.config
+        involved = set(iteration.sources) | set(iteration.sinks)
+        needed = max(
+            (z for node, z in self.z_overrides.items() if node in involved),
+            default=0,
+        )
+        if needed <= self.config.future_count:
+            return self.config
+        return self.config.with_future_count(needed)
+
+    def set_z_override(self, node_id: str, future_count: int) -> None:
+        """Record that measurements involving ``node_id`` need a flood of
+        at least ``future_count`` transactions."""
+        self.z_overrides[node_id] = future_count
+
+    def calibrate_target(
+        self,
+        target_id: str,
+        local_peer_id: str,
+        z_values: Sequence[int],
+    ) -> Optional[int]:
+        """Run the speculative-B' calibration against one target and store
+        the discovered flood size as an override. Returns the Z found."""
+        from repro.core.preprocess import calibrate_future_count
+
+        found = calibrate_future_count(
+            self.network,
+            self.supernode,
+            target_id,
+            local_peer_id,
+            self.config,
+            z_values,
+            self.wallet,
+        )
+        if found is not None and found > self.config.future_count:
+            self.set_z_override(target_id, found)
+        self.supernode.clear_observations()
+        self.network.forget_known_transactions()
+        self._refresh_pools()
+        return found
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+    def _truth_edges_among(self, targets: Sequence[str]) -> Set[Edge]:
+        target_set = set(targets)
+        return {
+            link
+            for link in self.network.ground_truth_edges()
+            if set(link) <= target_set
+        }
+
+    def validate(
+        self, measurement: NetworkMeasurement
+    ) -> ValidationScore:
+        """(Re-)score a measurement against the simulator ground truth."""
+        return measurement.validate_against(
+            self._truth_edges_among(measurement.node_ids)
+        )

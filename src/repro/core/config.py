@@ -1,0 +1,167 @@
+"""Measurement configuration.
+
+Maps one-to-one onto the knobs of the paper's primitive
+``measureOneLink(A, B, X, Y, Z, R, U)`` plus the parallel-schedule and
+timing parameters of Sections 5.3 and 6.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.errors import MeasurementError, UnsupportedClientError
+from repro.eth.policies import GETH, MempoolPolicy
+from repro.eth.transaction import gwei
+
+
+@dataclass(frozen=True)
+class MeasurementConfig:
+    """All parameters of a TopoShot run.
+
+    Attributes
+    ----------
+    flood_wait:
+        ``X``: seconds to wait after planting ``txC`` so it floods the whole
+        network (the paper calibrates X = 10 s; our simulated networks
+        flood faster, but the default stays conservative).
+    gas_price_y:
+        ``Y`` in wei/gas, or ``None`` to estimate the median pending price
+        from the measurement node's own mempool before each run (§5.2.1).
+    future_count:
+        ``Z``: number of future transactions per eviction flood. Defaults
+        to the target policy's capacity ``L`` (the paper uses Z = 5120 on
+        Geth, exactly its L).
+    replace_bump:
+        ``R`` of the target client. ``txA`` is priced at ``(1+R/2)·Y`` and
+        ``txB`` at ``(1-R/2)·Y`` so that txA replaces txB
+        (bump ``(1+R/2)/(1-R/2) - 1 >= R``) but never txC (bump R/2 < R).
+    future_per_account:
+        ``U``: future transactions are spread over ``ceil(Z/U)`` accounts.
+        ``None`` (unlimited) uses a single account, like the paper does for
+        Besu and (almost) Geth.
+    settle_wait:
+        Pause between Steps 2 and 3 of the serial primitive.
+    propagation_wait:
+        Pause before Step 4's check, covering the A->B hop.
+    seed_wait:
+        Parallel p1: wait after seeding all txC transactions.
+    parallel_send_gap:
+        Seconds between consecutive per-node configuration packets in the
+        parallel primitive. The paper's source-first ordering leaves a race
+        window (txA broadcasts can reach still-unconfigured sinks); the gap
+        times how fast the window closes, which is what makes recall fall
+        for large groups (Figure 4b).
+    repeats:
+        Measurements per link; the union of positives is reported (§5.2.3's
+        passive recall improvement, 3 in the paper's validation).
+    mempool_slots_budget:
+        Max mempool slots the measurement may occupy on targets; the paper
+        bounds interference with 2000 of 5120 slots and derives the group
+        size ``K = budget / N`` from it (§5.3.2).
+    future_nonce_gap:
+        Nonce distance guaranteeing flood transactions stay future.
+    """
+
+    flood_wait: float = 10.0
+    gas_price_y: Optional[int] = None
+    default_gas_price_y: int = gwei(1.0)
+    future_count: int = GETH.capacity
+    replace_bump: float = GETH.replace_bump
+    future_per_account: Optional[int] = GETH.future_limit_per_account
+    settle_wait: float = 2.0
+    propagation_wait: float = 5.0
+    seed_wait: float = 3.0
+    parallel_send_gap: float = 0.005
+    repeats: int = 1
+    mempool_slots_budget: int = 2000
+    future_nonce_gap: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.replace_bump <= 0:
+            raise UnsupportedClientError(
+                "TopoShot requires a target client with R > 0; Nethermind and "
+                "Aleth (R = 0) are not measurable (Section 5.1)"
+            )
+        if self.future_count <= 0:
+            raise MeasurementError("future_count Z must be positive")
+        if self.repeats <= 0:
+            raise MeasurementError("repeats must be positive")
+        if self.future_per_account is not None and self.future_per_account <= 0:
+            raise MeasurementError("future_per_account U must be positive or None")
+
+    # ------------------------------------------------------------------
+    # Derived prices (Section 5.2, Steps 1-3)
+    # ------------------------------------------------------------------
+    def price_c(self, y: int) -> int:
+        """txC price: exactly ``Y``."""
+        return y
+
+    def price_a(self, y: int) -> int:
+        """txA price: ``(1 + R/2) * Y``."""
+        return int(math.ceil(y * (1.0 + 0.5 * self.replace_bump)))
+
+    def price_b(self, y: int) -> int:
+        """txB price: ``(1 - R/2) * Y``."""
+        return int(math.floor(y * (1.0 - 0.5 * self.replace_bump)))
+
+    def price_future(self, y: int) -> int:
+        """Flood (txO) price: ``(1 + R) * Y``."""
+        return int(math.ceil(y * (1.0 + self.replace_bump)))
+
+    @property
+    def flood_accounts(self) -> int:
+        """Number of EOAs used per future flood: ``ceil(Z / U)``."""
+        if self.future_per_account is None:
+            return 1
+        return max(1, math.ceil(self.future_count / self.future_per_account))
+
+    def group_size_for(self, network_size: int) -> int:
+        """``K = slots_budget / N``, shrunk until the first (largest)
+        iteration's edge count ``K * (N - K)`` fits the slot budget
+        (Section 5.3.2: "we only use no more than 2000 transaction slots").
+        """
+        if network_size <= 0:
+            raise MeasurementError("network size must be positive")
+        k = max(2, self.mempool_slots_budget // network_size)
+        while k > 2 and k * (network_size - k) > self.mempool_slots_budget:
+            k -= 1
+        if k * (network_size - k) > self.mempool_slots_budget:
+            raise MeasurementError(
+                f"even K=2 needs {2 * (network_size - 2)} mempool slots, over "
+                f"the budget of {self.mempool_slots_budget}; measure a larger-"
+                "mempool network or raise mempool_slots_budget"
+            )
+        return k
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_policy(cls, policy: MempoolPolicy, **overrides: object) -> "MeasurementConfig":
+        """A configuration matched to a target client policy."""
+        if not policy.measurable:
+            raise UnsupportedClientError(
+                f"client {policy.name!r} has R = 0 and cannot be measured"
+            )
+        params = {
+            "future_count": policy.capacity,
+            "replace_bump": policy.replace_bump,
+            "future_per_account": policy.future_limit_per_account,
+            # Keep the paper's 2000-of-5120 slot-budget ratio at any scale.
+            "mempool_slots_budget": max(16, policy.capacity * 2000 // 5120),
+        }
+        params.update(overrides)  # type: ignore[arg-type]
+        return cls(**params)  # type: ignore[arg-type]
+
+    def with_future_count(self, future_count: int) -> "MeasurementConfig":
+        """Copy with a different Z (used by the Z sweep of Figure 4a and by
+        the pre-processing calibration of Section 5.2.3)."""
+        return replace(self, future_count=future_count)
+
+    def with_repeats(self, repeats: int) -> "MeasurementConfig":
+        return replace(self, repeats=repeats)
+
+    def with_gas_price(self, y: Optional[int]) -> "MeasurementConfig":
+        return replace(self, gas_price_y=y)

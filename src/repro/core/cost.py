@@ -1,0 +1,143 @@
+"""Measurement cost accounting and extrapolation (Sections 5.2.2, 6.3, 6.4).
+
+Costs come only from *pending* measurement transactions (``txA``/``txB``/
+``txC``) that miners actually include; future flood transactions are
+guaranteed never to be mined and cost nothing. The mainnet full-topology
+estimate multiplies the per-pair cost by ``n(n-1)/2`` pairs — the paper's
+"more than 60 million USD" figure for 8000 nodes at May-2021 prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.eth.chain import Chain
+
+WEI_PER_ETHER = 10**18
+
+# Constants quoted by the paper (Section 6.3).
+PAPER_COST_PER_PAIR_ETHER = 7.1e-4
+PAPER_ETH_PRICE_USD_MAY_2021 = 2700.0  # ~1.91 USD / 7.1e-4 ETH
+PAPER_MAINNET_NODES = 8000
+
+
+def wei_to_ether(wei: int) -> float:
+    return wei / WEI_PER_ETHER
+
+
+@dataclass
+class CostLedger:
+    """Tracks measurement sender accounts and computes realized fees."""
+
+    chain: Chain
+    senders_by_category: Dict[str, set] = field(default_factory=dict)
+
+    def register(self, category: str, addresses: Iterable[str]) -> None:
+        self.senders_by_category.setdefault(category, set()).update(addresses)
+
+    def spent_wei(self, category: Optional[str] = None) -> int:
+        """Fees actually paid on-chain by registered senders."""
+        if category is not None:
+            addresses = self.senders_by_category.get(category, set())
+        else:
+            addresses = set().union(*self.senders_by_category.values()) if (
+                self.senders_by_category
+            ) else set()
+        return self.chain.fees_paid_by(addresses)
+
+    def spent_ether(self, category: Optional[str] = None) -> float:
+        return wei_to_ether(self.spent_wei(category))
+
+    def included_count(self, category: Optional[str] = None) -> int:
+        """How many registered transactions were mined."""
+        if category is not None:
+            addresses = self.senders_by_category.get(category, set())
+        else:
+            addresses = set().union(*self.senders_by_category.values()) if (
+                self.senders_by_category
+            ) else set()
+        return sum(
+            1
+            for block in self.chain.blocks
+            for tx in block.txs
+            if tx.sender in addresses
+        )
+
+
+@dataclass(frozen=True)
+class CampaignCostRow:
+    """One row of the Table 7 summary."""
+
+    network: str
+    n_nodes: int
+    cost_ether: float
+    duration_hours: float
+
+    def format(self) -> str:
+        return (
+            f"{self.network:<10} {self.n_nodes:>7} "
+            f"{self.cost_ether:>12.5f} {self.duration_hours:>10.2f}"
+        )
+
+
+def summarize_campaigns(rows: List[CampaignCostRow]) -> str:
+    """Render a Table 7-style summary."""
+    header = f"{'Network':<10} {'#nodes':>7} {'Cost (ETH)':>12} {'Hours':>10}"
+    return "\n".join([header, "-" * len(header)] + [row.format() for row in rows])
+
+
+@dataclass(frozen=True)
+class MainnetEstimate:
+    """Full-mainnet measurement cost extrapolation (Section 6.3)."""
+
+    n_nodes: int
+    cost_per_pair_ether: float
+    eth_price_usd: float
+
+    @property
+    def pairs(self) -> int:
+        return self.n_nodes * (self.n_nodes - 1) // 2
+
+    @property
+    def total_ether(self) -> float:
+        return self.pairs * self.cost_per_pair_ether
+
+    @property
+    def total_usd(self) -> float:
+        return self.total_ether * self.eth_price_usd
+
+    def summary(self) -> str:
+        return (
+            f"full mainnet: {self.n_nodes} nodes -> {self.pairs:,} pairs, "
+            f"{self.total_ether:,.0f} ETH "
+            f"(~{self.total_usd / 1e6:,.1f}M USD at "
+            f"{self.eth_price_usd:,.0f} USD/ETH)"
+        )
+
+
+def paper_mainnet_estimate() -> MainnetEstimate:
+    """The paper's own numbers: ~22.8k ETH, > 60 M USD."""
+    return MainnetEstimate(
+        n_nodes=PAPER_MAINNET_NODES,
+        cost_per_pair_ether=PAPER_COST_PER_PAIR_ETHER,
+        eth_price_usd=PAPER_ETH_PRICE_USD_MAY_2021,
+    )
+
+
+def estimate_from_measured_pair_cost(
+    ledger: CostLedger,
+    pairs_measured: int,
+    n_nodes: int = PAPER_MAINNET_NODES,
+    eth_price_usd: float = PAPER_ETH_PRICE_USD_MAY_2021,
+) -> MainnetEstimate:
+    """Extrapolate a full-network cost from this campaign's realized
+    per-pair cost."""
+    if pairs_measured <= 0:
+        raise ValueError("pairs_measured must be positive")
+    per_pair = ledger.spent_ether() / pairs_measured
+    return MainnetEstimate(
+        n_nodes=n_nodes,
+        cost_per_pair_ether=per_pair,
+        eth_price_usd=eth_price_usd,
+    )

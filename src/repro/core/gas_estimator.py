@@ -1,0 +1,62 @@
+"""Estimating the measurement gas price ``Y`` (Section 5.2.1).
+
+"To estimate a proper Gas price in the presence of current transactions, we
+rank all pending transactions in the mempool of Node M by their Gas prices,
+and use the median Gas price for txC. [...] We apply the estimation method
+before every measurement study and obtain Y dynamically."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import MeasurementConfig
+from repro.eth.node import Node
+
+
+def estimate_y(measurement_node: Node, config: MeasurementConfig) -> int:
+    """Resolve ``Y`` for a run.
+
+    Order of precedence: an explicit ``config.gas_price_y``; the median
+    pending gas price observed in the measurement node's own mempool; and
+    finally ``config.default_gas_price_y`` on an empty pool (the
+    "underwhelmed testnet" situation of Section 6.2.1, where background
+    transactions must be injected before measuring).
+    """
+    if config.gas_price_y is not None:
+        return config.gas_price_y
+    median = measurement_node.mempool.median_pending_price()
+    if median is not None and median > 0:
+        return median
+    return config.default_gas_price_y
+
+
+def mempool_occupancy(node: Node) -> float:
+    """Fraction of the node's pool currently occupied.
+
+    TopoShot requires full mempools on the measured nodes ("this condition
+    holds quite commonly in Ethereum mainnet ... 99% of the time"); callers
+    use this to decide whether background transactions are needed first.
+    """
+    capacity = node.config.policy.capacity
+    if capacity <= 0:
+        return 0.0
+    return min(1.0, len(node.mempool) / capacity)
+
+
+def needs_background_workload(node: Node, threshold: float = 0.9) -> bool:
+    """True when the pool is too empty for reliable measurement (§6.2.1)."""
+    return mempool_occupancy(node) < threshold
+
+
+def pending_rank_of_price(node: Node, price: int) -> Optional[int]:
+    """How many pending transactions bid strictly below ``price``.
+
+    This is the number of evictions needed before a transaction priced at
+    ``price`` becomes the eviction victim — the quantity that links Z to
+    recall in Figure 4a / Figure 7.
+    """
+    prices = node.mempool.pending_prices()
+    if not prices:
+        return None
+    return sum(1 for p in prices if p < price)

@@ -1,0 +1,157 @@
+"""Longitudinal topology monitoring.
+
+The paper takes single snapshots ("a snapshot of the Ropsten testnet taken
+on Oct. 13, 2020"); an operator deploying TopoShot would run it repeatedly
+and watch the overlay *change* — new links dialled, old ones dropped,
+critical nodes drifting. :class:`TopologyMonitor` wraps a
+:class:`~repro.core.campaign.TopoShot` session into repeated snapshots and
+diffs them into churn reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Set
+
+from repro.core.campaign import TopoShot
+from repro.core.results import Edge, NetworkMeasurement
+from repro.errors import MeasurementError
+
+
+@dataclass(frozen=True)
+class TopologySnapshot:
+    """One measured topology at one simulated time."""
+
+    taken_at: float
+    measurement: NetworkMeasurement
+
+    @property
+    def edges(self) -> Set[Edge]:
+        return set(self.measurement.edges)
+
+
+@dataclass(frozen=True)
+class ChurnReport:
+    """Difference between two snapshots."""
+
+    from_time: float
+    to_time: float
+    added: Set[Edge]
+    removed: Set[Edge]
+    stable: Set[Edge]
+
+    @property
+    def jaccard_similarity(self) -> float:
+        union = len(self.added) + len(self.removed) + len(self.stable)
+        return 1.0 if union == 0 else len(self.stable) / union
+
+    @property
+    def churn_rate(self) -> float:
+        """Changed edges relative to the union of both snapshots."""
+        return 1.0 - self.jaccard_similarity
+
+    def summary(self) -> str:
+        return (
+            f"[{self.from_time:.0f}s -> {self.to_time:.0f}s] "
+            f"+{len(self.added)} -{len(self.removed)} "
+            f"={len(self.stable)} stable "
+            f"(churn {self.churn_rate:.0%})"
+        )
+
+
+class TopologyMonitor:
+    """Repeated measurement of one network with snapshot diffing.
+
+    ``between_rounds`` (if given) runs after every snapshot — tests use it
+    to inject real link churn, an operator analogue would simply be the
+    passage of time on a live network.
+    """
+
+    def __init__(
+        self,
+        shot: TopoShot,
+        between_rounds: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.shot = shot
+        self.between_rounds = between_rounds
+        self.snapshots: List[TopologySnapshot] = []
+
+    def take_snapshot(self, **measure_kwargs: object) -> TopologySnapshot:
+        measurement = self.shot.measure_network(**measure_kwargs)  # type: ignore[arg-type]
+        snapshot = TopologySnapshot(
+            taken_at=self.shot.network.sim.now, measurement=measurement
+        )
+        self.snapshots.append(snapshot)
+        return snapshot
+
+    def run_rounds(self, rounds: int, **measure_kwargs: object) -> List[TopologySnapshot]:
+        """Take ``rounds`` snapshots, invoking ``between_rounds`` between."""
+        if rounds <= 0:
+            raise MeasurementError("rounds must be positive")
+        taken = []
+        for index in range(rounds):
+            taken.append(self.take_snapshot(**measure_kwargs))
+            if self.between_rounds is not None and index + 1 < rounds:
+                self.between_rounds()
+        return taken
+
+    def churn_between(self, earlier: int, later: int) -> ChurnReport:
+        """Diff two snapshots by index (negative indices allowed)."""
+        first = self.snapshots[earlier]
+        second = self.snapshots[later]
+        return ChurnReport(
+            from_time=first.taken_at,
+            to_time=second.taken_at,
+            added=second.edges - first.edges,
+            removed=first.edges - second.edges,
+            stable=first.edges & second.edges,
+        )
+
+    def churn_series(self) -> List[ChurnReport]:
+        """Consecutive-snapshot churn across the whole history."""
+        return [
+            self.churn_between(i, i + 1)
+            for i in range(len(self.snapshots) - 1)
+        ]
+
+    def persistent_edges(self) -> Set[Edge]:
+        """Edges present in every snapshot (the overlay's stable core)."""
+        if not self.snapshots:
+            return set()
+        core = self.snapshots[0].edges
+        for snapshot in self.snapshots[1:]:
+            core &= snapshot.edges
+        return core
+
+
+def rewire_random_links(
+    network,
+    fraction: float = 0.1,
+    rng=None,
+) -> tuple:
+    """Inject churn: drop ``fraction`` of the measurable links and dial the
+    same number of fresh ones. Returns (removed, added) edge sets."""
+    if not 0 <= fraction <= 1:
+        raise MeasurementError("fraction must be in [0, 1]")
+    rng = rng or network.sim.rng.stream("rewire")
+    links = sorted(tuple(sorted(link)) for link in network.ground_truth_edges())
+    count = int(len(links) * fraction)
+    removed = set()
+    rng.shuffle(links)
+    for a, b in links[:count]:
+        network.disconnect(a, b)
+        removed.add(frozenset((a, b)))
+    nodes = network.measurable_node_ids()
+    added: Set[Edge] = set()
+    attempts = 0
+    while len(added) < count and attempts < 50 * count + 50:
+        attempts += 1
+        a, b = rng.sample(nodes, 2)
+        key = frozenset((a, b))
+        if network.are_connected(a, b):
+            continue
+        network.connect(a, b, force=True)
+        added.add(key)
+    # On dense overlays some dials can recreate just-dropped links; the
+    # *net* churn excludes those (they are invisible to any observer).
+    return removed - added, added - removed

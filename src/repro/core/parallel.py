@@ -1,0 +1,266 @@
+"""The parallel measurement primitive ``measurePar`` (Section 5.3.1).
+
+Measures ``r`` designated (source, sink) pairs in one pass:
+
+- **p1** seed one ``txC`` per edge, each from its own EOA, and flood them
+  network-wide;
+- **p2** configure every source ``Ak``: Z-future eviction flood, re-seed the
+  *other* edges' ``txC``, then install ``txA(k, .)`` for its own edges;
+- **p3** configure every sink ``Bl``: eviction flood, then the r-vector of
+  ``txB`` (for edges sinking at ``Bl``) / ``txC`` (for the rest);
+- **p4** edge (Ak, Bl) is detected iff the measurement node observes
+  ``txA(k, .)`` from ``Bl``.
+
+Isolation among measured nodes holds because every node other than the
+edge's own source/sink holds that edge's ``txC`` at price Y, which
+``txA`` (price ``(1+R/2)Y``) cannot replace.
+
+Faithful to the paper, sources are configured *before* sinks. A source that
+admits its ``txA`` broadcasts it immediately; if the broadcast reaches a
+sink that p3 has not configured yet, the sink still holds ``txC``, rejects
+``txA``, and — since the source now marks the sink as knowing ``txA`` —
+never re-sends it. The per-node configuration gap therefore creates an
+interference window that grows with the group size, which is exactly the
+recall decay of Figure 4b ("TopoShot does not guarantee isolation among
+nodes {A}").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.config import MeasurementConfig
+from repro.core.gas_estimator import estimate_y
+from repro.core.primitive import build_future_flood, rebid
+from repro.core.results import Edge, PairOutcome, edge
+from repro.errors import MeasurementError
+from repro.eth.account import Wallet
+from repro.eth.network import Network
+from repro.eth.supernode import Supernode
+from repro.eth.transaction import Transaction, TransactionFactory
+
+
+@dataclass
+class ParallelProbeReport:
+    """Result of one ``measurePar`` call."""
+
+    edges_probed: int
+    detected: Set[Edge] = field(default_factory=set)
+    outcomes: List[PairOutcome] = field(default_factory=list)
+    y: int = 0
+    seed_senders: List[str] = field(default_factory=list)
+    flood_senders: List[str] = field(default_factory=list)
+    transactions_sent: int = 0
+
+    @property
+    def setup_failures(self) -> int:
+        return sum(1 for outcome in self.outcomes if not outcome.setup_ok)
+
+
+def _ordered_unique(items: Sequence[str]) -> List[str]:
+    seen: Set[str] = set()
+    out: List[str] = []
+    for item in items:
+        if item not in seen:
+            seen.add(item)
+            out.append(item)
+    return out
+
+
+def measure_par(
+    network: Network,
+    supernode: Supernode,
+    pairs: Sequence[Tuple[str, str]],
+    config: Optional[MeasurementConfig] = None,
+    wallet: Optional[Wallet] = None,
+    source_order_rng: Optional[random.Random] = None,
+) -> ParallelProbeReport:
+    """Measure the given (source, sink) pairs in parallel.
+
+    Source and sink sets must be disjoint (guaranteed by the schedule of
+    Section 5.3.2). ``source_order_rng`` randomizes the per-repeat
+    configuration order, so repeated runs lose different edges to the
+    interference window and their union improves recall.
+    """
+    if not pairs:
+        return ParallelProbeReport(edges_probed=0)
+    config = config or MeasurementConfig()
+    if len(pairs) > config.mempool_slots_budget:
+        raise MeasurementError(
+            f"{len(pairs)} edges need as many txC slots, over the "
+            f"{config.mempool_slots_budget}-slot budget; seeds beyond the "
+            "pools' below-Y headroom would be rejected and break isolation "
+            "(Section 5.3.2 bounds the measurement to 2000 of 5120 slots)"
+        )
+    wallet = wallet or Wallet(f"toposhot-par-{network.sim.now:.3f}")
+    factory = TransactionFactory()
+
+    sources = _ordered_unique([a for a, _ in pairs])
+    sinks = _ordered_unique([b for _, b in pairs])
+    overlap = set(sources) & set(sinks)
+    if overlap:
+        raise MeasurementError(
+            f"sources and sinks must be disjoint; overlap: {sorted(overlap)[:3]}"
+        )
+    if source_order_rng is not None:
+        source_order_rng.shuffle(sources)
+        source_order_rng.shuffle(sinks)
+
+    y = estimate_y(supernode, config)
+    report = ParallelProbeReport(edges_probed=len(pairs), y=y)
+
+    # One EOA and one txC per edge ("any two different transactions are
+    # sent from different EOAs").
+    tx_c: Dict[Tuple[str, str], Transaction] = {}
+    tx_a: Dict[Tuple[str, str], Transaction] = {}
+    tx_b: Dict[Tuple[str, str], Transaction] = {}
+    for pair in pairs:
+        account = wallet.fresh_account(prefix="edge")
+        report.seed_senders.append(account.address)
+        seed = factory.transfer(account, gas_price=config.price_c(y))
+        tx_c[pair] = seed
+        tx_a[pair] = rebid(factory, seed, config.price_a(y))
+        tx_b[pair] = rebid(factory, seed, config.price_b(y))
+
+    # p1: inject every txC at a few entry peers and let the overlay flood
+    # them ("propagates them to the Ethereum network"). Deliberately NOT
+    # sent to every peer: a node never pushes a transaction back to the
+    # peer it came from, so direct-to-everyone seeding would leave the
+    # supernode blind to whether the seeds took hold anywhere.
+    seed_batch = [tx_c[pair] for pair in pairs]
+    peer_ids = supernode.peer_ids
+    step = max(1, len(peer_ids) // 3)
+    entry_peers = peer_ids[::step][:3]
+    for peer_id in entry_peers:
+        supernode.send_transactions(peer_id, seed_batch)
+        report.transactions_sent += len(seed_batch)
+    network.run(config.seed_wait)
+
+    # Isolation precondition: a txC that failed to take hold anywhere (e.g.
+    # pools had no below-Y headroom left) cannot shield its edge, so the
+    # edge is skipped this round rather than risking a false positive. A
+    # seeded txC is re-broadcast by admitting nodes, so the supernode
+    # observes it from at least one peer.
+    active = [
+        pair for pair in pairs if supernode.observers_of(tx_c[pair].hash)
+    ]
+    for pair in pairs:
+        if pair not in active:
+            report.outcomes.append(
+                PairOutcome(
+                    source=pair[0],
+                    sink=pair[1],
+                    detected=False,
+                    setup_ok=False,
+                    tx_a_hash=tx_a[pair].hash,
+                )
+            )
+    if not active:
+        return report
+
+    flood = build_future_flood(wallet, factory, config, y)
+    report.flood_senders.extend({tx.sender for tx in flood})
+
+    # p2: configure sources, spaced by the send gap.
+    gap = config.parallel_send_gap
+    for index, source in enumerate(sources):
+        own = [tx_a[pair] for pair in active if pair[0] == source]
+        others = [tx_c[pair] for pair in active if pair[0] != source]
+        batch = [*flood, *others, *own]
+        report.transactions_sent += len(batch)
+        network.sim.schedule(
+            index * gap,
+            lambda s=source, b=batch: supernode.send_transactions(s, b),
+            label=f"p2:{source}",
+        )
+
+    # p3: configure sinks, continuing the same cadence.
+    offset = len(sources)
+    for index, sink in enumerate(sinks):
+        vector = [
+            tx_b[pair] if pair[1] == sink else tx_c[pair] for pair in active
+        ]
+        batch = [*flood, *vector]
+        report.transactions_sent += len(batch)
+        network.sim.schedule(
+            (offset + index) * gap,
+            lambda s=sink, b=batch: supernode.send_transactions(s, b),
+            label=f"p3:{sink}",
+        )
+
+    network.run((offset + len(sinks)) * gap + config.propagation_wait)
+
+    # p4: detection.
+    for pair in active:
+        source, sink = pair
+        a_hash = tx_a[pair].hash
+        detected = supernode.observed_from(sink, a_hash)
+        outcome = PairOutcome(
+            source=source,
+            sink=sink,
+            detected=detected,
+            # Setup check per p2: txA must have taken hold on its source
+            # (verified RPC-style; gossip cannot confirm M's own sends).
+            setup_ok=a_hash in network.node(source).mempool,
+            tx_a_hash=a_hash,
+            observed_at=supernode.first_observation_time(sink, a_hash),
+        )
+        report.outcomes.append(outcome)
+        if detected:
+            report.detected.add(edge(source, sink))
+    return report
+
+
+def measure_par_with_repeats(
+    network: Network,
+    supernode: Supernode,
+    pairs: Sequence[Tuple[str, str]],
+    config: Optional[MeasurementConfig] = None,
+    wallet: Optional[Wallet] = None,
+    refresh: Optional[Callable[[], None]] = None,
+) -> ParallelProbeReport:
+    """Run ``measurePar`` ``config.repeats`` times and union the positives.
+
+    Between repeats the transient per-peer known-transaction state and the
+    observation log are cleared, ``refresh`` (typically pool churn, see
+    :func:`repro.netgen.workloads.refresh_mempools`) runs, and the source
+    configuration order is reshuffled so interference hits different edges.
+    """
+    config = config or MeasurementConfig()
+    shuffler = network.sim.rng.stream("parallel-shuffle")
+    merged = ParallelProbeReport(edges_probed=len(pairs))
+    best_outcome: Dict[Tuple[str, str], PairOutcome] = {}
+    remaining = list(pairs)
+    for attempt in range(config.repeats):
+        if not remaining:
+            break
+        report = measure_par(
+            network,
+            supernode,
+            remaining,
+            config,
+            wallet,
+            source_order_rng=shuffler if attempt > 0 else None,
+        )
+        merged.detected |= report.detected
+        merged.transactions_sent += report.transactions_sent
+        merged.seed_senders.extend(report.seed_senders)
+        merged.flood_senders.extend(report.flood_senders)
+        merged.y = report.y
+        for outcome in report.outcomes:
+            key = (outcome.source, outcome.sink)
+            previous = best_outcome.get(key)
+            if previous is None or (outcome.detected and not previous.detected):
+                best_outcome[key] = outcome
+        remaining = [
+            pair for pair in remaining if edge(*pair) not in merged.detected
+        ]
+        if remaining and attempt < config.repeats - 1:
+            supernode.clear_observations()
+            network.forget_known_transactions()
+            if refresh is not None:
+                refresh()
+    merged.outcomes = [best_outcome[(a, b)] for a, b in pairs if (a, b) in best_outcome]
+    return merged

@@ -1,0 +1,212 @@
+"""The serial measurement primitive ``measureOneLink`` (Section 5.2).
+
+Four steps, exactly as Figure 2a:
+
+1. plant ``txC`` (price ``Y``) on node A and wait X seconds for it to flood
+   the whole network;
+2. flood node B with Z future transactions priced ``(1+R)Y`` (evicting
+   ``txC`` there) immediately followed by ``txB`` priced ``(1-R/2)Y``;
+3. flood node A the same way, immediately followed by ``txA`` priced
+   ``(1+R/2)Y``;
+4. conclude A--B is an active link iff the measurement node receives
+   ``txA`` *from node B*.
+
+Isolation: txA's bump over txC is R/2 < R, so no other node ever accepts
+(or re-propagates) txA; its bump over txB is (1+R/2)/(1-R/2)-1 >= R, so B —
+and only B — replaces and forwards it.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.config import MeasurementConfig
+from repro.core.gas_estimator import estimate_y
+from repro.eth.account import Wallet
+from repro.eth.network import Network
+from repro.eth.supernode import Supernode
+from repro.eth.transaction import Transaction, TransactionFactory
+
+
+class LinkProbeOutcome(enum.Enum):
+    """Diagnosis of one serial probe."""
+
+    CONNECTED = "connected"
+    NOT_CONNECTED = "not_connected"
+    SETUP_FAILED_A = "setup_failed_a"  # txA never took hold on node A
+    SETUP_FAILED_B = "setup_failed_b"  # txB never took hold on node B
+
+
+@dataclass
+class ProbeReport:
+    """Everything observed while probing one directed pair A -> B."""
+
+    a: str
+    b: str
+    outcome: LinkProbeOutcome
+    y: int
+    tx_c_hash: str
+    tx_a_hash: str
+    tx_b_hash: str
+    flood_confirmed: bool
+    setup_a_ok: bool
+    setup_b_ok: bool
+    observed_at: Optional[float] = None
+    measurement_senders: List[str] = field(default_factory=list)
+
+    @property
+    def connected(self) -> bool:
+        return self.outcome is LinkProbeOutcome.CONNECTED
+
+
+def build_future_flood(
+    wallet: Wallet,
+    factory: TransactionFactory,
+    config: MeasurementConfig,
+    y: int,
+) -> List[Transaction]:
+    """Create the Z-transaction eviction flood, spread over ``ceil(Z/U)``
+    fresh accounts at price ``(1+R)Y`` (Step 2/3 of the primitive)."""
+    price = config.price_future(y)
+    accounts = wallet.fresh_accounts(config.flood_accounts, prefix="flood")
+    per_account = math.ceil(config.future_count / len(accounts))
+    flood: List[Transaction] = []
+    for account in accounts:
+        for index in range(per_account):
+            if len(flood) >= config.future_count:
+                break
+            flood.append(
+                factory.future(
+                    account,
+                    gas_price=price,
+                    nonce_gap=config.future_nonce_gap,
+                    index=index,
+                )
+            )
+    return flood
+
+
+def rebid(factory: TransactionFactory, original: Transaction, price: int) -> Transaction:
+    """Same sender and nonce as ``original`` at an explicit price."""
+    return Transaction(
+        sender=original.sender,
+        nonce=original.nonce,
+        gas_price=price,
+        gas_limit=original.gas_limit,
+        to=original.to,
+        value=original.value,
+    )
+
+
+def measure_one_link(
+    network: Network,
+    supernode: Supernode,
+    a_id: str,
+    b_id: str,
+    config: Optional[MeasurementConfig] = None,
+    wallet: Optional[Wallet] = None,
+) -> ProbeReport:
+    """Run one serial ``measureOneLink(A, B, X, Y, Z, R, U)`` probe.
+
+    The call advances the shared simulation by roughly
+    ``X + settle + propagation`` seconds and leaves flood transactions in
+    the targets' pools (as the real tool does; they are future transactions
+    and cost nothing, Section 5.2.2).
+    """
+    if a_id == b_id:
+        raise ValueError("cannot measure a node against itself")
+    if a_id in network.supernode_ids or b_id in network.supernode_ids:
+        raise ValueError("measurement infrastructure cannot be a target")
+    config = config or MeasurementConfig()
+    wallet = wallet or Wallet(f"toposhot-{network.sim.now:.3f}")
+    factory = TransactionFactory()
+
+    y = estimate_y(supernode, config)
+    senders: List[str] = []
+
+    # Step 1: plant txC on A; it floods to everyone, including B.
+    seed_account = wallet.fresh_account(prefix="seed")
+    senders.append(seed_account.address)
+    tx_c = factory.transfer(seed_account, gas_price=config.price_c(y))
+    supernode.send_transactions(a_id, [tx_c])
+    network.run(config.flood_wait)
+    flood_confirmed = supernode.observed_from(b_id, tx_c.hash)
+
+    # Step 2: evict txC on B and slot txB in its place.
+    flood_b = build_future_flood(wallet, factory, config, y)
+    senders.extend({tx.sender for tx in flood_b})
+    tx_b = rebid(factory, tx_c, config.price_b(y))
+    supernode.send_transactions(b_id, [*flood_b, tx_b])
+    network.run(config.settle_wait)
+
+    # Step 3: evict txC on A and slot txA in its place. The paper re-uses
+    # the same future set {txO1..txOZ} for both targets.
+    tx_a = rebid(factory, tx_c, config.price_a(y))
+    supernode.send_transactions(a_id, [*flood_b, tx_a])
+    network.run(config.propagation_wait)
+
+    # Step 4: did B demonstrably possess txA? Setup diagnostics use the
+    # eth_getTransactionByHash validation of Section 6.1 (a node never
+    # propagates a transaction back to the peer it came from, so M cannot
+    # verify its own injections through gossip).
+    setup_a_ok = tx_a.hash in network.node(a_id).mempool
+    setup_b_ok = (
+        tx_b.hash in network.node(b_id).mempool
+        or tx_a.hash in network.node(b_id).mempool
+    )
+    detected = supernode.observed_from(b_id, tx_a.hash)
+
+    if detected:
+        outcome = LinkProbeOutcome.CONNECTED
+    elif not setup_a_ok:
+        outcome = LinkProbeOutcome.SETUP_FAILED_A
+    elif not setup_b_ok:
+        outcome = LinkProbeOutcome.SETUP_FAILED_B
+    else:
+        outcome = LinkProbeOutcome.NOT_CONNECTED
+
+    return ProbeReport(
+        a=a_id,
+        b=b_id,
+        outcome=outcome,
+        y=y,
+        tx_c_hash=tx_c.hash,
+        tx_a_hash=tx_a.hash,
+        tx_b_hash=tx_b.hash,
+        flood_confirmed=flood_confirmed,
+        setup_a_ok=setup_a_ok,
+        setup_b_ok=setup_b_ok,
+        observed_at=supernode.first_observation_time(b_id, tx_a.hash),
+        measurement_senders=senders,
+    )
+
+
+def measure_link_with_repeats(
+    network: Network,
+    supernode: Supernode,
+    a_id: str,
+    b_id: str,
+    config: Optional[MeasurementConfig] = None,
+    wallet: Optional[Wallet] = None,
+    refresh: Optional[Callable[[], None]] = None,
+) -> List[ProbeReport]:
+    """Run the primitive ``config.repeats`` times (Section 6.1 runs each
+    pair three times and takes the union of positives), clearing transient
+    observation state — and running ``refresh`` (pool churn) — between
+    runs."""
+    config = config or MeasurementConfig()
+    reports: List[ProbeReport] = []
+    for _ in range(config.repeats):
+        reports.append(
+            measure_one_link(network, supernode, a_id, b_id, config, wallet)
+        )
+        if reports[-1].connected:
+            break  # union semantics: one positive settles the question
+        supernode.clear_observations()
+        network.forget_known_transactions()
+        if refresh is not None:
+            refresh()
+    return reports

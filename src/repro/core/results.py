@@ -1,0 +1,161 @@
+"""Result containers and precision/recall scoring.
+
+The paper validates TopoShot against ground truth available on locally
+controlled nodes (Section 6.1, Appendix B); in the simulator the ground
+truth is the network's true link set, so every measurement can be scored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+import networkx as nx
+
+Edge = FrozenSet[str]
+
+
+def edge(a: str, b: str) -> Edge:
+    """Canonical undirected edge key."""
+    return frozenset((a, b))
+
+
+@dataclass(frozen=True)
+class ValidationScore:
+    """Precision/recall of a measured edge set against ground truth."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        """1.0 on an empty measurement (no false claims were made)."""
+        claimed = self.true_positives + self.false_positives
+        return 1.0 if claimed == 0 else self.true_positives / claimed
+
+    @property
+    def recall(self) -> float:
+        """1.0 when there was nothing to find."""
+        actual = self.true_positives + self.false_negatives
+        return 1.0 if actual == 0 else self.true_positives / actual
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 0.0 if p + r == 0 else 2 * p * r / (p + r)
+
+    def __str__(self) -> str:
+        return (
+            f"precision={self.precision:.3f} recall={self.recall:.3f} "
+            f"(tp={self.true_positives}, fp={self.false_positives}, "
+            f"fn={self.false_negatives})"
+        )
+
+
+def score_edges(measured: Iterable[Edge], truth: Iterable[Edge]) -> ValidationScore:
+    """Score measured undirected edges against the true link set."""
+    measured_set = set(measured)
+    truth_set = set(truth)
+    tp = len(measured_set & truth_set)
+    return ValidationScore(
+        true_positives=tp,
+        false_positives=len(measured_set - truth_set),
+        false_negatives=len(truth_set - measured_set),
+    )
+
+
+@dataclass
+class LinkResult:
+    """Outcome of measuring one candidate link, over one or more repeats."""
+
+    a: str
+    b: str
+    connected: bool
+    attempts: int = 1
+    positive_attempts: int = 0
+    details: List[object] = field(default_factory=list)
+
+    @property
+    def edge(self) -> Edge:
+        return edge(self.a, self.b)
+
+
+@dataclass
+class NetworkMeasurement:
+    """A measured topology snapshot plus metadata and optional validation."""
+
+    node_ids: List[str]
+    edges: Set[Edge] = field(default_factory=set)
+    iterations: int = 0
+    sim_time_start: float = 0.0
+    sim_time_end: float = 0.0
+    transactions_sent: int = 0
+    score: Optional[ValidationScore] = None
+    setup_failures: int = 0
+    skipped_nodes: List[str] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Simulated measurement duration in seconds (Table 7's column)."""
+        return self.sim_time_end - self.sim_time_start
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The measured overlay as a networkx graph."""
+        g = nx.Graph()
+        g.add_nodes_from(self.node_ids)
+        for e in self.edges:
+            a, b = tuple(e)
+            g.add_edge(a, b)
+        return g
+
+    def add_edges(self, edges: Iterable[Edge]) -> None:
+        self.edges.update(edges)
+
+    def validate_against(self, truth: Iterable[Edge]) -> ValidationScore:
+        """Score and cache precision/recall against ground truth."""
+        self.score = score_edges(self.edges, truth)
+        return self.score
+
+    def degree_histogram(self) -> Dict[int, int]:
+        """Node-degree histogram of the measured graph (Figures 6/8/9)."""
+        histogram: Dict[int, int] = {}
+        for _, degree in self.graph.degree():
+            histogram[degree] = histogram.get(degree, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def summary(self) -> str:
+        lines = [
+            f"nodes measured : {len(self.node_ids)}",
+            f"edges detected : {len(self.edges)}",
+            f"iterations     : {self.iterations}",
+            f"sim duration   : {self.duration:.1f} s",
+        ]
+        if self.score is not None:
+            lines.append(f"validation     : {self.score}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PairOutcome:
+    """Per-pair record inside a parallel iteration (for diagnostics)."""
+
+    source: str
+    sink: str
+    detected: bool
+    setup_ok: bool
+    tx_a_hash: str = ""
+    observed_at: Optional[float] = None
+
+    @property
+    def edge(self) -> Edge:
+        return edge(self.source, self.sink)
+
+
+def union_results(results: Iterable[Set[Edge]]) -> Set[Edge]:
+    """Union of repeated measurements (the paper's passive recall fix)."""
+    merged: Set[Edge] = set()
+    for result in results:
+        merged |= result
+    return merged

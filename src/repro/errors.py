@@ -1,0 +1,72 @@
+"""Exception hierarchy for the TopoShot reproduction package.
+
+All package-specific exceptions derive from :class:`ReproError` so callers can
+catch everything raised by this library with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was driven into an invalid state."""
+
+
+class ScheduleInPastError(SimulationError):
+    """An event was scheduled before the current simulation time."""
+
+
+class NetworkError(ReproError):
+    """Invalid network construction or wiring (unknown node, bad link...)."""
+
+
+class UnknownNodeError(NetworkError):
+    """A node id was referenced that is not part of the network."""
+
+    def __init__(self, node_id: str) -> None:
+        super().__init__(f"unknown node id: {node_id!r}")
+        self.node_id = node_id
+
+
+class LinkExistsError(NetworkError):
+    """Attempted to connect two nodes that are already linked."""
+
+
+class NotConnectedError(NetworkError):
+    """An operation required a link between two nodes that does not exist."""
+
+
+class TransactionError(ReproError):
+    """Invalid transaction construction or signing."""
+
+
+class MempoolError(ReproError):
+    """Invalid mempool operation (not admission rejections, real misuse)."""
+
+
+class MeasurementError(ReproError):
+    """TopoShot measurement could not be carried out as requested."""
+
+
+class UnsupportedClientError(MeasurementError):
+    """The target runs a client TopoShot cannot measure (R == 0).
+
+    The paper (Section 5.1) shows that Nethermind and Aleth set the
+    replacement price bump R to zero, which removes the price band TopoShot
+    needs to enforce isolation; those clients are not measurable.
+    """
+
+
+class PreprocessError(MeasurementError):
+    """The pre-processing phase failed or rejected a target node."""
+
+
+class NonInterferenceViolation(MeasurementError):
+    """Conditions V1/V2 of the non-interference extension failed to hold."""
+
+
+class AnalysisError(ReproError):
+    """Graph analysis could not be computed (e.g. metrics on an empty graph)."""

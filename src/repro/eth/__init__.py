@@ -1,0 +1,60 @@
+"""Ethereum node substrate built from scratch for the TopoShot reproduction.
+
+This subpackage models everything TopoShot's correctness argument touches:
+
+- the account/nonce transaction model (:mod:`repro.eth.transaction`),
+- the parameterized mempool with replacement (R), per-account future limit
+  (U), eviction pending-floor (P) and capacity (L) exactly as Section 5.1 of
+  the paper describes (:mod:`repro.eth.mempool`),
+- the five real-client policy presets of Table 3 (:mod:`repro.eth.policies`),
+- push + announcement transaction propagation with per-peer known-tx
+  de-duplication (:mod:`repro.eth.node`),
+- gas-price-priority block production (:mod:`repro.eth.chain`,
+  :mod:`repro.eth.miner`),
+- Kademlia-style discovery exposing *inactive* neighbours via FIND_NODE
+  (:mod:`repro.eth.discovery`), and
+- a per-node RPC facade mirroring the queries the paper issues
+  (:mod:`repro.eth.rpc`).
+"""
+
+from repro.eth.account import Account, Wallet
+from repro.eth.chain import Block, Chain
+from repro.eth.mempool import AddOutcome, AddResult, Mempool
+from repro.eth.miner import Miner
+from repro.eth.network import Network
+from repro.eth.node import Node, NodeConfig
+from repro.eth.policies import (
+    ALETH,
+    BESU,
+    CLIENT_POLICIES,
+    GETH,
+    NETHERMIND,
+    PARITY,
+    MempoolPolicy,
+)
+from repro.eth.supernode import Supernode
+from repro.eth.transaction import DynamicFeeTransaction, Transaction
+
+__all__ = [
+    "ALETH",
+    "Account",
+    "AddOutcome",
+    "AddResult",
+    "BESU",
+    "Block",
+    "CLIENT_POLICIES",
+    "Chain",
+    "DynamicFeeTransaction",
+    "GETH",
+    "Mempool",
+    "MempoolPolicy",
+    "Miner",
+    "NETHERMIND",
+    "Network",
+    "Node",
+    "NodeConfig",
+    "PARITY",
+    "Supernode",
+    "Transaction",
+    "Wallet",
+]

@@ -1,0 +1,149 @@
+"""Blocks and the canonical chain.
+
+The simulator abstracts consensus away: there is a single canonical
+:class:`Chain` object, and miners append to it in simulation-time order.
+Nodes still *learn* about blocks through gossip, so mempool clean-up happens
+at realistic, per-node times.
+
+EIP-1559 base-fee dynamics (Appendix E) follow the real formula: the base
+fee moves by up to 1/8 per block toward matching a half-full gas target.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.eth.transaction import Transaction
+
+DEFAULT_BLOCK_GAS_LIMIT = 30_000_000
+BASE_FEE_MAX_CHANGE_DENOMINATOR = 8
+ELASTICITY_MULTIPLIER = 2
+
+
+@dataclass(frozen=True)
+class Block:
+    """One mined block."""
+
+    number: int
+    miner: str
+    timestamp: float
+    txs: Tuple[Transaction, ...]
+    gas_limit: int = DEFAULT_BLOCK_GAS_LIMIT
+    base_fee: int = 0
+    hash: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.hash:
+            material = f"{self.number}|{self.miner}|{self.timestamp}|" + ",".join(
+                tx.hash for tx in self.txs
+            )
+            object.__setattr__(
+                self,
+                "hash",
+                "0x" + hashlib.blake2b(material.encode(), digest_size=32).hexdigest(),
+            )
+
+    @property
+    def gas_used(self) -> int:
+        return sum(tx.gas_limit for tx in self.txs)
+
+    @property
+    def is_full(self) -> bool:
+        """Condition V1 of the non-interference extension: no room left for
+        even one more minimal transaction."""
+        from repro.eth.transaction import INTRINSIC_GAS
+
+        return self.gas_limit - self.gas_used < INTRINSIC_GAS
+
+    def min_included_price(self) -> Optional[int]:
+        """Lowest effective gas price among included transactions (for V2)."""
+        if not self.txs:
+            return None
+        return min(tx.effective_price(self.base_fee) for tx in self.txs)
+
+    def next_base_fee(self) -> int:
+        """EIP-1559 base-fee update rule."""
+        target = self.gas_limit // ELASTICITY_MULTIPLIER
+        if self.base_fee == 0:
+            return 0
+        if self.gas_used == target:
+            return self.base_fee
+        delta = self.gas_used - target
+        change = (
+            self.base_fee * abs(delta) // target // BASE_FEE_MAX_CHANGE_DENOMINATOR
+        )
+        if delta > 0:
+            return self.base_fee + max(change, 1)
+        return max(0, self.base_fee - change)
+
+    def __repr__(self) -> str:
+        return (
+            f"Block(#{self.number}, miner={self.miner}, txs={len(self.txs)}, "
+            f"gas={self.gas_used}/{self.gas_limit})"
+        )
+
+
+class Chain:
+    """The canonical ledger shared by all miners.
+
+    Tracks confirmed per-sender nonces and total fees, which the cost
+    accounting of Section 6.4 reads back.
+    """
+
+    def __init__(
+        self,
+        gas_limit: int = DEFAULT_BLOCK_GAS_LIMIT,
+        initial_base_fee: int = 0,
+    ) -> None:
+        self.blocks: List[Block] = []
+        self.gas_limit = gas_limit
+        self.base_fee = initial_base_fee
+        self.confirmed_nonces: Dict[str, int] = {}
+        self.included_hashes: set[str] = set()
+
+    @property
+    def height(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def head(self) -> Optional[Block]:
+        return self.blocks[-1] if self.blocks else None
+
+    def confirmed_nonce(self, sender: str) -> int:
+        return self.confirmed_nonces.get(sender, 0)
+
+    def append(self, miner: str, timestamp: float, txs: List[Transaction]) -> Block:
+        """Seal a block with the given transactions and advance state."""
+        block = Block(
+            number=self.height + 1,
+            miner=miner,
+            timestamp=timestamp,
+            txs=tuple(txs),
+            gas_limit=self.gas_limit,
+            base_fee=self.base_fee,
+        )
+        self.blocks.append(block)
+        for tx in txs:
+            current = self.confirmed_nonces.get(tx.sender, 0)
+            self.confirmed_nonces[tx.sender] = max(current, tx.nonce + 1)
+            self.included_hashes.add(tx.hash)
+        self.base_fee = block.next_base_fee()
+        return block
+
+    def is_included(self, tx_hash: str) -> bool:
+        return tx_hash in self.included_hashes
+
+    def fees_paid_by(self, sender_addresses: set[str]) -> int:
+        """Total wei paid in fees by a set of senders across all blocks."""
+        total = 0
+        for block in self.blocks:
+            for tx in block.txs:
+                if tx.sender in sender_addresses:
+                    total += tx.fee_paid_wei(base_fee=block.base_fee)
+        return total
+
+    def blocks_in_window(self, start: float, end: float) -> List[Block]:
+        """Blocks whose timestamps fall in ``[start, end]`` (for V1/V2)."""
+        return [b for b in self.blocks if start <= b.timestamp <= end]

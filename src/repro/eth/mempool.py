@@ -1,0 +1,530 @@
+"""The parameterized mempool of Section 5.1.
+
+A transaction of sender ``s`` is **pending** (executable) when the nonces of
+``s``'s transactions in the pool form a contiguous run starting at ``s``'s
+confirmed chain nonce and the transaction belongs to that run; otherwise it
+is a **future** transaction. Future transactions are buffered but never
+forwarded by well-behaved nodes.
+
+Admission of an incoming transaction ``tx1`` follows the paper's model:
+
+- same sender and nonce as a stored ``tx2``: **replacement** iff
+  ``price(tx1) >= (1 + R) * price(tx2)``;
+- otherwise, if the pool is full, **eviction** makes room:
+
+  - an incoming *future* transaction may evict the lowest-priced pending
+    transaction iff its price is higher, more than ``P`` pending
+    transactions are buffered, and the sender holds fewer than ``U``
+    transactions in the pool;
+  - an incoming *pending* transaction first evicts the lowest-priced future
+    transaction (executable work is worth more than queued work — this is
+    how ``txB`` at ``(1 - R/2) * Y`` enters a pool that TopoShot just filled
+    with ``(1 + R) * Y`` futures, making the Figure 2 workflow coherent;
+    real clients likewise shed queued transactions before executable ones);
+    lacking futures it falls back to the price rule against pending ones.
+
+EIP-1559 mode (Appendix E): the pool prices transactions by their max fee
+and drops transactions whose max fee falls below the block base fee.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import MempoolError
+from repro.eth.policies import GETH, MempoolPolicy
+from repro.eth.transaction import Transaction
+
+
+class AddOutcome(enum.Enum):
+    """Result category of offering one transaction to a mempool."""
+
+    ADMITTED_PENDING = "admitted_pending"
+    ADMITTED_FUTURE = "admitted_future"
+    REPLACED = "replaced"
+    REJECTED_KNOWN = "rejected_known"
+    REJECTED_STALE_NONCE = "rejected_stale_nonce"
+    REJECTED_UNDERPRICED_REPLACEMENT = "rejected_underpriced_replacement"
+    REJECTED_FUTURE_LIMIT = "rejected_future_limit"
+    REJECTED_POOL_FULL = "rejected_pool_full"
+    REJECTED_BASE_FEE = "rejected_base_fee"
+
+
+_ADMITTED = {
+    AddOutcome.ADMITTED_PENDING,
+    AddOutcome.ADMITTED_FUTURE,
+    AddOutcome.REPLACED,
+}
+
+
+@dataclass
+class AddResult:
+    """Everything that happened when a transaction was offered to the pool."""
+
+    tx: Transaction
+    outcome: AddOutcome
+    replaced: Optional[Transaction] = None
+    evicted: List[Transaction] = field(default_factory=list)
+    promoted: List[Transaction] = field(default_factory=list)
+    is_pending: bool = False
+
+    @property
+    def admitted(self) -> bool:
+        return self.outcome in _ADMITTED
+
+    @property
+    def propagatable(self) -> bool:
+        """Admitted *and* executable: only these are forwarded to peers."""
+        return self.admitted and self.is_pending
+
+
+NonceProvider = Callable[[str], int]
+
+
+class Mempool:
+    """An unconfirmed-transaction buffer governed by a :class:`MempoolPolicy`.
+
+    Parameters
+    ----------
+    policy:
+        The R/U/P/L parameter set (see :mod:`repro.eth.policies`).
+    confirmed_nonce:
+        Callable mapping a sender address to its confirmed chain nonce;
+        defaults to "0 for everyone", which suits standalone unit tests.
+    clock:
+        Callable returning the current time, used to timestamp admissions
+        for expiry handling. Defaults to a constant 0.
+    """
+
+    def __init__(
+        self,
+        policy: MempoolPolicy = GETH,
+        confirmed_nonce: Optional[NonceProvider] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.policy = policy
+        self._confirmed_nonce: NonceProvider = confirmed_nonce or (lambda sender: 0)
+        self._clock: Callable[[], float] = clock or (lambda: 0.0)
+        self.base_fee: int = 0
+
+        self._by_hash: Dict[str, Transaction] = {}
+        self._by_sender: Dict[str, Dict[int, Transaction]] = {}
+        self._pending: Set[str] = set()
+        self._future: Set[str] = set()
+        self._added_at: Dict[str, float] = {}
+        self._seq = itertools.count()
+        # Lazy min-heaps keyed by (price, seq); entries are validated on pop.
+        self._pending_heap: List[Tuple[int, int, str]] = []
+        self._future_heap: List[Tuple[int, int, str]] = []
+
+        # Counters exposed for tests and experiment bookkeeping.
+        self.stats: Dict[str, int] = {outcome.value: 0 for outcome in AddOutcome}
+        self.stats["evictions"] = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._by_hash)
+
+    def __contains__(self, tx_hash: str) -> bool:
+        return tx_hash in self._by_hash
+
+    def get(self, tx_hash: str) -> Optional[Transaction]:
+        """Transaction by hash, or None (mirrors eth_getTransactionByHash)."""
+        return self._by_hash.get(tx_hash)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def future_count(self) -> int:
+        return len(self._future)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._by_hash) >= self.policy.capacity
+
+    @property
+    def free_slots(self) -> int:
+        return max(0, self.policy.capacity - len(self._by_hash))
+
+    def is_pending(self, tx_hash: str) -> bool:
+        return tx_hash in self._pending
+
+    def is_future(self, tx_hash: str) -> bool:
+        return tx_hash in self._future
+
+    def pending_transactions(self) -> List[Transaction]:
+        """All executable transactions (unordered)."""
+        return [self._by_hash[h] for h in self._pending]
+
+    def future_transactions(self) -> List[Transaction]:
+        """All non-executable transactions (unordered)."""
+        return [self._by_hash[h] for h in self._future]
+
+    def all_transactions(self) -> List[Transaction]:
+        return list(self._by_hash.values())
+
+    def sender_transaction(self, sender: str, nonce: int) -> Optional[Transaction]:
+        """The stored transaction occupying (sender, nonce), if any."""
+        return self._by_sender.get(sender, {}).get(nonce)
+
+    def sender_count(self, sender: str) -> int:
+        """How many transactions from ``sender`` are buffered."""
+        return len(self._by_sender.get(sender, {}))
+
+    def pending_prices(self) -> List[int]:
+        """Bid prices of all pending transactions (unsorted)."""
+        return [self._by_hash[h].bid_price(self.base_fee) for h in self._pending]
+
+    def median_pending_price(self) -> Optional[int]:
+        """Median bid price over pending transactions (Y estimation, §5.2.1)."""
+        prices = sorted(self.pending_prices())
+        if not prices:
+            return None
+        mid = len(prices) // 2
+        if len(prices) % 2 == 1:
+            return prices[mid]
+        return (prices[mid - 1] + prices[mid]) // 2
+
+    def pending_by_price_desc(self) -> List[Transaction]:
+        """Pending transactions ordered best-paying first (miner's view).
+
+        Within one sender the nonce order is preserved, since a later nonce
+        cannot be mined before an earlier one.
+        """
+        txs = [self._by_hash[h] for h in self._pending]
+        txs.sort(key=lambda tx: (-tx.effective_price(self.base_fee), tx.sender, tx.nonce))
+        # Stable fix-up: enforce per-sender nonce order.
+        seen_nonce: Dict[str, int] = {}
+        ordered: List[Transaction] = []
+        deferred: Dict[str, List[Transaction]] = {}
+        for tx in txs:
+            expected = seen_nonce.get(tx.sender, self._confirmed_nonce(tx.sender))
+            if tx.nonce == expected:
+                ordered.append(tx)
+                seen_nonce[tx.sender] = expected + 1
+                queue = deferred.get(tx.sender, [])
+                while queue and queue[0].nonce == seen_nonce[tx.sender]:
+                    ready = queue.pop(0)
+                    ordered.append(ready)
+                    seen_nonce[tx.sender] += 1
+            else:
+                deferred.setdefault(tx.sender, []).append(tx)
+                deferred[tx.sender].sort(key=lambda t: t.nonce)
+        return ordered
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def add(self, tx: Transaction) -> AddResult:
+        """Offer one transaction to the pool and apply the policy."""
+        result = self._add_inner(tx)
+        self.stats[result.outcome.value] += 1
+        self.stats["evictions"] += len(result.evicted)
+        return result
+
+    def _add_inner(self, tx: Transaction) -> AddResult:
+        if tx.hash in self._by_hash:
+            return AddResult(tx, AddOutcome.REJECTED_KNOWN)
+
+        confirmed = self._confirmed_nonce(tx.sender)
+        if tx.nonce < confirmed:
+            return AddResult(tx, AddOutcome.REJECTED_STALE_NONCE)
+
+        if self.policy.enforce_base_fee and tx.is_underpriced_for_base_fee(
+            self.base_fee
+        ):
+            return AddResult(tx, AddOutcome.REJECTED_BASE_FEE)
+
+        bid = tx.bid_price(self.base_fee)
+
+        # --- Replacement path: a stored transaction occupies (sender, nonce).
+        occupant = self.sender_transaction(tx.sender, tx.nonce)
+        if occupant is not None:
+            if not self.policy.replacement_allowed(
+                occupant.bid_price(self.base_fee), bid
+            ):
+                return AddResult(
+                    tx, AddOutcome.REJECTED_UNDERPRICED_REPLACEMENT, replaced=None
+                )
+            self._remove(occupant.hash)
+            self._insert(tx)
+            promoted = self._rebalance_sender(tx.sender)
+            return AddResult(
+                tx,
+                AddOutcome.REPLACED,
+                replaced=occupant,
+                promoted=[p for p in promoted if p.hash != tx.hash],
+                is_pending=tx.hash in self._pending,
+            )
+
+        will_be_pending = self._would_be_pending(tx, confirmed)
+
+        # --- Per-account future limit U.
+        if not will_be_pending:
+            limit = self.policy.future_limit_per_account
+            if limit is not None and self.sender_count(tx.sender) >= limit:
+                return AddResult(tx, AddOutcome.REJECTED_FUTURE_LIMIT)
+
+        # --- Eviction path when the pool is full.
+        evicted: List[Transaction] = []
+        if self.is_full:
+            victim = self._select_victim(will_be_pending, bid)
+            if victim is None:
+                return AddResult(tx, AddOutcome.REJECTED_POOL_FULL)
+            self._remove(victim.hash)
+            self._rebalance_sender(victim.sender)
+            evicted.append(victim)
+
+        self._insert(tx)
+        promoted = self._rebalance_sender(tx.sender)
+        is_pending = tx.hash in self._pending
+        outcome = (
+            AddOutcome.ADMITTED_PENDING if is_pending else AddOutcome.ADMITTED_FUTURE
+        )
+        return AddResult(
+            tx,
+            outcome,
+            evicted=evicted,
+            promoted=[p for p in promoted if p.hash != tx.hash],
+            is_pending=is_pending,
+        )
+
+    def _would_be_pending(self, tx: Transaction, confirmed: int) -> bool:
+        """Would ``tx`` be executable immediately after insertion?"""
+        nonces = self._by_sender.get(tx.sender, {})
+        nonce = confirmed
+        while True:
+            if nonce == tx.nonce:
+                return True
+            if nonce not in nonces:
+                return False
+            nonce += 1
+
+    def _select_victim(
+        self, incoming_is_pending: bool, incoming_bid: int
+    ) -> Optional[Transaction]:
+        """Pick the transaction a full pool sheds for the incoming one."""
+        if incoming_is_pending:
+            future_victim = self._peek_lowest(self._future_heap, self._future)
+            if future_victim is not None:
+                return future_victim
+            return self._pending_victim(incoming_bid)
+        # Incoming future transactions may only displace pending ones
+        # (the paper's eviction template), and only above the P floor.
+        return self._pending_victim(incoming_bid)
+
+    def _pending_victim(self, incoming_bid: int) -> Optional[Transaction]:
+        if self.pending_count <= self.policy.eviction_pending_floor:
+            return None
+        victim = self._peek_lowest(self._pending_heap, self._pending)
+        if victim is None:
+            return None
+        if victim.bid_price(self.base_fee) >= incoming_bid:
+            return None
+        return victim
+
+    def _peek_lowest(
+        self, heap: List[Tuple[int, int, str]], live: Set[str]
+    ) -> Optional[Transaction]:
+        """Lowest-priced live transaction in a lazy heap."""
+        while heap:
+            _, _, tx_hash = heap[0]
+            if tx_hash in live:
+                return self._by_hash[tx_hash]
+            heapq.heappop(heap)
+        return None
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def _insert(self, tx: Transaction) -> None:
+        self._by_hash[tx.hash] = tx
+        self._by_sender.setdefault(tx.sender, {})[tx.nonce] = tx
+        self._added_at[tx.hash] = self._clock()
+
+    def _remove(self, tx_hash: str) -> Transaction:
+        tx = self._by_hash.pop(tx_hash)
+        sender_txs = self._by_sender[tx.sender]
+        del sender_txs[tx.nonce]
+        if not sender_txs:
+            del self._by_sender[tx.sender]
+        self._pending.discard(tx_hash)
+        self._future.discard(tx_hash)
+        self._added_at.pop(tx_hash, None)
+        return tx
+
+    def _rebalance_sender(self, sender: str) -> List[Transaction]:
+        """Recompute pending/future split for one sender.
+
+        Returns transactions newly *promoted* to pending (they must be
+        propagated by the owning node, like Geth's promoteExecutables).
+        """
+        nonces = self._by_sender.get(sender)
+        promoted: List[Transaction] = []
+        if not nonces:
+            return promoted
+        confirmed = self._confirmed_nonce(sender)
+        pending_run: Set[str] = set()
+        nonce = confirmed
+        while nonce in nonces:
+            pending_run.add(nonces[nonce].hash)
+            nonce += 1
+        for tx in nonces.values():
+            currently_pending = tx.hash in self._pending
+            should_be_pending = tx.hash in pending_run
+            if should_be_pending and not currently_pending:
+                self._future.discard(tx.hash)
+                self._pending.add(tx.hash)
+                heapq.heappush(
+                    self._pending_heap,
+                    (tx.bid_price(self.base_fee), next(self._seq), tx.hash),
+                )
+                promoted.append(tx)
+            elif not should_be_pending and currently_pending:
+                self._pending.discard(tx.hash)
+                self._future.add(tx.hash)
+                heapq.heappush(
+                    self._future_heap,
+                    (tx.bid_price(self.base_fee), next(self._seq), tx.hash),
+                )
+            elif tx.hash not in self._pending and tx.hash not in self._future:
+                # Fresh insertion.
+                if should_be_pending:
+                    self._pending.add(tx.hash)
+                    heapq.heappush(
+                        self._pending_heap,
+                        (tx.bid_price(self.base_fee), next(self._seq), tx.hash),
+                    )
+                    promoted.append(tx)
+                else:
+                    self._future.add(tx.hash)
+                    heapq.heappush(
+                        self._future_heap,
+                        (tx.bid_price(self.base_fee), next(self._seq), tx.hash),
+                    )
+        return promoted
+
+    # ------------------------------------------------------------------
+    # Chain events
+    # ------------------------------------------------------------------
+    def remove_transaction(self, tx_hash: str) -> Optional[Transaction]:
+        """Explicitly drop a transaction (test hook / RPC txpool eviction)."""
+        if tx_hash not in self._by_hash:
+            return None
+        tx = self._remove(tx_hash)
+        self._rebalance_sender(tx.sender)
+        return tx
+
+    def apply_block(
+        self, included: Iterable[Transaction], new_base_fee: Optional[int] = None
+    ) -> List[Transaction]:
+        """Process a mined block: drop included and stale transactions.
+
+        The caller must have advanced the confirmed-nonce provider first.
+        Returns every transaction dropped from the pool. If ``new_base_fee``
+        is given and the policy enforces base fees, under-priced
+        transactions are dropped as well (Appendix E).
+        """
+        dropped: List[Transaction] = []
+        touched_senders: Set[str] = set()
+        for tx in included:
+            touched_senders.add(tx.sender)
+            if tx.hash in self._by_hash:
+                dropped.append(self._remove(tx.hash))
+        # Drop now-stale nonces of every touched sender.
+        for sender in touched_senders:
+            confirmed = self._confirmed_nonce(sender)
+            stale = [
+                tx
+                for nonce, tx in self._by_sender.get(sender, {}).items()
+                if nonce < confirmed
+            ]
+            for tx in stale:
+                dropped.append(self._remove(tx.hash))
+            self._rebalance_sender(sender)
+        if new_base_fee is not None:
+            self.base_fee = new_base_fee
+            if self.policy.enforce_base_fee:
+                dropped.extend(self._drop_underpriced(new_base_fee))
+        return dropped
+
+    def _drop_underpriced(self, base_fee: int) -> List[Transaction]:
+        doomed = [
+            tx
+            for tx in self._by_hash.values()
+            if tx.is_underpriced_for_base_fee(base_fee)
+        ]
+        for tx in doomed:
+            self._remove(tx.hash)
+        for sender in {tx.sender for tx in doomed}:
+            self._rebalance_sender(sender)
+        return doomed
+
+    def clear(self) -> int:
+        """Drop every buffered transaction; returns how many were dropped.
+
+        Used by experiment harnesses to model organic pool churn (mining,
+        expiry, new traffic) compressed into an instant between measurement
+        iterations.
+        """
+        dropped = len(self._by_hash)
+        self._by_hash.clear()
+        self._by_sender.clear()
+        self._pending.clear()
+        self._future.clear()
+        self._added_at.clear()
+        self._pending_heap.clear()
+        self._future_heap.clear()
+        return dropped
+
+    def evict_expired(self, now: float) -> List[Transaction]:
+        """Drop transactions older than the policy expiry ``e`` (3h in Geth)."""
+        cutoff = now - self.policy.expiry_seconds
+        doomed = [
+            self._by_hash[h]
+            for h, added in self._added_at.items()
+            if added < cutoff
+        ]
+        for tx in doomed:
+            self._remove(tx.hash)
+        for sender in {tx.sender for tx in doomed}:
+            self._rebalance_sender(sender)
+        return doomed
+
+    # ------------------------------------------------------------------
+    # Consistency check (used by property-based tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise :class:`MempoolError` if internal state is inconsistent."""
+        if len(self._by_hash) > self.policy.capacity:
+            raise MempoolError("pool exceeds capacity L")
+        if self._pending & self._future:
+            raise MempoolError("transaction both pending and future")
+        if set(self._by_hash) != self._pending | self._future:
+            raise MempoolError("pending/future sets do not cover the pool")
+        for sender, nonces in self._by_sender.items():
+            confirmed = self._confirmed_nonce(sender)
+            run = confirmed
+            while run in nonces:
+                if nonces[run].hash not in self._pending:
+                    raise MempoolError(
+                        f"tx {nonces[run].short_hash()} in pending run but "
+                        "not marked pending"
+                    )
+                run += 1
+            for nonce, tx in nonces.items():
+                if nonce >= run and tx.hash not in self._future:
+                    raise MempoolError(
+                        f"tx {tx.short_hash()} beyond pending run but not "
+                        "marked future"
+                    )
+                if nonce < confirmed:
+                    raise MempoolError("stale nonce retained")

@@ -1,0 +1,218 @@
+"""Network container: nodes, links, message transport and ground truth.
+
+The :class:`Network` owns the simulator, the latency model and the canonical
+chain, wires nodes together, and — because it knows the true overlay graph —
+provides the ground truth against which TopoShot's measured topology is
+scored (the simulator-equivalent of the paper's local-node validation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+import networkx as nx
+
+from repro.errors import LinkExistsError, NetworkError, NotConnectedError, UnknownNodeError
+from repro.eth.chain import Chain
+from repro.eth.messages import Message
+from repro.eth.node import Node, NodeConfig
+from repro.sim.engine import Simulator
+from repro.sim.latency import LatencyModel, UniformLatency
+
+
+class Network:
+    """A simulated Ethereum P2P network (one blockchain overlay).
+
+    Parameters
+    ----------
+    sim:
+        Discrete-event engine; a fresh one is created from ``seed`` if
+        omitted.
+    latency:
+        One-way link latency model (default: uniform 20-120 ms).
+    chain:
+        Canonical chain shared by the network's miners.
+    """
+
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        latency: Optional[LatencyModel] = None,
+        chain: Optional[Chain] = None,
+        seed: int = 0,
+    ) -> None:
+        self.sim = sim or Simulator(seed=seed)
+        self.latency = latency or UniformLatency()
+        self.chain = chain or Chain()
+        self.nodes: Dict[str, Node] = {}
+        self._links: Set[FrozenSet[str]] = set()
+        self._latency_rng = self.sim.rng.stream("latency")
+        self.supernode_ids: Set[str] = set()
+        self.messages_sent = 0
+        self.messages_by_kind: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Node management
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node, supernode: bool = False) -> Node:
+        """Attach a node; ``supernode`` marks measurement infrastructure
+        excluded from ground-truth graphs."""
+        if node.id in self.nodes:
+            raise NetworkError(f"duplicate node id {node.id!r}")
+        node.network = self
+        self.nodes[node.id] = node
+        if supernode:
+            self.supernode_ids.add(node.id)
+        return node
+
+    def create_node(
+        self, node_id: str, config: Optional[NodeConfig] = None
+    ) -> Node:
+        """Create, attach and return a plain node."""
+        return self.add_node(Node(node_id, self.sim, config))
+
+    def node(self, node_id: str) -> Node:
+        if node_id not in self.nodes:
+            raise UnknownNodeError(node_id)
+        return self.nodes[node_id]
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self.nodes
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def node_ids(self) -> List[str]:
+        return list(self.nodes)
+
+    def measurable_node_ids(self) -> List[str]:
+        """All non-supernode node ids."""
+        return [nid for nid in self.nodes if nid not in self.supernode_ids]
+
+    # ------------------------------------------------------------------
+    # Links
+    # ------------------------------------------------------------------
+    def connect(self, a: str, b: str, force: bool = False) -> None:
+        """Create the active link a--b.
+
+        Without ``force``, both endpoints must have a free peer slot.
+        Supernodes connect with ``force=True`` (the paper's measurement node
+        "is set up without bounds on its neighbors").
+        """
+        if a == b:
+            raise NetworkError("cannot connect a node to itself")
+        node_a, node_b = self.node(a), self.node(b)
+        link = frozenset((a, b))
+        if link in self._links:
+            raise LinkExistsError(f"link {a}--{b} already exists")
+        if not force and not (node_a.can_accept_peer() and node_b.can_accept_peer()):
+            raise NetworkError(f"no free peer slot for link {a}--{b}")
+        self._links.add(link)
+        node_a.add_peer(b)
+        node_b.add_peer(a)
+
+    def disconnect(self, a: str, b: str) -> None:
+        link = frozenset((a, b))
+        if link not in self._links:
+            raise NotConnectedError(f"no link {a}--{b}")
+        self._links.remove(link)
+        self.node(a).remove_peer(b)
+        self.node(b).remove_peer(a)
+
+    def are_connected(self, a: str, b: str) -> bool:
+        return frozenset((a, b)) in self._links
+
+    def neighbors(self, node_id: str) -> List[str]:
+        return self.node(node_id).peer_ids
+
+    @property
+    def link_count(self) -> int:
+        return len(self._links)
+
+    def links(self) -> List[FrozenSet[str]]:
+        return list(self._links)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def send(self, from_id: str, to_id: str, msg: Message) -> None:
+        """Deliver ``msg`` over the link after a sampled latency."""
+        if to_id not in self.nodes:
+            raise UnknownNodeError(to_id)
+        if not self.are_connected(from_id, to_id):
+            raise NotConnectedError(
+                f"{from_id} is not connected to {to_id}; cannot send {msg.kind}"
+            )
+        self.messages_sent += 1
+        self.messages_by_kind[msg.kind] = self.messages_by_kind.get(msg.kind, 0) + 1
+        delay = self.latency(self._latency_rng, from_id, to_id)
+        target = self.nodes[to_id]
+        self.sim.schedule(
+            delay,
+            lambda: target.handle_message(from_id, msg),
+            label=f"{msg.kind}:{from_id}->{to_id}",
+        )
+
+    # ------------------------------------------------------------------
+    # Simulation control
+    # ------------------------------------------------------------------
+    def run(self, duration: float) -> None:
+        """Advance the simulation by ``duration`` seconds."""
+        self.sim.run_for(duration)
+
+    def settle(self, max_events: Optional[int] = None) -> None:
+        """Run until the event queue drains (network quiescent)."""
+        self.sim.run(max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # Ground truth & hygiene
+    # ------------------------------------------------------------------
+    def ground_truth_graph(self, include_supernodes: bool = False) -> nx.Graph:
+        """The true overlay graph (the hidden information TopoShot infers)."""
+        graph = nx.Graph()
+        for node_id in self.nodes:
+            if include_supernodes or node_id not in self.supernode_ids:
+                graph.add_node(node_id)
+        for link in self._links:
+            a, b = tuple(link)
+            if include_supernodes or (
+                a not in self.supernode_ids and b not in self.supernode_ids
+            ):
+                graph.add_edge(a, b)
+        return graph
+
+    def ground_truth_edges(self) -> Set[FrozenSet[str]]:
+        """True measurable links (both endpoints non-supernode)."""
+        return {
+            link
+            for link in self._links
+            if not (link & self.supernode_ids)
+        }
+
+    def forget_known_transactions(self) -> None:
+        """Clear every node's per-peer known-tx sets.
+
+        Called between measurement iterations to bound memory; safe because
+        broadcasts only happen on admission events, never retroactively.
+        """
+        for node in self.nodes.values():
+            node.forget_known_transactions()
+
+    def total_mempool_size(self) -> int:
+        return sum(len(node.mempool) for node in self.nodes.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"Network(nodes={len(self.nodes)}, links={len(self._links)}, "
+            f"t={self.sim.now:.2f}s)"
+        )
+
+
+def fully_connect(network: Network, node_ids: Iterable[str]) -> None:
+    """Create every pairwise link among ``node_ids`` (test helper)."""
+    ids = list(node_ids)
+    for i, a in enumerate(ids):
+        for b in ids[i + 1 :]:
+            if not network.are_connected(a, b):
+                network.connect(a, b, force=True)

@@ -1,0 +1,367 @@
+"""A simulated Ethereum full node.
+
+Models exactly the behaviours TopoShot's correctness argument depends on
+(Sections 2 and 5 of the paper):
+
+- **push propagation**: an admitted *pending* transaction is pushed to a
+  subset of peers (all of them, or ``ceil(sqrt(n))`` like Geth >= 1.9.11)
+  and announced by hash to the rest;
+- **announcement protocol**: a peer receiving an announcement requests the
+  transaction unless it already has it or requested it within the last
+  ``announce_hold`` seconds (5 s in Geth);
+- **future transactions are buffered but never forwarded** (the non-default
+  ``forwards_future`` flag models the misbehaving testnet nodes the paper's
+  pre-processing phase filters out);
+- **per-peer known-transaction tracking** so a transaction is never pushed
+  back to the peer it came from;
+- **batched broadcast**: outgoing pushes are flushed every
+  ``broadcast_interval`` seconds in one ``Transactions`` packet per peer,
+  like Geth's broadcast loop.
+
+Blocks are forwarded eagerly; on arrival a node advances its confirmed
+nonce view and prunes its mempool.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
+
+from repro.eth.chain import Block
+from repro.eth.mempool import AddResult, Mempool
+from repro.eth.messages import (
+    FindNode,
+    GetPooledTransactions,
+    Message,
+    Neighbors,
+    NewBlock,
+    NewPooledTransactionHashes,
+    PooledTransactions,
+    Status,
+    Transactions,
+)
+from repro.eth.policies import GETH, MempoolPolicy
+from repro.eth.transaction import Transaction
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.eth.network import Network
+
+TxObserver = Callable[[str, Transaction, AddResult], None]
+BlockObserver = Callable[[str, Block], None]
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Behavioural knobs of one node.
+
+    ``max_peers=None`` means unlimited (used by supernodes). The default of
+    50 active neighbours matches the Geth default quoted in the paper.
+    """
+
+    policy: MempoolPolicy = GETH
+    max_peers: Optional[int] = 50
+    push_to_all: bool = False
+    announce_only: bool = False  # Bitcoin-style: no direct pushes at all
+    announce_enabled: bool = True
+    announce_hold: float = 5.0
+    broadcast_interval: float = 0.02
+    relays_transactions: bool = True
+    forwards_future: bool = False
+    echoes_future_to_sender: bool = False  # Rinkeby quirk (Appendix D)
+    responds_to_rpc: bool = True
+    client_version: str = "Geth/v1.9.25-stable"
+    network_id: int = 1
+
+    def with_policy(self, policy: MempoolPolicy) -> "NodeConfig":
+        return replace(self, policy=policy)
+
+
+@dataclass
+class PeerState:
+    """Per-peer bookkeeping."""
+
+    peer_id: str
+    known_txs: Set[str] = field(default_factory=set)
+    known_blocks: Set[str] = field(default_factory=set)
+    connected_at: float = 0.0
+
+
+class Node:
+    """One Ethereum node attached to a :class:`~repro.eth.network.Network`."""
+
+    def __init__(
+        self,
+        node_id: str,
+        sim: Simulator,
+        config: Optional[NodeConfig] = None,
+    ) -> None:
+        self.id = node_id
+        self.sim = sim
+        self.config = config or NodeConfig()
+        self.network: Optional["Network"] = None
+        self.peers: Dict[str, PeerState] = {}
+        self.confirmed_nonces: Dict[str, int] = {}
+        self.head_number = 0
+        self.mempool = Mempool(
+            policy=self.config.policy,
+            confirmed_nonce=self.confirmed_nonce,
+            clock=lambda: self.sim.now,
+        )
+        self.routing_table: List[str] = []  # inactive neighbours (discovery)
+        self.tx_observers: List[TxObserver] = []
+        self.block_observers: List[BlockObserver] = []
+
+        self._rng = sim.rng.stream(f"node:{node_id}")
+        self._push_queue: Dict[str, List[Transaction]] = {}
+        self._announce_queue: Dict[str, List[str]] = {}
+        self._flush_scheduled = False
+        self._announce_requested: Dict[str, float] = {}  # hash -> hold expiry
+        self._seen_blocks: Set[str] = set()
+        # Client versions learned from DevP2P Status handshakes; this is
+        # the public information the paper's service discovery matches
+        # frontend web3_clientVersion strings against (Section 6.3).
+        self.peer_versions: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Peers
+    # ------------------------------------------------------------------
+    def can_accept_peer(self) -> bool:
+        limit = self.config.max_peers
+        return limit is None or len(self.peers) < limit
+
+    def add_peer(self, peer_id: str) -> None:
+        if peer_id not in self.peers:
+            self.peers[peer_id] = PeerState(peer_id=peer_id, connected_at=self.sim.now)
+            if self.network is not None:
+                # DevP2P handshake: exchange Status with the new peer.
+                self._send(
+                    peer_id,
+                    Status(
+                        client_version=self.config.client_version,
+                        network_id=self.config.network_id,
+                        head_number=self.head_number,
+                    ),
+                )
+
+    def remove_peer(self, peer_id: str) -> None:
+        self.peers.pop(peer_id, None)
+        self._push_queue.pop(peer_id, None)
+        self._announce_queue.pop(peer_id, None)
+        self.peer_versions.pop(peer_id, None)
+
+    @property
+    def peer_ids(self) -> List[str]:
+        return list(self.peers)
+
+    @property
+    def degree(self) -> int:
+        return len(self.peers)
+
+    def knows(self, peer_id: str, tx_hash: str) -> bool:
+        """Does this node believe ``peer_id`` already has ``tx_hash``?"""
+        state = self.peers.get(peer_id)
+        return state is not None and tx_hash in state.known_txs
+
+    def _mark_known(self, peer_id: str, tx_hash: str) -> None:
+        state = self.peers.get(peer_id)
+        if state is not None:
+            state.known_txs.add(tx_hash)
+
+    def forget_known_transactions(self) -> None:
+        """Drop per-peer known-tx sets (between measurement iterations)."""
+        for state in self.peers.values():
+            state.known_txs.clear()
+        self._announce_requested.clear()
+
+    # ------------------------------------------------------------------
+    # Chain view
+    # ------------------------------------------------------------------
+    def confirmed_nonce(self, sender: str) -> int:
+        return self.confirmed_nonces.get(sender, 0)
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def handle_message(self, from_id: str, msg: Message) -> None:
+        """Entry point for all network deliveries."""
+        if isinstance(msg, (Transactions, PooledTransactions)):
+            for tx in msg.txs:
+                self.receive_transaction(from_id, tx)
+        elif isinstance(msg, NewPooledTransactionHashes):
+            self._handle_announcement(from_id, msg)
+        elif isinstance(msg, GetPooledTransactions):
+            self._handle_tx_request(from_id, msg)
+        elif isinstance(msg, NewBlock):
+            self.receive_block(from_id, msg.block)
+        elif isinstance(msg, FindNode):
+            self._send(from_id, Neighbors(node_ids=tuple(self.routing_table)))
+        elif isinstance(msg, Status):
+            self.peer_versions[from_id] = msg.client_version
+        elif isinstance(msg, Neighbors):
+            pass  # discovery responses carry no state at the base node
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unhandled message type {type(msg).__name__}")
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+    def receive_transaction(self, from_id: Optional[str], tx: Transaction) -> AddResult:
+        """Admit a transaction arriving from ``from_id`` (None = local RPC)."""
+        if from_id is not None:
+            self._mark_known(from_id, tx.hash)
+        result = self.mempool.add(tx)
+        for observer in self.tx_observers:
+            observer(from_id or "", tx, result)
+        if (
+            self.config.echoes_future_to_sender
+            and from_id is not None
+            and from_id in self.peers
+            and result.admitted
+            and not result.is_pending
+        ):
+            # The Rinkeby quirk the paper hit (Appendix D): "when our
+            # measurement node M sends future transactions to certain nodes
+            # in Rinkeby, these nodes return the same future transactions
+            # back to node M."
+            self._send(from_id, Transactions(txs=(tx,)))
+        if self.config.relays_transactions:
+            self._relay(result)
+        return result
+
+    def submit_transaction(self, tx: Transaction) -> AddResult:
+        """Local submission (eth_sendRawTransaction)."""
+        return self.receive_transaction(None, tx)
+
+    def _relay(self, result: AddResult) -> None:
+        to_broadcast: List[Transaction] = []
+        if result.propagatable:
+            to_broadcast.append(result.tx)
+        elif result.admitted and self.config.forwards_future:
+            # Misbehaving node: forwards future transactions (Section 6.2.1).
+            to_broadcast.append(result.tx)
+        to_broadcast.extend(result.promoted)
+        for tx in to_broadcast:
+            self.broadcast_transaction(tx)
+
+    def broadcast_transaction(self, tx: Transaction) -> None:
+        """Queue ``tx`` toward every peer not known to have it."""
+        unaware = [p for p, s in self.peers.items() if tx.hash not in s.known_txs]
+        if not unaware:
+            return
+        if self.config.announce_only:
+            # Bitcoin's propagation model (what TxProbe exploits): hashes
+            # first, bodies on request, never unsolicited pushes.
+            push_targets: List[str] = []
+            announce_targets = unaware
+        elif self.config.push_to_all or not self.config.announce_enabled:
+            push_targets = unaware
+            announce_targets = []
+        else:
+            self._rng.shuffle(unaware)
+            n_push = max(1, math.ceil(math.sqrt(len(self.peers))))
+            push_targets = unaware[:n_push]
+            announce_targets = unaware[n_push:]
+        for peer_id in push_targets:
+            self._mark_known(peer_id, tx.hash)
+            self._push_queue.setdefault(peer_id, []).append(tx)
+        for peer_id in announce_targets:
+            self._mark_known(peer_id, tx.hash)
+            self._announce_queue.setdefault(peer_id, []).append(tx.hash)
+        self._schedule_flush()
+
+    def _schedule_flush(self) -> None:
+        if self._flush_scheduled:
+            return
+        self._flush_scheduled = True
+        self.sim.schedule(
+            self.config.broadcast_interval, self._flush, label=f"flush:{self.id}"
+        )
+
+    def _flush(self) -> None:
+        self._flush_scheduled = False
+        push_queue, self._push_queue = self._push_queue, {}
+        announce_queue, self._announce_queue = self._announce_queue, {}
+        for peer_id, txs in push_queue.items():
+            if peer_id in self.peers:
+                self._send(peer_id, Transactions(txs=tuple(txs)))
+        for peer_id, hashes in announce_queue.items():
+            if peer_id in self.peers:
+                self._send(peer_id, NewPooledTransactionHashes(hashes=tuple(hashes)))
+
+    def _handle_announcement(
+        self, from_id: str, msg: NewPooledTransactionHashes
+    ) -> None:
+        wanted: List[str] = []
+        now = self.sim.now
+        for tx_hash in msg.hashes:
+            self._mark_known(from_id, tx_hash)
+            if tx_hash in self.mempool:
+                continue
+            # Within the hold window we do not respond to other
+            # announcements of the same transaction (Section 2).
+            if self._announce_requested.get(tx_hash, -1.0) > now:
+                continue
+            self._announce_requested[tx_hash] = now + self.config.announce_hold
+            wanted.append(tx_hash)
+        if wanted:
+            self._send(from_id, GetPooledTransactions(hashes=tuple(wanted)))
+
+    def _handle_tx_request(self, from_id: str, msg: GetPooledTransactions) -> None:
+        available = tuple(
+            tx
+            for tx_hash in msg.hashes
+            if (tx := self.mempool.get(tx_hash)) is not None
+        )
+        if available:
+            for tx in available:
+                self._mark_known(from_id, tx.hash)
+            self._send(from_id, PooledTransactions(txs=available))
+
+    # ------------------------------------------------------------------
+    # Blocks
+    # ------------------------------------------------------------------
+    def receive_block(self, from_id: Optional[str], block: Block) -> None:
+        """Process a gossiped (or locally mined) block."""
+        if from_id is not None:
+            state = self.peers.get(from_id)
+            if state is not None:
+                state.known_blocks.add(block.hash)
+        if block.hash in self._seen_blocks:
+            return
+        self._seen_blocks.add(block.hash)
+        if block.number > self.head_number:
+            self.head_number = block.number
+        for tx in block.txs:
+            current = self.confirmed_nonces.get(tx.sender, 0)
+            self.confirmed_nonces[tx.sender] = max(current, tx.nonce + 1)
+        new_base_fee = (
+            block.next_base_fee() if self.config.policy.enforce_base_fee else None
+        )
+        self.mempool.apply_block(block.txs, new_base_fee=new_base_fee)
+        for observer in self.block_observers:
+            observer(from_id or "", block)
+        # Eager block gossip to peers that have not seen it.
+        for peer_id, state in self.peers.items():
+            if block.hash not in state.known_blocks:
+                state.known_blocks.add(block.hash)
+                self._send(peer_id, NewBlock(block=block))
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def expire_transactions(self) -> List[Transaction]:
+        """Drop transactions older than the policy expiry (Geth's 3 h)."""
+        return self.mempool.evict_expired(self.sim.now)
+
+    def _send(self, to_id: str, msg: Message) -> None:
+        if self.network is None:
+            raise RuntimeError(f"node {self.id} is not attached to a network")
+        self.network.send(self.id, to_id, msg)
+
+    def __repr__(self) -> str:
+        return (
+            f"Node({self.id}, client={self.config.policy.name}, "
+            f"peers={len(self.peers)}, pool={len(self.mempool)})"
+        )

@@ -1,0 +1,116 @@
+"""Per-node RPC facade.
+
+Mirrors the queries the paper actually issues:
+
+- ``eth_getTransactionByHash`` — validation that ``txC`` was evicted (§6.1);
+- ``txpool_status`` / ``txpool_content`` — mempool inspection;
+- ``admin_peers`` — ground-truth neighbour list on locally controlled nodes
+  (the ``peer_list`` query of §5.2.3's pre-processing phase);
+- ``web3_clientVersion`` — service backend discovery on the mainnet (§6.3);
+- ``eth_sendRawTransaction`` — local submission.
+
+Nodes configured with ``responds_to_rpc=False`` model the unresponsive
+targets the pre-processing phase skips.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.eth.node import Node
+from repro.eth.transaction import Transaction
+
+
+class RpcUnavailableError(ReproError):
+    """The target node does not expose an RPC interface."""
+
+
+class RpcServer:
+    """Dispatches RPC method calls against one node."""
+
+    def __init__(self, node: Node) -> None:
+        self.node = node
+        self._methods = {
+            "web3_clientVersion": self._client_version,
+            "eth_getTransactionByHash": self._get_transaction,
+            "eth_blockNumber": self._block_number,
+            "eth_sendRawTransaction": self._send_raw_transaction,
+            "txpool_status": self._txpool_status,
+            "txpool_content": self._txpool_content,
+            "admin_peers": self._admin_peers,
+            "admin_nodeInfo": self._node_info,
+        }
+
+    @property
+    def methods(self) -> List[str]:
+        return sorted(self._methods)
+
+    def call(self, method: str, *params: Any) -> Any:
+        """Invoke ``method`` with ``params``.
+
+        Raises :class:`RpcUnavailableError` when the node has RPC disabled,
+        and :class:`KeyError` for unknown methods.
+        """
+        if not self.node.config.responds_to_rpc:
+            raise RpcUnavailableError(f"node {self.node.id} has RPC disabled")
+        if method not in self._methods:
+            raise KeyError(f"unknown RPC method {method!r}")
+        return self._methods[method](*params)
+
+    # ------------------------------------------------------------------
+    # Methods
+    # ------------------------------------------------------------------
+    def _client_version(self) -> str:
+        return self.node.config.client_version
+
+    def _get_transaction(self, tx_hash: str) -> Optional[Dict[str, Any]]:
+        tx = self.node.mempool.get(tx_hash)
+        if tx is None:
+            return None
+        return {
+            "hash": tx.hash,
+            "from": tx.sender,
+            "to": tx.to,
+            "nonce": tx.nonce,
+            "gasPrice": tx.gas_price,
+            "gas": tx.gas_limit,
+            "value": tx.value,
+            "pending": self.node.mempool.is_pending(tx.hash),
+        }
+
+    def _block_number(self) -> int:
+        return self.node.head_number
+
+    def _send_raw_transaction(self, tx: Transaction) -> str:
+        result = self.node.submit_transaction(tx)
+        if not result.admitted:
+            raise ReproError(f"transaction rejected: {result.outcome.value}")
+        return tx.hash
+
+    def _txpool_status(self) -> Dict[str, int]:
+        return {
+            "pending": self.node.mempool.pending_count,
+            "queued": self.node.mempool.future_count,
+        }
+
+    def _txpool_content(self) -> Dict[str, Dict[str, List[str]]]:
+        pending: Dict[str, List[str]] = {}
+        queued: Dict[str, List[str]] = {}
+        for tx in self.node.mempool.pending_transactions():
+            pending.setdefault(tx.sender, []).append(tx.hash)
+        for tx in self.node.mempool.future_transactions():
+            queued.setdefault(tx.sender, []).append(tx.hash)
+        return {"pending": pending, "queued": queued}
+
+    def _admin_peers(self) -> List[str]:
+        return self.node.peer_ids
+
+    def _node_info(self) -> Dict[str, Any]:
+        return {
+            "id": self.node.id,
+            "client": self.node.config.client_version,
+            "network": self.node.config.network_id,
+            "maxPeers": self.node.config.max_peers,
+            "activePeers": self.node.degree,
+        }

@@ -1,0 +1,132 @@
+"""Persistence for measurement results and graphs.
+
+A measurement tool is only useful if its output survives the run: this
+module serializes :class:`~repro.core.results.NetworkMeasurement` to JSON
+(round-trippable) and exports measured graphs in formats downstream
+tooling understands (edge list, GraphML, adjacency JSON, degree CSV).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+import networkx as nx
+
+from repro.core.results import NetworkMeasurement, ValidationScore
+from repro.errors import ReproError
+
+PathLike = Union[str, Path]
+
+FORMAT_VERSION = 1
+
+
+class SerializationError(ReproError):
+    """The file could not be parsed as a measurement."""
+
+
+def measurement_to_dict(measurement: NetworkMeasurement) -> dict:
+    """JSON-safe representation of a measurement."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "node_ids": list(measurement.node_ids),
+        "edges": sorted(sorted(edge) for edge in measurement.edges),
+        "iterations": measurement.iterations,
+        "sim_time_start": measurement.sim_time_start,
+        "sim_time_end": measurement.sim_time_end,
+        "transactions_sent": measurement.transactions_sent,
+        "setup_failures": measurement.setup_failures,
+        "skipped_nodes": list(measurement.skipped_nodes),
+    }
+    if measurement.score is not None:
+        payload["score"] = {
+            "true_positives": measurement.score.true_positives,
+            "false_positives": measurement.score.false_positives,
+            "false_negatives": measurement.score.false_negatives,
+        }
+    return payload
+
+
+def measurement_from_dict(payload: dict) -> NetworkMeasurement:
+    """Inverse of :func:`measurement_to_dict`."""
+    try:
+        version = payload["format_version"]
+        if version != FORMAT_VERSION:
+            raise SerializationError(
+                f"unsupported measurement format version {version}"
+            )
+        measurement = NetworkMeasurement(
+            node_ids=list(payload["node_ids"]),
+            iterations=int(payload["iterations"]),
+            sim_time_start=float(payload["sim_time_start"]),
+            sim_time_end=float(payload["sim_time_end"]),
+            transactions_sent=int(payload["transactions_sent"]),
+            setup_failures=int(payload.get("setup_failures", 0)),
+            skipped_nodes=list(payload.get("skipped_nodes", [])),
+        )
+        measurement.add_edges(
+            frozenset(edge) for edge in payload["edges"]
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed measurement payload: {exc}") from exc
+    score = payload.get("score")
+    if score is not None:
+        measurement.score = ValidationScore(
+            true_positives=score["true_positives"],
+            false_positives=score["false_positives"],
+            false_negatives=score["false_negatives"],
+        )
+    return measurement
+
+
+def save_measurement(measurement: NetworkMeasurement, path: PathLike) -> Path:
+    """Write a measurement to JSON; returns the path written."""
+    target = Path(path)
+    target.write_text(
+        json.dumps(measurement_to_dict(measurement), indent=2, sort_keys=True)
+        + "\n",
+        encoding="utf-8",
+    )
+    return target
+
+
+def load_measurement(path: PathLike) -> NetworkMeasurement:
+    """Read a measurement back from JSON."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"not valid JSON: {exc}") from exc
+    return measurement_from_dict(payload)
+
+
+def export_graph(graph: nx.Graph, path: PathLike, fmt: str = "edgelist") -> Path:
+    """Export a graph as ``edgelist``, ``graphml`` or adjacency ``json``."""
+    target = Path(path)
+    if fmt == "edgelist":
+        with target.open("w", encoding="utf-8") as handle:
+            for a, b in sorted(tuple(sorted(e)) for e in graph.edges()):
+                handle.write(f"{a} {b}\n")
+    elif fmt == "graphml":
+        nx.write_graphml(graph, target)
+    elif fmt == "json":
+        payload = {
+            "nodes": sorted(graph.nodes()),
+            "edges": sorted(sorted(e) for e in graph.edges()),
+        }
+        target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    else:
+        raise ValueError(f"unknown export format {fmt!r}")
+    return target
+
+
+def export_degree_csv(graph: nx.Graph, path: PathLike) -> Path:
+    """Write ``node,degree`` rows (for external plotting of Figures 6/8/9)."""
+    target = Path(path)
+    with target.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["node", "degree"])
+        for node in sorted(graph.nodes()):
+            writer.writerow([node, graph.degree(node)])
+    return target

@@ -1,0 +1,47 @@
+"""Topology and workload generation.
+
+- :mod:`repro.netgen.ethereum` -- discovery-driven Ethereum-like overlays
+  (the measured testnets' stand-ins) with heterogeneous node behaviours.
+- :mod:`repro.netgen.topology` -- classic random-graph baselines (ER,
+  configuration model, Barabasi-Albert) used by Tables 4/9/10.
+- :mod:`repro.netgen.workloads` -- background transactions: mempool
+  pre-fill and ongoing submission (the Section 6.2.1 trick for
+  under-loaded testnets).
+- :mod:`repro.netgen.services` -- mainnet-like overlays with critical
+  service backends (mining pools, relays) and biased neighbour selection.
+"""
+
+from repro.netgen.ethereum import (
+    NetworkSpec,
+    generate_network,
+    goerli_like,
+    quick_network,
+    rinkeby_like,
+    ropsten_like,
+)
+from repro.netgen.services import (
+    MainnetSpec,
+    ServiceDirectory,
+    discover_critical_nodes,
+    mainnet_like,
+)
+from repro.netgen.topology import ba_graph, configuration_model_graph, er_graph
+from repro.netgen.workloads import BackgroundWorkload, prefill_mempools
+
+__all__ = [
+    "BackgroundWorkload",
+    "MainnetSpec",
+    "NetworkSpec",
+    "ServiceDirectory",
+    "ba_graph",
+    "configuration_model_graph",
+    "discover_critical_nodes",
+    "er_graph",
+    "generate_network",
+    "goerli_like",
+    "mainnet_like",
+    "prefill_mempools",
+    "quick_network",
+    "rinkeby_like",
+    "ropsten_like",
+]

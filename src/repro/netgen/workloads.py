@@ -1,0 +1,159 @@
+"""Background transaction workloads.
+
+Two tools map to Section 6.2.1's field observations:
+
+- :func:`prefill_mempools` stuffs every pool with identically ordered
+  background transactions before a measurement, so pools are *full* (a
+  correctness precondition of the primitive) and the gas-price distribution
+  gives the median-Y estimate something to bite on;
+- :class:`BackgroundWorkload` keeps submitting transactions during a run —
+  the "launch another node that sends background transactions" trick that
+  keeps ``txC`` from being mined on under-loaded testnets, and keeps blocks
+  full for the non-interference conditions (V1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional
+
+from repro.eth.account import Wallet
+from repro.eth.network import Network
+from repro.eth.node import Node
+from repro.eth.transaction import Transaction, TransactionFactory, gwei
+from repro.sim.process import PeriodicProcess
+
+
+def _price_sample(rng, median_price: int, sigma: float) -> int:
+    """Lognormal gas price centred (in median) on ``median_price``."""
+    return max(1, int(rng.lognormvariate(math.log(median_price), sigma)))
+
+
+def prefill_mempools(
+    network: Network,
+    median_price: int = gwei(1.0),
+    sigma: float = 0.4,
+    count: Optional[int] = None,
+    include: Optional[Iterable[str]] = None,
+    wallet: Optional[Wallet] = None,
+) -> List[Transaction]:
+    """Fill every node's pool with a shared background-transaction list.
+
+    The same transactions in the same order go to every node (as if they
+    had propagated), so the price rank of any later measurement transaction
+    is consistent network-wide. Each transaction uses its own fresh account
+    at nonce 0, making all of them immediately pending. Insertion stops per
+    node once its pool is full. Returns the generated transactions.
+    """
+    rng = network.sim.rng.stream("prefill")
+    wallet = wallet or Wallet("background")
+    factory = TransactionFactory()
+    node_ids = list(include) if include is not None else network.node_ids
+    nodes: List[Node] = [network.node(nid) for nid in node_ids]
+    if count is None:
+        count = max(
+            (n.config.policy.capacity for n in nodes if n.config.policy.capacity < 10**5),
+            default=0,
+        )
+    txs = [
+        factory.transfer(
+            wallet.fresh_account(prefix="bg"),
+            gas_price=_price_sample(rng, median_price, sigma),
+        )
+        for _ in range(count)
+    ]
+    for node in nodes:
+        for tx in txs:
+            if node.mempool.is_full:
+                break
+            node.mempool.add(tx)
+    return txs
+
+
+def refresh_mempools(
+    network: Network,
+    median_price: int = gwei(1.0),
+    sigma: float = 0.4,
+    count: Optional[int] = None,
+    include: Optional[Iterable[str]] = None,
+    wallet: Optional[Wallet] = None,
+) -> List[Transaction]:
+    """Compressed organic churn: drop every pool's content and pre-fill anew.
+
+    On a live network, a measurement campaign's stale seed transactions
+    drain continuously — mined into blocks (they are priced at the pool
+    median), expired after ``e`` hours, or evicted by fresh traffic. A
+    simulated campaign compresses hours into seconds, so the drain must be
+    applied explicitly between iterations; without it, stale seeds clog
+    third-party pools until new seeds are rejected and isolation breaks.
+    """
+    node_ids = list(include) if include is not None else network.node_ids
+    for node_id in node_ids:
+        network.node(node_id).mempool.clear()
+    return prefill_mempools(
+        network,
+        median_price=median_price,
+        sigma=sigma,
+        count=count,
+        include=node_ids,
+        wallet=wallet,
+    )
+
+
+class BackgroundWorkload:
+    """Continuous transaction submission through random entry nodes.
+
+    Submissions go through :meth:`Node.submit_transaction`, so they
+    propagate normally and land in miners' pools.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        rate_per_second: float = 5.0,
+        median_price: int = gwei(1.0),
+        sigma: float = 0.4,
+        entry_nodes: Optional[List[str]] = None,
+        wallet: Optional[Wallet] = None,
+    ) -> None:
+        if rate_per_second <= 0:
+            raise ValueError("rate must be positive")
+        self.network = network
+        self.median_price = median_price
+        self.sigma = sigma
+        self.entry_nodes = entry_nodes or network.measurable_node_ids()
+        self.wallet = wallet or Wallet("bg-workload")
+        self.factory = TransactionFactory()
+        self.submitted: List[Transaction] = []
+        self._rng = network.sim.rng.stream("bg-workload")
+        self._process = PeriodicProcess(
+            network.sim,
+            interval=1.0 / rate_per_second,
+            action=self._submit_one,
+            poisson=True,
+            rng_name="bg-workload-timer",
+            label="background-tx",
+        )
+
+    def start(self) -> None:
+        self._process.start()
+
+    def stop(self) -> None:
+        self._process.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._process.running
+
+    @property
+    def sender_addresses(self) -> set[str]:
+        return {tx.sender for tx in self.submitted}
+
+    def _submit_one(self) -> None:
+        entry = self._rng.choice(self.entry_nodes)
+        tx = self.factory.transfer(
+            self.wallet.fresh_account(prefix="live"),
+            gas_price=_price_sample(self._rng, self.median_price, self.sigma),
+        )
+        self.submitted.append(tx)
+        self.network.node(entry).submit_transaction(tx)

@@ -1,0 +1,174 @@
+"""Core discrete-event simulation loop.
+
+The simulator maintains a heap of :class:`Event` records ordered by
+``(time, sequence)``. The sequence number makes ordering total and
+deterministic: two events scheduled for the same instant fire in the order
+they were scheduled.
+
+Typical usage::
+
+    sim = Simulator(seed=42)
+    sim.schedule(1.5, lambda: print("fires at t=1.5"))
+    sim.run()
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import ScheduleInPastError, SimulationError
+from repro.sim.rng import RngRegistry
+from repro.sim.tracing import Tracer
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)`` so the heap pops them in deterministic
+    chronological order. ``cancelled`` events are popped and discarded.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the :class:`~repro.sim.rng.RngRegistry`. Every
+        stochastic component derives its own named stream from this seed.
+    trace:
+        If true, keep a :class:`~repro.sim.tracing.Tracer` recording every
+        executed event (useful in tests, costly in large runs).
+    """
+
+    def __init__(self, seed: int = 0, trace: bool = False) -> None:
+        self._now = 0.0
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._executed = 0
+        self.rng = RngRegistry(seed)
+        self.seed = seed
+        self.tracer: Optional[Tracer] = Tracer() if trace else None
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    @property
+    def executed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._executed
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self, delay: float, callback: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        Returns the :class:`Event`, which the caller may ``cancel()``.
+        Raises :class:`ScheduleInPastError` for negative delays.
+        """
+        if delay < 0:
+            raise ScheduleInPastError(
+                f"cannot schedule {delay:.6f}s in the past (now={self._now:.6f})"
+            )
+        event = Event(self._now + delay, next(self._seq), callback, label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self, when: float, callback: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulation time ``when``."""
+        return self.schedule(when - self._now, callback, label)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next non-cancelled event.
+
+        Returns ``False`` when the queue is exhausted, ``True`` otherwise.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self._now:
+                raise SimulationError(
+                    f"event at t={event.time} popped after clock t={self._now}"
+                )
+            self._now = event.time
+            if self.tracer is not None:
+                self.tracer.record(self._now, "event", event.label)
+            event.callback()
+            self._executed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or ``max_events``.
+
+        ``until`` is an absolute simulation time; events scheduled beyond it
+        stay queued and the clock is advanced exactly to ``until``.
+        """
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                return
+            next_event = self._peek()
+            if next_event is None:
+                break
+            if until is not None and next_event.time > until:
+                self._now = max(self._now, until)
+                return
+            if self.step():
+                executed += 1
+        if until is not None:
+            self._now = max(self._now, until)
+
+    def run_for(self, duration: float, max_events: Optional[int] = None) -> None:
+        """Run the simulation for ``duration`` seconds of simulated time."""
+        self.run(until=self._now + duration, max_events=max_events)
+
+    def _peek(self) -> Optional[Event]:
+        """Return the next live event without popping it."""
+        while self._queue:
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            return event
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={self._now:.3f}, pending={len(self._queue)}, "
+            f"executed={self._executed})"
+        )

@@ -1,0 +1,90 @@
+"""Periodic processes on top of the event engine.
+
+A :class:`PeriodicProcess` re-schedules itself after each tick, optionally
+with exponential jitter (Poisson process), until stopped. It is used for
+block production, background workloads and liveness-style maintenance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.engine import Event, Simulator
+
+
+class PeriodicProcess:
+    """Invoke ``action`` repeatedly on the simulator clock.
+
+    Parameters
+    ----------
+    sim:
+        Engine the process schedules itself on.
+    interval:
+        Mean interval between invocations, seconds.
+    action:
+        Zero-argument callable invoked each tick.
+    poisson:
+        If true, the gap to the next tick is exponentially distributed with
+        mean ``interval`` (memoryless, like proof-of-work block arrival);
+        otherwise the gap is exactly ``interval``.
+    rng_name:
+        RNG stream name used for jitter draws.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        action: Callable[[], None],
+        poisson: bool = False,
+        rng_name: str = "periodic",
+        label: str = "periodic",
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.interval = interval
+        self.action = action
+        self.poisson = poisson
+        self.label = label
+        self._rng = sim.rng.stream(rng_name)
+        self._event: Optional[Event] = None
+        self._running = False
+        self.ticks = 0
+
+    def start(self, initial_delay: Optional[float] = None) -> None:
+        """Begin ticking; the first tick fires after ``initial_delay``.
+
+        When ``initial_delay`` is omitted a regular gap is drawn.
+        """
+        if self._running:
+            return
+        self._running = True
+        delay = self._next_gap() if initial_delay is None else initial_delay
+        self._event = self.sim.schedule(delay, self._tick, label=self.label)
+
+    def stop(self) -> None:
+        """Stop ticking; a queued tick is cancelled."""
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def _next_gap(self) -> float:
+        if self.poisson:
+            return self._rng.expovariate(1.0 / self.interval)
+        return self.interval
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.ticks += 1
+        self.action()
+        if self._running:
+            self._event = self.sim.schedule(
+                self._next_gap(), self._tick, label=self.label
+            )

@@ -1,0 +1,87 @@
+"""Tests for propagation-delay profiling (use cases 4/5)."""
+
+import pytest
+
+from repro.analysis.propagation import (
+    measure_block_propagation,
+    measure_tx_propagation,
+    rank_origins_by_delay,
+)
+from repro.errors import AnalysisError
+from repro.eth.network import Network
+from repro.eth.node import NodeConfig
+from repro.eth.policies import GETH
+from repro.eth.transaction import INTRINSIC_GAS
+
+
+@pytest.fixture
+def line_of_five():
+    """hub -- n1 -- n2 -- n3 -- n4 (strictly increasing hop distance)."""
+    network = Network(seed=81)
+    config = NodeConfig(policy=GETH.scaled(64))
+    ids = ["hub", "n1", "n2", "n3", "n4"]
+    for node_id in ids:
+        network.create_node(node_id, config)
+    for a, b in zip(ids, ids[1:]):
+        network.connect(a, b)
+    network.run(1.0)  # drain handshakes
+    return network
+
+
+@pytest.fixture
+def hub_and_leaf():
+    """A hub connected to everyone and a leaf connected to one node."""
+    network = Network(seed=82)
+    config = NodeConfig(policy=GETH.scaled(64))
+    ids = [f"n{i}" for i in range(8)]
+    for node_id in ids:
+        network.create_node(node_id, config)
+    network.create_node("hub", NodeConfig(policy=GETH.scaled(64), max_peers=None))
+    network.create_node("leaf", config)
+    for i, node_id in enumerate(ids):
+        network.connect("hub", node_id, force=True)
+        network.connect(node_id, ids[(i + 1) % len(ids)])
+    network.connect("leaf", ids[0])
+    network.run(1.0)
+    return network
+
+
+class TestTxPropagation:
+    def test_full_coverage_on_connected_network(self, line_of_five):
+        profile = measure_tx_propagation(line_of_five, "hub", probes=2)
+        assert profile.coverage == 1.0
+        assert profile.probes == 2
+
+    def test_delay_monotone_with_hops(self, line_of_five):
+        profile = measure_tx_propagation(line_of_five, "hub", probes=3)
+        assert profile.node_median("n1") < profile.node_median("n4")
+
+    def test_percentiles_ordered(self, line_of_five):
+        profile = measure_tx_propagation(line_of_five, "hub", probes=3)
+        assert profile.median_delay() <= profile.percentile_delay(0.9)
+        assert "median" in profile.summary()
+
+    def test_empty_profile_raises(self):
+        from repro.analysis.propagation import PropagationProfile
+
+        with pytest.raises(AnalysisError):
+            PropagationProfile(origin="x").median_delay()
+
+
+class TestBlockPropagation:
+    def test_blocks_reach_everyone(self, line_of_five):
+        line_of_five.chain.gas_limit = 2 * INTRINSIC_GAS
+        profile = measure_block_propagation(line_of_five, "hub", blocks=2)
+        assert profile.coverage == 1.0
+
+    def test_block_delay_monotone_with_hops(self, line_of_five):
+        profile = measure_block_propagation(line_of_five, "hub", blocks=2)
+        assert profile.node_median("n1") < profile.node_median("n4")
+
+
+class TestRanking:
+    def test_hub_beats_leaf(self, hub_and_leaf):
+        """Use case 4/5: the well-connected origin has lower median delay."""
+        ranked = rank_origins_by_delay(hub_and_leaf, ["leaf", "hub"], probes=2)
+        assert ranked[0].origin == "hub"
+        assert ranked[0].median_delay() < ranked[1].median_delay()

@@ -1,0 +1,116 @@
+"""Tests for the Section 3 use-case security analyses."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.security import (
+    critical_nodes,
+    eclipse_targets,
+    neighbor_fingerprints,
+    partition_resilience_score,
+)
+from repro.errors import AnalysisError
+
+
+@pytest.fixture
+def barbell():
+    """Two K4 cliques joined through one bridge node."""
+    graph = nx.Graph()
+    left = ["l0", "l1", "l2", "l3"]
+    right = ["r0", "r1", "r2", "r3"]
+    for group in (left, right):
+        for i, a in enumerate(group):
+            for b in group[i + 1 :]:
+                graph.add_edge(a, b)
+    graph.add_edge("l0", "bridge")
+    graph.add_edge("bridge", "r0")
+    return graph
+
+
+class TestEclipseTargets:
+    def test_low_degree_nodes_flagged(self, barbell):
+        targets = eclipse_targets(barbell, max_degree=2)
+        assert [t.node for t in targets] == ["bridge"]
+        assert targets[0].attack_cost == 2
+        assert targets[0].neighbors == ("l0", "r0")
+
+    def test_sorted_cheapest_first(self):
+        graph = nx.star_graph(4)
+        graph.add_edge(1, 2)
+        targets = eclipse_targets(graph, max_degree=3)
+        costs = [t.attack_cost for t in targets]
+        assert costs == sorted(costs)
+
+    def test_no_targets_in_dense_graph(self):
+        graph = nx.complete_graph(8)
+        assert eclipse_targets(graph, max_degree=3) == []
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(AnalysisError):
+            eclipse_targets(nx.Graph())
+
+
+class TestCriticalNodes:
+    def test_bridge_is_cut_node_with_impact(self, barbell):
+        report = critical_nodes(barbell)
+        assert "bridge" in report.cut_nodes
+        # Removing the bridge strands one clique (4 nodes).
+        assert report.partition_impact["bridge"] == 4
+        assert "cut nodes" in report.summary()
+
+    def test_endpoints_of_bridge_are_cut_nodes(self, barbell):
+        report = critical_nodes(barbell)
+        assert {"l0", "r0"} <= set(report.cut_nodes)
+
+    def test_no_cut_nodes_in_cycle(self):
+        report = critical_nodes(nx.cycle_graph(6))
+        assert report.cut_nodes == []
+
+    def test_supernodes_by_degree_quantile(self):
+        graph = nx.star_graph(9)  # hub degree 9, leaves degree 1
+        report = critical_nodes(graph, supernode_quantile=0.9)
+        assert report.supernodes == [0]
+
+
+class TestFingerprints:
+    def test_star_leaves_collide(self):
+        report = neighbor_fingerprints(nx.star_graph(4))
+        # All 4 leaves share the fingerprint {hub}.
+        assert report.unique_fingerprints == 2
+        assert len(report.collision_groups) == 1
+        assert report.uniqueness == pytest.approx(1 / 5)
+
+    def test_path_nodes_mostly_unique(self):
+        report = neighbor_fingerprints(nx.path_graph(6))
+        assert report.uniqueness == 1.0
+        assert report.collision_groups == ()
+
+    def test_summary_format(self):
+        text = neighbor_fingerprints(nx.path_graph(4)).summary()
+        assert "fingerprintable" in text
+
+
+class TestPartitionResilience:
+    def test_complete_graph_fully_resilient(self):
+        assert partition_resilience_score(nx.complete_graph(10), removals=3) == 1.0
+
+    def test_star_collapses(self):
+        # Removing the hub disconnects every remaining leaf.
+        score = partition_resilience_score(nx.star_graph(9), removals=1)
+        assert score == pytest.approx(1 / 9)
+
+    def test_too_small_graph_rejected(self):
+        with pytest.raises(AnalysisError):
+            partition_resilience_score(nx.path_graph(3), removals=3)
+
+    def test_low_modularity_graph_beats_modular_graph(self):
+        """The paper's implication: low modularity -> partition resilience."""
+        modular = nx.barbell_graph(8, 1)  # two dense cliques, thin bridge
+        uniform = nx.gnm_random_graph(17, modular.number_of_edges(), seed=4)
+        if not nx.is_connected(uniform):
+            comps = list(nx.connected_components(uniform))
+            for a, b in zip(comps, comps[1:]):
+                uniform.add_edge(next(iter(a)), next(iter(b)))
+        assert partition_resilience_score(
+            uniform, removals=2
+        ) >= partition_resilience_score(modular, removals=2)

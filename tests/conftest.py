@@ -1,0 +1,87 @@
+"""Shared fixtures for the TopoShot reproduction test suite."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.eth.account import Wallet
+from repro.eth.network import Network
+from repro.eth.node import NodeConfig
+from repro.eth.policies import GETH
+from repro.eth.supernode import Supernode
+from repro.eth.transaction import TransactionFactory, gwei
+from repro.netgen.ethereum import quick_network
+from repro.netgen.workloads import prefill_mempools
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def wallet() -> Wallet:
+    return Wallet("test")
+
+
+@pytest.fixture
+def factory() -> TransactionFactory:
+    return TransactionFactory()
+
+
+@pytest.fixture
+def small_policy():
+    """A Geth policy scaled to a 64-slot pool for fast tests."""
+    return GETH.scaled(64)
+
+
+@pytest.fixture
+def triangle_network() -> Network:
+    """Three mutually connected nodes n0--n1--n2--n0 (plus nothing else)."""
+    network = Network(seed=7)
+    config = NodeConfig(policy=GETH.scaled(64))
+    for index in range(3):
+        network.create_node(f"n{index}", config)
+    network.connect("n0", "n1")
+    network.connect("n1", "n2")
+    network.connect("n0", "n2")
+    return network
+
+
+@pytest.fixture
+def line_network() -> Network:
+    """Four nodes in a line: n0--n1--n2--n3."""
+    network = Network(seed=9)
+    config = NodeConfig(policy=GETH.scaled(64))
+    for index in range(4):
+        network.create_node(f"n{index}", config)
+    for a, b in (("n0", "n1"), ("n1", "n2"), ("n2", "n3")):
+        network.connect(a, b)
+    return network
+
+
+@pytest.fixture
+def measured_network():
+    """A 14-node Ethereum-like network, pools pre-filled, supernode joined.
+
+    Returns (network, supernode, ground_truth_graph).
+    """
+    network = quick_network(n_nodes=14, seed=5)
+    truth = network.ground_truth_graph()
+    prefill_mempools(network, median_price=gwei(1.0))
+    supernode = Supernode.join(network)
+    return network, supernode, truth
+
+
+def pairs_of(graph, connected: bool, limit: int = 10):
+    """First ``limit`` node pairs that are (not) edges of ``graph``."""
+    out = []
+    for a, b in itertools.combinations(sorted(graph.nodes()), 2):
+        if graph.has_edge(a, b) == connected:
+            out.append((a, b))
+            if len(out) >= limit:
+                break
+    return out

@@ -1,0 +1,121 @@
+"""Tests for workload-adaptive Y selection (Section 6.3)."""
+
+import pytest
+
+from repro.core.adaptive import (
+    AdaptiveYController,
+    choose_adaptive_y,
+    inclusion_floor,
+    pool_waterline,
+)
+from repro.core.noninterference import check_conditions
+from repro.errors import MeasurementError
+from repro.eth.chain import Chain
+from repro.eth.network import Network
+from repro.eth.node import NodeConfig
+from repro.eth.policies import GETH
+from repro.eth.transaction import INTRINSIC_GAS, Transaction, gwei
+
+
+def priced_block(chain, wallet, factory, prices, t=1.0):
+    txs = [
+        factory.transfer(wallet.fresh_account(), gas_price=p) for p in prices
+    ]
+    return chain.append("m", t, txs)
+
+
+@pytest.fixture
+def observer(wallet):
+    network = Network(seed=71)
+    node = network.create_node("obs", NodeConfig(policy=GETH.scaled(64)))
+    for price in (gwei(1.0), gwei(2.0), gwei(3.0), gwei(4.0), gwei(5.0)):
+        node.mempool.add(
+            Transaction(
+                sender=wallet.fresh_account().address, nonce=0, gas_price=price
+            )
+        )
+    return node
+
+
+class TestSignals:
+    def test_inclusion_floor_over_window(self, wallet, factory):
+        chain = Chain(gas_limit=3 * INTRINSIC_GAS)
+        priced_block(chain, wallet, factory, [gwei(5), gwei(3)], t=1.0)
+        priced_block(chain, wallet, factory, [gwei(4), gwei(2)], t=2.0)
+        assert inclusion_floor(chain) == gwei(2)
+
+    def test_floor_ignores_empty_blocks(self, wallet, factory):
+        chain = Chain(gas_limit=3 * INTRINSIC_GAS)
+        chain.append("m", 1.0, [])
+        priced_block(chain, wallet, factory, [gwei(3)], t=2.0)
+        assert inclusion_floor(chain) == gwei(3)
+
+    def test_floor_none_without_blocks(self):
+        assert inclusion_floor(Chain()) is None
+
+    def test_floor_window_limits_lookback(self, wallet, factory):
+        chain = Chain(gas_limit=3 * INTRINSIC_GAS)
+        priced_block(chain, wallet, factory, [gwei(1)], t=1.0)  # old & cheap
+        for i in range(10):
+            priced_block(chain, wallet, factory, [gwei(5)], t=2.0 + i)
+        assert inclusion_floor(chain, window=10) == gwei(5)
+
+    def test_pool_waterline_percentile(self, observer):
+        assert pool_waterline(observer, percentile=0.0) == gwei(1.0)
+        assert pool_waterline(observer, percentile=0.5) == gwei(3.0)
+
+    def test_waterline_none_on_empty_pool(self):
+        network = Network(seed=72)
+        node = network.create_node("empty", NodeConfig(policy=GETH.scaled(16)))
+        assert pool_waterline(node) is None
+
+
+class TestChooseY:
+    def test_y_below_floor_above_waterline(self, observer, wallet, factory):
+        chain = Chain(gas_limit=3 * INTRINSIC_GAS)
+        priced_block(chain, wallet, factory, [gwei(10), gwei(8)])
+        decision = choose_adaptive_y(chain, observer, margin=0.8)
+        assert decision.y == int(gwei(8) * 0.8)
+        assert decision.inclusion_floor == gwei(8)
+        assert "Y=" in decision.summary()
+        # The chosen Y keeps V2 verifiable by construction.
+        report = check_conditions(chain, 0.0, 10.0, y0=decision.y, expiry=0.0)
+        assert report.v2_prices_above_y0
+
+    def test_no_safe_band_raises(self, observer, wallet, factory):
+        chain = Chain(gas_limit=3 * INTRINSIC_GAS)
+        # Miners include down at 1 gwei while the pool floor is ~1 gwei:
+        # 80% of the floor dives under the waterline.
+        priced_block(chain, wallet, factory, [gwei(1.0)])
+        with pytest.raises(MeasurementError):
+            choose_adaptive_y(chain, observer, margin=0.8)
+
+    def test_fallback_to_pool_median_without_blocks(self, observer):
+        decision = choose_adaptive_y(Chain(), observer)
+        assert decision.inclusion_floor is None
+        assert decision.y == observer.mempool.median_pending_price()
+
+    def test_empty_everything_raises(self):
+        network = Network(seed=73)
+        node = network.create_node("empty", NodeConfig(policy=GETH.scaled(16)))
+        with pytest.raises(MeasurementError):
+            choose_adaptive_y(Chain(), node)
+
+    def test_invalid_margin_rejected(self, observer):
+        with pytest.raises(MeasurementError):
+            choose_adaptive_y(Chain(), observer, margin=1.5)
+
+
+class TestController:
+    def test_controller_tracks_the_market(self, observer, wallet, factory):
+        chain = Chain(gas_limit=3 * INTRINSIC_GAS)
+        priced_block(chain, wallet, factory, [gwei(10)], t=1.0)
+        controller = AdaptiveYController(chain, observer, margin=0.5, window=2)
+        first = controller.next_y()
+        # The market heats up: cheaper txs stop being included.
+        priced_block(chain, wallet, factory, [gwei(20)], t=2.0)
+        priced_block(chain, wallet, factory, [gwei(20)], t=3.0)
+        second = controller.next_y()
+        assert second > first
+        assert len(controller.decisions) == 2
+        assert controller.last_decision.y == second

@@ -1,0 +1,151 @@
+"""Tests for the executable Section 3 attacks."""
+
+
+from repro.attacks.deter import (
+    block_damage,
+    flooding_amplification,
+    run_deter_attack,
+)
+from repro.attacks.eclipse import compare_informed_vs_blind, run_eclipse_attack
+from repro.attacks.partition import run_partition_attack, take_node_offline
+from repro.eth.network import Network
+from repro.eth.node import NodeConfig
+from repro.eth.policies import ALETH, GETH
+from repro.eth.transaction import gwei
+from repro.netgen.ethereum import quick_network
+from repro.netgen.workloads import prefill_mempools
+
+
+def sparse_network(seed=67):
+    return quick_network(n_nodes=16, seed=seed, outbound_dials=3, max_peers=8)
+
+
+class TestEclipse:
+    def test_cutting_all_active_links_isolates_victim(self):
+        network = sparse_network()
+        victim = network.measurable_node_ids()[3]
+        outcome = run_eclipse_attack(network, victim)
+        assert outcome.isolated
+        assert outcome.links_remaining == 0
+        assert "ISOLATED" in outcome.summary()
+
+    def test_partial_cut_leaves_victim_reachable(self):
+        network = sparse_network()
+        victim = network.measurable_node_ids()[3]
+        neighbors = [
+            p
+            for p in network.node(victim).peer_ids
+            if p not in network.supernode_ids
+        ]
+        outcome = run_eclipse_attack(network, victim, neighbors[:-1])
+        assert not outcome.isolated
+        assert outcome.links_remaining == 1
+
+    def test_informed_attacker_beats_blind_attacker(self):
+        victim = sparse_network().measurable_node_ids()[3]
+        duel = compare_informed_vs_blind(sparse_network, victim)
+        assert duel.informed.isolated
+        # The blind attacker spends the same budget on routing-table
+        # candidates — overwhelmingly inactive — and fails.
+        assert not duel.blind.isolated
+        assert duel.knowledge_paid_off
+
+
+class TestDeter:
+    def test_flood_evicts_pending_pool(self):
+        network = sparse_network()
+        prefill_mempools(network, median_price=gwei(1.0))
+        victim = network.measurable_node_ids()[0]
+        outcome = run_deter_attack(network, victim)
+        assert outcome.eviction_ratio == 1.0
+        assert outcome.pending_after == 0
+        assert "DETER" in outcome.summary()
+
+    def test_flood_costs_nothing_mineable(self):
+        """The futures never become pending, so they can never be mined."""
+        network = sparse_network()
+        prefill_mempools(network, median_price=gwei(1.0))
+        victim = network.measurable_node_ids()[0]
+        run_deter_attack(network, victim)
+        pool = network.node(victim).mempool
+        assert pool.pending_count == 0
+        assert pool.future_count > 0
+
+    def test_miner_block_damage(self):
+        network = sparse_network()
+        prefill_mempools(network, median_price=gwei(1.0))
+        victim = network.measurable_node_ids()[0]
+        before = block_damage(network, victim)
+        run_deter_attack(network, victim)
+        after = block_damage(network, victim)
+        assert before > 0
+        assert after == 0  # the victim-miner has nothing left to mine
+
+    def test_small_flood_partial_eviction(self):
+        network = sparse_network()
+        prefill_mempools(network, median_price=gwei(1.0))
+        victim = network.measurable_node_ids()[0]
+        capacity = network.node(victim).mempool.policy.capacity
+        outcome = run_deter_attack(network, victim, flood_size=capacity // 4)
+        assert 0 < outcome.eviction_ratio < 1.0
+
+
+class TestFloodingAmplification:
+    def _two_node_net(self, policy):
+        network = Network(seed=68)
+        network.create_node("entry", NodeConfig(policy=policy))
+        network.create_node("peer", NodeConfig(policy=policy))
+        network.connect("entry", "peer")
+        network.run(1.0)  # drain handshakes
+        return network
+
+    def test_r0_client_amplifies_for_free(self):
+        network = self._two_node_net(ALETH.scaled(64))
+        outcome = flooding_amplification(network, "entry", rounds=20)
+        assert outcome.replacements_accepted == 20
+        assert outcome.transactions_propagated >= 20
+        assert outcome.extra_cost_wei == 0
+
+    def test_sane_client_rejects_free_replacements(self):
+        network = self._two_node_net(GETH.scaled(64))
+        outcome = flooding_amplification(network, "entry", rounds=20)
+        assert outcome.replacements_accepted == 0
+        # Only the original transaction propagates, no amplification.
+        assert outcome.transactions_propagated == 1
+
+
+class TestPartition:
+    def _bridged_network(self):
+        """Two rings joined by one bridge node."""
+        network = Network(seed=69)
+        config = NodeConfig(policy=GETH.scaled(64))
+        left = [f"l{i}" for i in range(4)]
+        right = [f"r{i}" for i in range(4)]
+        for name in left + right + ["bridge"]:
+            network.create_node(name, config)
+        for group in (left, right):
+            for i in range(len(group)):
+                network.connect(group[i], group[(i + 1) % len(group)])
+        network.connect("l0", "bridge")
+        network.connect("bridge", "r0")
+        return network
+
+    def test_removing_bridge_partitions_propagation(self):
+        network = self._bridged_network()
+        outcome = run_partition_attack(network, "bridge")
+        assert outcome.partitioned
+        assert outcome.component_sizes == (4, 4)
+        assert outcome.coverage == 0.5  # probe covers only one ring
+        assert outcome.stranded_nodes == 4
+
+    def test_removing_leaf_keeps_network_whole(self):
+        network = self._bridged_network()
+        outcome = run_partition_attack(network, "l2")
+        assert not outcome.partitioned
+        assert outcome.coverage == 1.0
+
+    def test_take_node_offline_returns_lost_peers(self):
+        network = self._bridged_network()
+        lost = take_node_offline(network, "bridge")
+        assert sorted(lost) == ["l0", "r0"]
+        assert network.node("bridge").degree == 0

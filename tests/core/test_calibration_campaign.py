@@ -1,0 +1,78 @@
+"""Tests for per-target flood-size calibration inside campaigns (§5.2.3)."""
+
+import pytest
+
+from repro.core.campaign import TopoShot
+from repro.eth.network import Network
+from repro.eth.node import NodeConfig
+from repro.eth.policies import GETH
+from repro.eth.transaction import gwei
+from repro.netgen.workloads import prefill_mempools
+
+
+@pytest.fixture
+def network_with_big_pool_node():
+    """Six nodes; 'big' runs a 4x mempool that defeats the default flood."""
+    network = Network(seed=51)
+    base = GETH.scaled(128)
+    ids = []
+    for i in range(5):
+        ids.append(f"n{i}")
+        network.create_node(f"n{i}", NodeConfig(policy=base))
+    network.create_node("big", NodeConfig(policy=base.with_capacity(512)))
+    ids.append("big")
+    for i in range(len(ids)):
+        network.connect(ids[i], ids[(i + 1) % len(ids)])
+    network.connect("n0", "n3")
+    network.connect("big", "n1")
+    prefill_mempools(network, median_price=gwei(1.0))
+    return network
+
+
+class TestZOverrides:
+    def test_without_override_big_node_links_missed(
+        self, network_with_big_pool_node
+    ):
+        network = network_with_big_pool_node
+        shot = TopoShot.attach(network)
+        measurement = shot.measure_network(preprocess=False)
+        missed = {
+            frozenset(edge)
+            for edge in network.ground_truth_edges()
+            if "big" in edge
+        } - measurement.edges
+        assert missed  # default Z cannot flush the 4x pool
+
+    def test_override_recovers_big_node_links(self, network_with_big_pool_node):
+        network = network_with_big_pool_node
+        shot = TopoShot.attach(network)
+        shot.set_z_override("big", 700)
+        measurement = shot.measure_network(preprocess=False)
+        big_edges = {
+            frozenset(edge)
+            for edge in network.ground_truth_edges()
+            if "big" in edge
+        }
+        assert big_edges <= measurement.edges
+        assert measurement.score.precision == 1.0
+
+    def test_calibrate_target_discovers_and_stores_override(
+        self, network_with_big_pool_node
+    ):
+        network = network_with_big_pool_node
+        shot = TopoShot.attach(network)
+        found = shot.calibrate_target("big", "n1", z_values=[128, 400, 700])
+        assert found is not None
+        assert found > shot.config.future_count
+        assert shot.z_overrides["big"] == found
+
+    def test_override_below_default_is_ignored(self, network_with_big_pool_node):
+        network = network_with_big_pool_node
+        shot = TopoShot.attach(network)
+        shot.set_z_override("n0", 16)
+        from repro.core.schedule import build_schedule
+
+        iteration = build_schedule(network.measurable_node_ids(), 2)[0]
+        assert shot._config_for_iteration(iteration).future_count == (
+            shot.config.future_count
+        )

@@ -1,0 +1,139 @@
+"""Tests for the TopoShot campaign orchestrator."""
+
+import pytest
+
+from repro.core.campaign import TopoShot
+from repro.core.results import edge
+from repro.errors import MeasurementError
+from repro.eth.network import Network
+from repro.eth.node import NodeConfig
+from repro.eth.policies import NETHERMIND
+from repro.netgen.ethereum import quick_network
+from repro.netgen.workloads import prefill_mempools
+from tests.conftest import pairs_of
+
+
+@pytest.fixture
+def campaign_network():
+    network = quick_network(n_nodes=16, seed=13)
+    prefill_mempools(network)
+    return network
+
+
+class TestAttach:
+    def test_attach_joins_supernode(self, campaign_network):
+        shot = TopoShot.attach(campaign_network)
+        assert shot.supernode.degree == 16
+        assert shot.supernode.id in campaign_network.supernode_ids
+
+    def test_default_config_derived_from_dominant_client(self, campaign_network):
+        shot = TopoShot.attach(campaign_network)
+        geth_scaled = campaign_network.node(
+            campaign_network.measurable_node_ids()[0]
+        ).config.policy
+        assert shot.config.replace_bump == geth_scaled.replace_bump
+        assert shot.config.future_count == geth_scaled.capacity
+
+    def test_unmeasurable_network_rejected(self):
+        network = Network(seed=1)
+        config = NodeConfig(policy=NETHERMIND.scaled(64))
+        network.create_node("a", config)
+        network.create_node("b", config)
+        network.connect("a", "b")
+        with pytest.raises(MeasurementError):
+            TopoShot.attach(network)
+
+
+class TestMeasureLink:
+    def test_link_result_matches_truth(self, campaign_network):
+        truth = campaign_network.ground_truth_graph()
+        shot = TopoShot.attach(campaign_network)
+        (a, b), = pairs_of(truth, connected=True, limit=1)
+        (x, y), = pairs_of(truth, connected=False, limit=1)
+        assert shot.measure_link(a, b).connected
+        assert not shot.measure_link(x, y).connected
+
+    def test_link_result_counts_attempts(self, campaign_network):
+        truth = campaign_network.ground_truth_graph()
+        shot = TopoShot.attach(campaign_network)
+        shot.config = shot.config.with_repeats(2)
+        (x, y), = pairs_of(truth, connected=False, limit=1)
+        result = shot.measure_link(x, y)
+        assert result.attempts == 2
+        assert result.positive_attempts == 0
+
+
+class TestMeasureNetwork:
+    def test_perfect_precision_and_high_recall(self, campaign_network):
+        shot = TopoShot.attach(campaign_network)
+        measurement = shot.measure_network()
+        assert measurement.score is not None
+        assert measurement.score.precision == 1.0
+        assert measurement.score.recall >= 0.8
+
+    def test_measured_graph_subset_of_truth(self, campaign_network):
+        truth = campaign_network.ground_truth_graph()
+        shot = TopoShot.attach(campaign_network)
+        measurement = shot.measure_network()
+        for e in measurement.edges:
+            a, b = tuple(e)
+            assert truth.has_edge(a, b)
+
+    def test_progress_callback_invoked_per_iteration(self, campaign_network):
+        shot = TopoShot.attach(campaign_network)
+        calls = []
+        measurement = shot.measure_network(
+            progress=lambda i, n, it, rep: calls.append((i, n))
+        )
+        assert len(calls) == measurement.iterations
+        assert calls[0][1] == measurement.iterations
+
+    def test_requires_two_targets(self, campaign_network):
+        shot = TopoShot.attach(campaign_network)
+        with pytest.raises(MeasurementError):
+            shot.measure_network(targets=[campaign_network.measurable_node_ids()[0]])
+
+    def test_explicit_group_size(self, campaign_network):
+        shot = TopoShot.attach(campaign_network)
+        measurement = shot.measure_network(group_size=4)
+        from repro.core.schedule import build_schedule
+
+        expected = len(build_schedule(measurement.node_ids, 4))
+        assert measurement.iterations == expected
+
+    def test_duration_and_tx_accounting(self, campaign_network):
+        shot = TopoShot.attach(campaign_network)
+        measurement = shot.measure_network()
+        assert measurement.duration > 0
+        assert measurement.transactions_sent > 0
+        assert len(shot.measurement_senders) > 0
+
+
+class TestPreprocessIntegration:
+    def test_misbehaving_nodes_skipped(self):
+        network = quick_network(
+            n_nodes=16,
+            seed=17,
+            fraction_future_forwarders=0.25,
+        )
+        prefill_mempools(network)
+        shot = TopoShot.attach(network)
+        measurement = shot.measure_network()
+        assert len(measurement.skipped_nodes) > 0
+        assert set(measurement.node_ids).isdisjoint(measurement.skipped_nodes)
+
+    def test_preprocess_can_be_disabled(self, campaign_network):
+        shot = TopoShot.attach(campaign_network)
+        measurement = shot.measure_network(preprocess=False)
+        assert measurement.skipped_nodes == []
+        assert len(measurement.node_ids) == 16
+
+
+class TestMeasurePairs:
+    def test_explicit_pairs_only(self, campaign_network):
+        truth = campaign_network.ground_truth_graph()
+        shot = TopoShot.attach(campaign_network)
+        true_pairs = pairs_of(truth, connected=True, limit=3)
+        false_pairs = pairs_of(truth, connected=False, limit=3)
+        detected = shot.measure_pairs(true_pairs + false_pairs)
+        assert detected == {edge(a, b) for a, b in true_pairs}

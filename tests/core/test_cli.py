@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSchedule:
+    def test_schedule_command(self, capsys):
+        assert main(["schedule", "--nodes", "500", "--budget", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "N=500 nodes, K=4" in out
+        assert "127" in out  # the paper's Ropsten iteration count
+
+    def test_schedule_explicit_k(self, capsys):
+        assert main(["schedule", "--nodes", "8", "--group-size", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "pairs to cover     : 28" in out
+
+
+class TestEstimateCost:
+    def test_paper_defaults(self, capsys):
+        assert main(["estimate-cost"]) == 0
+        out = capsys.readouterr().out
+        assert "8000 nodes" in out
+        assert "M USD" in out
+
+    def test_custom_size(self, capsys):
+        assert main(["estimate-cost", "--nodes", "100", "--eth-price", "1000"]) == 0
+        assert "100 nodes" in capsys.readouterr().out
+
+
+class TestProfile:
+    def test_profile_prints_all_clients(self, capsys):
+        assert main(["profile"]) == 0
+        out = capsys.readouterr().out
+        for client in ("geth", "parity", "nethermind", "besu", "aleth"):
+            assert client in out
+        assert "NO (R=0)" in out
+
+
+class TestMeasure:
+    def test_measure_quick_network(self, capsys):
+        assert main(["measure", "--nodes", "10", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "edges detected" in out
+        assert "precision=1.000" in out
+
+    def test_measure_with_analysis(self, capsys):
+        assert (
+            main(["measure", "--nodes", "10", "--seed", "3", "--analyze"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "degree distribution" in out
+        assert "Modularity" in out
+
+    def test_measure_with_output_files(self, capsys, tmp_path):
+        out_json = tmp_path / "m.json"
+        out_graph = tmp_path / "g.txt"
+        assert (
+            main(
+                [
+                    "measure", "--nodes", "10", "--seed", "3",
+                    "--output", str(out_json),
+                    "--export-graph", str(out_graph),
+                ]
+            )
+            == 0
+        )
+        from repro.io import load_measurement
+
+        loaded = load_measurement(out_json)
+        assert len(loaded.edges) > 0
+        assert out_graph.read_text().strip()
+
+    def test_analyze_roundtrip(self, capsys, tmp_path):
+        out_json = tmp_path / "m.json"
+        main(["measure", "--nodes", "10", "--seed", "3", "--output", str(out_json)])
+        capsys.readouterr()
+        assert (
+            main(["analyze", str(out_json), "--communities", "--security"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "graph statistics vs ER/CM/BA" in out
+        assert "communities:" in out
+        assert "security assessment:" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

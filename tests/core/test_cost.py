@@ -1,0 +1,99 @@
+"""Tests for cost accounting and mainnet extrapolation (Sections 6.3/6.4)."""
+
+import pytest
+
+from repro.core.cost import (
+    CampaignCostRow,
+    CostLedger,
+    MainnetEstimate,
+    estimate_from_measured_pair_cost,
+    paper_mainnet_estimate,
+    summarize_campaigns,
+    wei_to_ether,
+)
+from repro.eth.chain import Chain
+from repro.eth.transaction import INTRINSIC_GAS, gwei
+
+
+class TestLedger:
+    def test_tracks_included_fees_only(self, wallet, factory):
+        chain = Chain()
+        ledger = CostLedger(chain)
+        mined = factory.transfer(wallet.fresh_account(), gas_price=gwei(1))
+        unmined = factory.transfer(wallet.fresh_account(), gas_price=gwei(1))
+        ledger.register("txC", [mined.sender, unmined.sender])
+        chain.append("m", 1.0, [mined])
+        assert ledger.spent_wei() == gwei(1) * INTRINSIC_GAS
+        assert ledger.included_count() == 1
+
+    def test_category_separation(self, wallet, factory):
+        chain = Chain()
+        ledger = CostLedger(chain)
+        seed = factory.transfer(wallet.fresh_account(), gas_price=gwei(1))
+        flood = factory.future(wallet.fresh_account(), gas_price=gwei(2))
+        ledger.register("seeds", [seed.sender])
+        ledger.register("floods", [flood.sender])
+        chain.append("m", 1.0, [seed])
+        assert ledger.spent_wei("seeds") > 0
+        assert ledger.spent_wei("floods") == 0  # futures are never mined
+
+    def test_empty_ledger(self):
+        ledger = CostLedger(Chain())
+        assert ledger.spent_wei() == 0
+        assert ledger.included_count() == 0
+
+    def test_spent_ether_conversion(self, wallet, factory):
+        chain = Chain()
+        ledger = CostLedger(chain)
+        tx = factory.transfer(wallet.fresh_account(), gas_price=gwei(1))
+        ledger.register("txC", [tx.sender])
+        chain.append("m", 1.0, [tx])
+        assert ledger.spent_ether() == pytest.approx(
+            wei_to_ether(gwei(1) * INTRINSIC_GAS)
+        )
+
+
+class TestMainnetEstimate:
+    def test_paper_figures_reproduced(self):
+        """Section 6.3: ~8000 nodes -> ~22.8k ETH -> > 60 M USD."""
+        estimate = paper_mainnet_estimate()
+        assert estimate.pairs == 8000 * 7999 // 2
+        assert estimate.total_ether == pytest.approx(22_717, rel=0.01)
+        assert estimate.total_usd > 60e6
+
+    def test_pairs_quadratic(self):
+        small = MainnetEstimate(100, 1e-4, 2000.0)
+        assert small.pairs == 4950
+
+    def test_estimate_from_ledger(self, wallet, factory):
+        chain = Chain()
+        ledger = CostLedger(chain)
+        tx = factory.transfer(wallet.fresh_account(), gas_price=gwei(1))
+        ledger.register("txC", [tx.sender])
+        chain.append("m", 1.0, [tx])
+        estimate = estimate_from_measured_pair_cost(
+            ledger, pairs_measured=10, n_nodes=100, eth_price_usd=2000.0
+        )
+        per_pair = ledger.spent_ether() / 10
+        assert estimate.total_ether == pytest.approx(per_pair * 4950)
+
+    def test_zero_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_from_measured_pair_cost(CostLedger(Chain()), 0)
+
+    def test_summary_readable(self):
+        text = paper_mainnet_estimate().summary()
+        assert "8000 nodes" in text
+        assert "M USD" in text
+
+
+class TestTable7Rendering:
+    def test_summary_table(self):
+        rows = [
+            CampaignCostRow("Ropsten", 588, 0.067, 12.0),
+            CampaignCostRow("Rinkeby", 446, 2.10, 10.0),
+        ]
+        text = summarize_campaigns(rows)
+        assert "Ropsten" in text
+        assert "0.06700" in text
+        assert text.count("\n") >= 3

@@ -1,0 +1,69 @@
+"""Tests for Y estimation (Section 5.2.1)."""
+
+from repro.core.config import MeasurementConfig
+from repro.core.gas_estimator import (
+    estimate_y,
+    mempool_occupancy,
+    needs_background_workload,
+    pending_rank_of_price,
+)
+from repro.eth.node import Node, NodeConfig
+from repro.eth.policies import GETH
+from repro.eth.transaction import Transaction, gwei
+from repro.sim.engine import Simulator
+
+
+def node_with_prices(prices):
+    node = Node("n", Simulator(seed=0), NodeConfig(policy=GETH.scaled(64)))
+    for index, price in enumerate(prices):
+        node.mempool.add(
+            Transaction(sender=f"0xsender{index}", nonce=0, gas_price=price)
+        )
+    return node
+
+
+class TestEstimateY:
+    def test_explicit_config_wins(self):
+        node = node_with_prices([100, 200, 300])
+        config = MeasurementConfig(gas_price_y=777)
+        assert estimate_y(node, config) == 777
+
+    def test_median_of_pending(self):
+        node = node_with_prices([100, 300, 200])
+        assert estimate_y(node, MeasurementConfig()) == 200
+
+    def test_even_count_averages_middle_pair(self):
+        node = node_with_prices([100, 200, 300, 400])
+        assert estimate_y(node, MeasurementConfig()) == 250
+
+    def test_empty_pool_falls_back_to_default(self):
+        node = node_with_prices([])
+        config = MeasurementConfig(default_gas_price_y=gwei(2.0))
+        assert estimate_y(node, config) == gwei(2.0)
+
+
+class TestOccupancy:
+    def test_occupancy_fraction(self):
+        node = node_with_prices([100] * 16)
+        assert mempool_occupancy(node) == 16 / 64
+
+    def test_needs_background_workload_on_empty_testnet(self):
+        """The under-loaded Ropsten situation of Section 6.2.1."""
+        node = node_with_prices([100] * 4)
+        assert needs_background_workload(node)
+
+    def test_full_pool_needs_nothing(self):
+        node = node_with_prices([100] * 64)
+        assert not needs_background_workload(node)
+
+
+class TestPendingRank:
+    def test_rank_counts_cheaper_pending(self):
+        node = node_with_prices([100, 200, 300, 400])
+        assert pending_rank_of_price(node, 250) == 2
+        assert pending_rank_of_price(node, 100) == 0
+        assert pending_rank_of_price(node, 10**9) == 4
+
+    def test_rank_of_empty_pool_is_none(self):
+        node = node_with_prices([])
+        assert pending_rank_of_price(node, 100) is None

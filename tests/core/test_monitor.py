@@ -1,0 +1,93 @@
+"""Tests for longitudinal topology monitoring and churn detection."""
+
+import pytest
+
+from repro.core.campaign import TopoShot
+from repro.core.monitor import TopologyMonitor, rewire_random_links
+from repro.errors import MeasurementError
+from repro.netgen.ethereum import quick_network
+from repro.netgen.workloads import prefill_mempools
+
+
+@pytest.fixture
+def monitored():
+    network = quick_network(n_nodes=14, seed=57)
+    prefill_mempools(network)
+    shot = TopoShot.attach(network)
+    shot.config = shot.config.with_repeats(2)
+    return network, shot
+
+
+class TestSnapshots:
+    def test_stable_network_zero_churn(self, monitored):
+        network, shot = monitored
+        monitor = TopologyMonitor(shot)
+        monitor.run_rounds(2)
+        report = monitor.churn_between(0, 1)
+        assert report.churn_rate == 0.0
+        assert report.jaccard_similarity == 1.0
+        assert monitor.persistent_edges() == monitor.snapshots[0].edges
+
+    def test_rewire_injects_detectable_churn(self, monitored):
+        network, shot = monitored
+        injected = {}
+
+        def churn():
+            removed, added = rewire_random_links(network, fraction=0.15)
+            injected["removed"] = removed
+            injected["added"] = added
+
+        monitor = TopologyMonitor(shot, between_rounds=churn)
+        monitor.run_rounds(2)
+        report = monitor.churn_between(0, 1)
+        # Every removed link detected as gone (precision is exact, so a
+        # measured-then-vanished edge can only be real churn)...
+        detected_removed = report.removed & injected["removed"]
+        assert len(detected_removed) >= len(injected["removed"]) * 0.7
+        # ...and most added links picked up (bounded by recall).
+        detected_added = report.added & injected["added"]
+        assert len(detected_added) >= len(injected["added"]) * 0.7
+        assert report.churn_rate > 0
+        assert "+{}".format(len(report.added)) in report.summary()
+
+    def test_churn_series_and_negative_indices(self, monitored):
+        network, shot = monitored
+        monitor = TopologyMonitor(
+            shot, between_rounds=lambda: rewire_random_links(network, 0.1)
+        )
+        monitor.run_rounds(3)
+        series = monitor.churn_series()
+        assert len(series) == 2
+        last = monitor.churn_between(-2, -1)
+        assert last.to_time >= last.from_time
+
+    def test_zero_rounds_rejected(self, monitored):
+        _, shot = monitored
+        with pytest.raises(MeasurementError):
+            TopologyMonitor(shot).run_rounds(0)
+
+
+class TestRewire:
+    def test_rewire_preserves_link_count(self):
+        # Sparse network: plenty of free pairs to dial.
+        network = quick_network(
+            n_nodes=20, seed=58, outbound_dials=3, max_peers=8
+        )
+        before = len(network.ground_truth_edges())
+        removed, added = rewire_random_links(network, fraction=0.2)
+        after = len(network.ground_truth_edges())
+        assert len(removed) == len(added)
+        assert removed.isdisjoint(added)
+        assert after == before
+
+    def test_zero_fraction_noop(self):
+        network = quick_network(n_nodes=10, seed=59)
+        before = network.ground_truth_edges()
+        removed, added = rewire_random_links(network, fraction=0.0)
+        assert removed == added == set()
+        assert network.ground_truth_edges() == before
+
+    def test_bad_fraction_rejected(self):
+        network = quick_network(n_nodes=8, seed=60)
+        with pytest.raises(MeasurementError):
+            rewire_random_links(network, fraction=1.5)

@@ -1,0 +1,118 @@
+"""Tests for the non-interference extension (Section 6.3, Appendix C)."""
+
+import pytest
+
+from repro.core.noninterference import (
+    NonInterferenceMonitor,
+    check_conditions,
+    compare_worlds,
+)
+from repro.eth.chain import Chain
+from repro.eth.transaction import INTRINSIC_GAS, Transaction
+
+
+def full_block_txs(wallet, factory, count, price):
+    return [
+        factory.transfer(wallet.fresh_account(), gas_price=price)
+        for _ in range(count)
+    ]
+
+
+@pytest.fixture
+def small_chain():
+    return Chain(gas_limit=3 * INTRINSIC_GAS)
+
+
+class TestConditions:
+    def test_v1_v2_hold_on_full_expensive_blocks(self, small_chain, wallet, factory):
+        for t in (1.0, 2.0):
+            small_chain.append("m", t, full_block_txs(wallet, factory, 3, 500))
+        report = check_conditions(small_chain, 0.0, 2.0, y0=100, expiry=10.0)
+        assert report.non_interfering
+        assert report.blocks_checked == 2
+        assert "VERIFIED" in report.summary()
+
+    def test_v1_fails_on_partial_block(self, small_chain, wallet, factory):
+        small_chain.append("m", 1.0, full_block_txs(wallet, factory, 2, 500))
+        report = check_conditions(small_chain, 0.0, 2.0, y0=100, expiry=10.0)
+        assert not report.v1_full_blocks
+        assert not report.non_interfering
+        assert report.violating_blocks_v1 == (1,)
+
+    def test_v2_fails_when_cheap_tx_included(self, small_chain, wallet, factory):
+        txs = full_block_txs(wallet, factory, 2, 500)
+        txs.append(factory.transfer(wallet.fresh_account(), gas_price=50))
+        small_chain.append("m", 1.0, txs)
+        report = check_conditions(small_chain, 0.0, 2.0, y0=100, expiry=10.0)
+        assert report.v1_full_blocks
+        assert not report.v2_prices_above_y0
+        assert report.violating_blocks_v2 == (1,)
+
+    def test_window_includes_expiry_tail(self, small_chain, wallet, factory):
+        # Block at t=11 is inside [t1, t2 + e] = [0, 2 + 10].
+        small_chain.append("m", 11.0, full_block_txs(wallet, factory, 2, 500))
+        report = check_conditions(small_chain, 0.0, 2.0, y0=100, expiry=10.0)
+        assert report.blocks_checked == 1
+        assert not report.v1_full_blocks
+
+    def test_blocks_outside_window_ignored(self, small_chain, wallet, factory):
+        small_chain.append("m", 50.0, full_block_txs(wallet, factory, 1, 10))
+        report = check_conditions(small_chain, 0.0, 2.0, y0=100, expiry=10.0)
+        assert report.blocks_checked == 0
+        assert report.non_interfering
+
+
+class TestMonitor:
+    def test_monitor_lifecycle(self, small_chain, wallet, factory):
+        monitor = NonInterferenceMonitor(small_chain, y0=100, expiry=10.0)
+        monitor.start(0.0)
+        small_chain.append("m", 1.0, full_block_txs(wallet, factory, 3, 500))
+        monitor.stop(2.0)
+        assert monitor.verify().non_interfering
+
+    def test_verify_before_start_raises(self, small_chain):
+        monitor = NonInterferenceMonitor(small_chain, y0=100)
+        with pytest.raises(RuntimeError):
+            monitor.verify()
+
+
+class TestWorldComparison:
+    def test_identical_worlds(self, wallet, factory):
+        chain_a = Chain(gas_limit=3 * INTRINSIC_GAS)
+        chain_b = Chain(gas_limit=3 * INTRINSIC_GAS)
+        txs = full_block_txs(wallet, factory, 3, 500)
+        chain_a.append("m", 1.0, txs)
+        chain_b.append("m", 1.0, txs)
+        comparison = compare_worlds(chain_a.blocks, chain_b.blocks)
+        assert comparison.identical
+        assert "identical" in comparison.summary()
+
+    def test_divergence_reported(self, wallet, factory):
+        chain_a = Chain(gas_limit=3 * INTRINSIC_GAS)
+        chain_b = Chain(gas_limit=3 * INTRINSIC_GAS)
+        txs = full_block_txs(wallet, factory, 3, 500)
+        chain_a.append("m", 1.0, txs)
+        chain_b.append("m", 1.0, txs[:2])
+        comparison = compare_worlds(chain_a.blocks, chain_b.blocks)
+        assert not comparison.identical
+        assert comparison.first_divergence == 1
+        assert comparison.extra_in_measured == 1
+
+    def test_measurement_senders_ignored(self, wallet, factory):
+        chain_a = Chain(gas_limit=3 * INTRINSIC_GAS)
+        chain_b = Chain(gas_limit=3 * INTRINSIC_GAS)
+        shared = full_block_txs(wallet, factory, 2, 500)
+        probe = factory.transfer(wallet.fresh_account(), gas_price=600)
+        chain_a.append("m", 1.0, shared + [probe])
+        chain_b.append("m", 1.0, shared)
+        comparison = compare_worlds(
+            chain_a.blocks, chain_b.blocks, ignore_senders={probe.sender}
+        )
+        assert comparison.identical
+
+    def test_length_mismatch_not_identical(self, wallet, factory):
+        chain_a = Chain(gas_limit=3 * INTRINSIC_GAS)
+        chain_b = Chain(gas_limit=3 * INTRINSIC_GAS)
+        chain_a.append("m", 1.0, [])
+        comparison = compare_worlds(chain_a.blocks, chain_b.blocks)
+        assert not comparison.identical

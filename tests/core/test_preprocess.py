@@ -1,0 +1,138 @@
+"""Tests for the pre-processing phase (Sections 5.2.3 and 6.2.1)."""
+
+import pytest
+
+from repro.core.config import MeasurementConfig
+from repro.core.preprocess import (
+    calibrate_future_count,
+    detect_future_forwarders,
+    preprocess_targets,
+)
+from repro.eth.account import Wallet
+from repro.eth.network import Network
+from repro.eth.node import NodeConfig
+from repro.eth.policies import GETH, NETHERMIND
+from repro.eth.supernode import Supernode
+from repro.eth.transaction import gwei
+from repro.netgen.workloads import prefill_mempools
+
+
+@pytest.fixture
+def mixed_network():
+    """A hand-built network with one of each misbehaviour."""
+    network = Network(seed=31)
+    base = GETH.scaled(128)
+    network.create_node("good-1", NodeConfig(policy=base))
+    network.create_node("good-2", NodeConfig(policy=base))
+    network.create_node(
+        "forwarder", NodeConfig(policy=base, forwards_future=True)
+    )
+    network.create_node(
+        "no-rpc", NodeConfig(policy=base, responds_to_rpc=False)
+    )
+    network.create_node(
+        "nethermind",
+        NodeConfig(policy=NETHERMIND.scaled(64), client_version="Nethermind/v1.10"),
+    )
+    ids = ["good-1", "good-2", "forwarder", "no-rpc", "nethermind"]
+    for i in range(len(ids) - 1):
+        network.connect(ids[i], ids[i + 1])
+    prefill_mempools(network, median_price=gwei(1.0))
+    supernode = Supernode.join(network)
+    return network, supernode, ids
+
+
+class TestPreprocess:
+    def test_all_rejection_categories(self, mixed_network):
+        network, supernode, ids = mixed_network
+        config = MeasurementConfig.for_policy(GETH.scaled(128))
+        report = preprocess_targets(network, supernode, ids, config)
+        assert report.rejected_client == ["nethermind"]
+        assert report.rejected_unresponsive == ["no-rpc"]
+        assert report.rejected_future_forwarders == ["forwarder"]
+        assert sorted(report.accepted) == ["good-1", "good-2"]
+
+    def test_summary_counts(self, mixed_network):
+        network, supernode, ids = mixed_network
+        config = MeasurementConfig.for_policy(GETH.scaled(128))
+        report = preprocess_targets(network, supernode, ids, config)
+        assert "accepted=2" in report.summary()
+        assert len(report.rejected) == 3
+
+    def test_checks_can_be_disabled(self, mixed_network):
+        network, supernode, ids = mixed_network
+        config = MeasurementConfig.for_policy(GETH.scaled(128))
+        report = preprocess_targets(
+            network,
+            supernode,
+            ids,
+            config,
+            check_future_forwarding=False,
+            check_responsiveness=False,
+        )
+        assert "forwarder" in report.accepted
+        assert "no-rpc" in report.accepted
+        assert "nethermind" not in report.accepted  # version filter stays
+
+    def test_monitor_node_detached_after_probe(self, mixed_network):
+        network, supernode, ids = mixed_network
+        config = MeasurementConfig.for_policy(GETH.scaled(128))
+        before = set(network.node_ids)
+        detect_future_forwarders(
+            network, supernode, ids, config, Wallet("probe")
+        )
+        monitors = set(network.node_ids) - before
+        assert all(network.node(m).degree == 0 for m in monitors)
+
+
+class TestCalibration:
+    def test_finds_minimal_sufficient_z(self):
+        """The speculative-B' calibration discovers a big custom pool."""
+        network = Network(seed=32)
+        base = GETH.scaled(128)
+        network.create_node("target", NodeConfig(policy=base.with_capacity(512)))
+        network.create_node("local-b", NodeConfig(policy=base))
+        network.create_node("c1", NodeConfig(policy=base))
+        network.connect("target", "local-b")
+        network.connect("target", "c1")
+        network.connect("local-b", "c1")
+        prefill_mempools(network, median_price=gwei(1.0))
+        supernode = Supernode.join(network)
+        config = MeasurementConfig.for_policy(base)
+        found = calibrate_future_count(
+            network, supernode, "target", "local-b", config, [128, 384, 700]
+        )
+        # The default Z=128 cannot reach txC's eviction rank (~median of a
+        # 512-slot pool); the first sufficient candidate is discovered.
+        assert found == 384
+
+    def test_returns_none_when_nothing_works(self):
+        network = Network(seed=33)
+        base = GETH.scaled(128)
+        # Target that never relays: no Z can make the link visible.
+        network.create_node(
+            "target", NodeConfig(policy=base, relays_transactions=False)
+        )
+        network.create_node("local-b", NodeConfig(policy=base))
+        network.connect("target", "local-b")
+        prefill_mempools(network, median_price=gwei(1.0))
+        supernode = Supernode.join(network)
+        config = MeasurementConfig.for_policy(base)
+        assert (
+            calibrate_future_count(
+                network, supernode, "target", "local-b", config, [128]
+            )
+            is None
+        )
+
+    def test_requires_known_link(self):
+        network = Network(seed=34)
+        base = GETH.scaled(128)
+        network.create_node("target", NodeConfig(policy=base))
+        network.create_node("local-b", NodeConfig(policy=base))
+        supernode = Supernode.join(network)
+        config = MeasurementConfig.for_policy(base)
+        with pytest.raises(ValueError):
+            calibrate_future_count(
+                network, supernode, "target", "local-b", config, [128]
+            )

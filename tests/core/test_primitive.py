@@ -1,0 +1,226 @@
+"""Tests for the serial measureOneLink primitive (Section 5.2).
+
+These run on a 14-node Ethereum-like network with pre-filled pools and
+check the paper's headline guarantees: perfect precision on non-links,
+detection of true links, correct mempool states at each step, and the
+known failure modes (larger pools, custom bumps, silent nodes).
+"""
+
+import pytest
+
+from repro.core.config import MeasurementConfig
+from repro.core.gas_estimator import estimate_y
+from repro.core.primitive import (
+    LinkProbeOutcome,
+    build_future_flood,
+    measure_link_with_repeats,
+    measure_one_link,
+    rebid,
+)
+from repro.eth.account import Wallet
+from repro.eth.network import Network
+from repro.eth.node import NodeConfig
+from repro.eth.policies import GETH
+from repro.eth.supernode import Supernode
+from repro.eth.transaction import TransactionFactory, gwei
+from repro.netgen.workloads import prefill_mempools
+from tests.conftest import pairs_of
+
+
+class TestDetection:
+    def test_true_links_detected(self, measured_network):
+        network, supernode, truth = measured_network
+        for a, b in pairs_of(truth, connected=True, limit=5):
+            report = measure_one_link(network, supernode, a, b)
+            assert report.connected, (a, b, report.outcome)
+            supernode.clear_observations()
+            network.forget_known_transactions()
+
+    def test_non_links_never_detected(self, measured_network):
+        """The 100% precision guarantee."""
+        network, supernode, truth = measured_network
+        for a, b in pairs_of(truth, connected=False, limit=5):
+            report = measure_one_link(network, supernode, a, b)
+            assert not report.connected, (a, b)
+            assert report.outcome is LinkProbeOutcome.NOT_CONNECTED
+            supernode.clear_observations()
+            network.forget_known_transactions()
+
+    def test_detection_is_direction_symmetric(self, measured_network):
+        network, supernode, truth = measured_network
+        (a, b), = pairs_of(truth, connected=True, limit=1)
+        assert measure_one_link(network, supernode, a, b).connected
+        supernode.clear_observations()
+        network.forget_known_transactions()
+        assert measure_one_link(network, supernode, b, a).connected
+
+    def test_self_measurement_rejected(self, measured_network):
+        network, supernode, _ = measured_network
+        with pytest.raises(ValueError):
+            measure_one_link(network, supernode, "testnet-0001", "testnet-0001")
+
+    def test_supernode_cannot_be_a_target(self, measured_network):
+        network, supernode, _ = measured_network
+        with pytest.raises(ValueError):
+            measure_one_link(network, supernode, supernode.id, "testnet-0001")
+        with pytest.raises(ValueError):
+            measure_one_link(network, supernode, "testnet-0001", supernode.id)
+
+
+class TestProtocolStates:
+    """Step-by-step invariants from the correctness analysis (5.2.1)."""
+
+    def test_txc_floods_and_gets_evicted_on_targets(self, measured_network):
+        network, supernode, truth = measured_network
+        (a, b), = pairs_of(truth, connected=True, limit=1)
+        report = measure_one_link(network, supernode, a, b)
+        assert report.flood_confirmed  # txC reached B before Step 2
+        # After the run, txC must be gone from both targets...
+        assert report.tx_c_hash not in network.node(a).mempool
+        assert report.tx_c_hash not in network.node(b).mempool
+        # ...but still present on some third-party node C.
+        others = [
+            nid
+            for nid in network.measurable_node_ids()
+            if nid not in (a, b)
+        ]
+        assert any(
+            report.tx_c_hash in network.node(nid).mempool for nid in others
+        )
+
+    def test_txa_replaces_txb_on_connected_sink(self, measured_network):
+        network, supernode, truth = measured_network
+        (a, b), = pairs_of(truth, connected=True, limit=1)
+        report = measure_one_link(network, supernode, a, b)
+        sink_pool = network.node(b).mempool
+        assert report.tx_a_hash in sink_pool
+        assert report.tx_b_hash not in sink_pool
+
+    def test_txb_survives_on_unconnected_sink(self, measured_network):
+        network, supernode, truth = measured_network
+        (a, b), = pairs_of(truth, connected=False, limit=1)
+        report = measure_one_link(network, supernode, a, b)
+        sink_pool = network.node(b).mempool
+        assert report.tx_b_hash in sink_pool
+        assert report.tx_a_hash not in sink_pool
+
+    def test_txa_never_lands_on_third_parties(self, measured_network):
+        """Isolation: txA exists only on A (and B when connected)."""
+        network, supernode, truth = measured_network
+        (a, b), = pairs_of(truth, connected=True, limit=1)
+        report = measure_one_link(network, supernode, a, b)
+        for nid in network.measurable_node_ids():
+            if nid in (a, b):
+                continue
+            assert report.tx_a_hash not in network.node(nid).mempool, nid
+
+    def test_flood_futures_never_propagate(self, measured_network):
+        network, supernode, truth = measured_network
+        (a, b), = pairs_of(truth, connected=True, limit=1)
+        config = MeasurementConfig.for_policy(
+            network.node(a).config.policy
+        )
+        wallet = Wallet("flood-check")
+        factory = TransactionFactory()
+        y = estimate_y(supernode, config)
+        flood = build_future_flood(wallet, factory, config, y)
+        supernode.send_transactions(a, flood)
+        network.run(5.0)
+        flood_hashes = {tx.hash for tx in flood}
+        for nid in network.measurable_node_ids():
+            if nid == a:
+                continue
+            pool = network.node(nid).mempool
+            assert not any(h in pool for h in flood_hashes), nid
+
+
+class TestFailureModes:
+    """The recall culprits of Section 6.1, reproduced deliberately."""
+
+    def _two_node_net(self, b_policy):
+        network = Network(seed=21)
+        default = NodeConfig(policy=GETH.scaled(128))
+        network.create_node("a", default)
+        network.create_node("b", NodeConfig(policy=b_policy))
+        network.create_node("c", default)
+        network.connect("a", "b")
+        network.connect("a", "c")
+        network.connect("b", "c")
+        prefill_mempools(network, median_price=gwei(1.0))
+        supernode = Supernode.join(network)
+        return network, supernode
+
+    def test_oversized_mempool_causes_false_negative(self):
+        """Custom L >> Z: the flood cannot evict txC (Figure 7's cliff)."""
+        network, supernode = self._two_node_net(GETH.scaled(128).with_capacity(512))
+        config = MeasurementConfig.for_policy(GETH.scaled(128))
+        report = measure_one_link(network, supernode, "a", "b", config)
+        assert not report.connected
+        assert report.outcome is LinkProbeOutcome.SETUP_FAILED_B
+
+    def test_larger_flood_recovers_the_link(self):
+        """...and a big enough Z recovers it (the Fig 4a mechanism)."""
+        network, supernode = self._two_node_net(GETH.scaled(128).with_capacity(512))
+        config = MeasurementConfig.for_policy(GETH.scaled(128)).with_future_count(
+            700
+        )
+        report = measure_one_link(network, supernode, "a", "b", config)
+        assert report.connected
+
+    def test_custom_replacement_bump_causes_false_negative(self):
+        """Custom R=25%: txA's 10.5% bump cannot replace txB on the sink."""
+        network, supernode = self._two_node_net(GETH.scaled(128).with_bump(0.25))
+        config = MeasurementConfig.for_policy(GETH.scaled(128))
+        report = measure_one_link(network, supernode, "a", "b", config)
+        assert not report.connected
+
+    def test_non_relaying_source_causes_false_negative(self):
+        network = Network(seed=22)
+        default = NodeConfig(policy=GETH.scaled(128))
+        network.create_node("a", NodeConfig(
+            policy=GETH.scaled(128), relays_transactions=False
+        ))
+        network.create_node("b", default)
+        network.create_node("c", default)
+        network.connect("a", "b")
+        network.connect("a", "c")
+        network.connect("b", "c")
+        prefill_mempools(network, median_price=gwei(1.0))
+        supernode = Supernode.join(network)
+        report = measure_one_link(network, supernode, "a", "b")
+        assert not report.connected
+
+
+class TestRepeats:
+    def test_repeats_stop_early_on_positive(self, measured_network):
+        network, supernode, truth = measured_network
+        (a, b), = pairs_of(truth, connected=True, limit=1)
+        config = MeasurementConfig.for_policy(
+            network.node(a).config.policy
+        ).with_repeats(3)
+        reports = measure_link_with_repeats(network, supernode, a, b, config)
+        assert len(reports) == 1  # first attempt already positive
+
+    def test_repeats_exhaust_on_negative(self, measured_network):
+        network, supernode, truth = measured_network
+        (a, b), = pairs_of(truth, connected=False, limit=1)
+        config = MeasurementConfig.for_policy(
+            network.node(a).config.policy
+        ).with_repeats(3)
+        refreshes = []
+        reports = measure_link_with_repeats(
+            network, supernode, a, b, config, refresh=lambda: refreshes.append(1)
+        )
+        assert len(reports) == 3
+        assert not any(r.connected for r in reports)
+        assert len(refreshes) == 3
+
+
+class TestRebid:
+    def test_rebid_keeps_identity(self, factory, wallet):
+        original = factory.transfer(wallet.fresh_account(), gas_price=1000)
+        cheaper = rebid(factory, original, 950)
+        assert cheaper.sender == original.sender
+        assert cheaper.nonce == original.nonce
+        assert cheaper.gas_price == 950
+        assert cheaper.hash != original.hash

@@ -1,0 +1,106 @@
+"""Tests for the two-round parallel schedule (Section 5.3.2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedule import (
+    ScheduleIteration,
+    build_schedule,
+    expected_iteration_count,
+    verify_schedule_coverage,
+)
+from repro.errors import MeasurementError
+
+
+def ids(n):
+    return [f"n{i}" for i in range(n)]
+
+
+class TestCoverage:
+    @pytest.mark.parametrize("n,k", [(8, 3), (10, 2), (24, 6), (7, 7), (5, 1)])
+    def test_every_pair_exactly_once(self, n, k):
+        schedule = build_schedule(ids(n), k)
+        verify_schedule_coverage(ids(n), schedule)
+
+    def test_paper_example_n8_k3(self):
+        """Figure 3b: N=8, K=3 gives two round-1 and two round-2 iterations."""
+        schedule = build_schedule(ids(8), 3)
+        round1 = [it for it in schedule if it.round_index == 1]
+        round2 = [it for it in schedule if it.round_index == 2]
+        assert len(round1) == 2
+        assert len(round2) == 2
+        # First iteration: group {n0,n1,n2} vs the other five -> 15 edges.
+        assert round1[0].edge_count == 15
+        assert round1[1].edge_count == 6
+
+    def test_sources_and_sinks_disjoint_in_every_iteration(self):
+        for iteration in build_schedule(ids(20), 4):
+            assert not set(iteration.sources) & set(iteration.sinks)
+
+    def test_trivial_networks(self):
+        assert build_schedule(ids(0), 3) == []
+        assert build_schedule(ids(1), 3) == []
+        two = build_schedule(ids(2), 3)
+        assert len(two) == 1
+        assert two[0].edges == (("n0", "n1"),)
+
+
+class TestComplexity:
+    @pytest.mark.parametrize("n,k", [(100, 10), (60, 3), (500, 4)])
+    def test_iteration_count_near_paper_formula(self, n, k):
+        schedule = build_schedule(ids(n), k)
+        expected = expected_iteration_count(n, k)
+        assert abs(len(schedule) - expected) <= 1 + math.ceil(math.log2(k))
+
+    def test_paper_ropsten_count(self):
+        """N=500, K=4 -> 125 + 2 = 127 iterations (Section 5.3.2)."""
+        assert expected_iteration_count(500, 4) == 127
+
+    def test_larger_k_fewer_iterations(self):
+        n = 120
+        counts = [len(build_schedule(ids(n), k)) for k in (2, 5, 10, 30)]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestValidation:
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(MeasurementError):
+            build_schedule(["a", "a", "b"], 2)
+
+    def test_bad_group_size_rejected(self):
+        with pytest.raises(MeasurementError):
+            build_schedule(ids(5), 0)
+
+    def test_overlapping_iteration_rejected(self):
+        with pytest.raises(MeasurementError):
+            ScheduleIteration(
+                round_index=1,
+                sources=("a", "b"),
+                sinks=("b", "c"),
+                edges=(("a", "b"),),
+            )
+
+    def test_verify_detects_missing_pair(self):
+        schedule = build_schedule(ids(6), 2)[:-1]  # drop the last iteration
+        with pytest.raises(MeasurementError):
+            verify_schedule_coverage(ids(6), schedule)
+
+
+@given(
+    n=st.integers(min_value=2, max_value=40),
+    k=st.integers(min_value=1, max_value=40),
+)
+@settings(max_examples=80, deadline=None)
+def test_schedule_covers_all_pairs_property(n, k):
+    """Property: for any (N, K), every unordered pair is scheduled exactly
+    once and every iteration keeps sources/sinks disjoint."""
+    schedule = build_schedule(ids(n), k)
+    verify_schedule_coverage(ids(n), schedule)
+    for iteration in schedule:
+        assert not set(iteration.sources) & set(iteration.sinks)
+        for a, b in iteration.edges:
+            assert a in iteration.sources
+            assert b in iteration.sinks

@@ -1,0 +1,232 @@
+"""Tests for discovery tables, the RPC facade and the supernode."""
+
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.eth.discovery import (
+    BUCKET_COUNT,
+    RoutingTable,
+    build_routing_tables,
+    bucket_index,
+    kademlia_id,
+    xor_distance,
+)
+from repro.eth.messages import NewPooledTransactionHashes
+from repro.eth.network import Network
+from repro.eth.node import NodeConfig
+from repro.eth.policies import GETH
+from repro.eth.rpc import RpcServer, RpcUnavailableError
+from repro.eth.supernode import Supernode
+from repro.eth.transaction import Transaction, gwei
+
+
+class TestKademlia:
+    def test_id_is_stable(self):
+        assert kademlia_id("node-1") == kademlia_id("node-1")
+
+    def test_xor_distance_symmetric_and_zero_on_self(self):
+        assert xor_distance("a", "b") == xor_distance("b", "a")
+        assert xor_distance("a", "a") == 0
+
+    def test_bucket_index_in_range(self):
+        for i in range(50):
+            index = bucket_index("owner", f"peer-{i}")
+            assert 0 <= index < BUCKET_COUNT
+
+
+class TestRoutingTable:
+    def test_never_contains_owner(self):
+        table = RoutingTable(owner_id="me", capacity=16)
+        assert not table.add("me")
+
+    def test_no_duplicates(self):
+        table = RoutingTable(owner_id="me", capacity=16)
+        assert table.add("peer")
+        assert not table.add("peer")
+        assert len(table) == 1
+
+    def test_bucket_capacity_limits_insertion(self):
+        table = RoutingTable(owner_id="me", capacity=BUCKET_COUNT)  # 1 per bucket
+        inserted = table.fill_from([f"n{i}" for i in range(200)], random.Random(1))
+        assert inserted <= BUCKET_COUNT
+        for bucket in table.buckets.values():
+            assert len(bucket) <= table.bucket_capacity
+
+    def test_fill_from_reaches_target(self):
+        table = RoutingTable(owner_id="me", capacity=64)
+        population = [f"n{i}" for i in range(500)]
+        table.fill_from(population, random.Random(2))
+        assert len(table) >= 32  # most buckets fillable from 500 candidates
+
+    def test_closest_sorts_by_xor(self):
+        table = RoutingTable(owner_id="me", capacity=64)
+        table.fill_from([f"n{i}" for i in range(100)], random.Random(3))
+        closest = table.closest("target", count=5)
+        distances = [xor_distance(nid, "target") for nid in closest]
+        assert distances == sorted(distances)
+
+    def test_build_tables_for_population(self):
+        ids = [f"n{i}" for i in range(30)]
+        tables = build_routing_tables(ids, random.Random(4), capacity=16)
+        assert set(tables) == set(ids)
+        for owner, table in tables.items():
+            assert owner not in table.entries()
+
+
+@pytest.fixture
+def rpc_network(wallet, factory):
+    network = Network(seed=6)
+    config = NodeConfig(policy=GETH.scaled(64), client_version="Geth/v1.9.99-test")
+    network.create_node("a", config)
+    network.create_node("b", config)
+    network.connect("a", "b")
+    tx = factory.transfer(wallet.fresh_account(), gas_price=gwei(1))
+    network.node("a").submit_transaction(tx)
+    return network, tx
+
+
+class TestRpc:
+    def test_client_version(self, rpc_network):
+        network, _ = rpc_network
+        rpc = RpcServer(network.node("a"))
+        assert rpc.call("web3_clientVersion") == "Geth/v1.9.99-test"
+
+    def test_get_transaction_by_hash(self, rpc_network):
+        network, tx = rpc_network
+        rpc = RpcServer(network.node("a"))
+        found = rpc.call("eth_getTransactionByHash", tx.hash)
+        assert found["hash"] == tx.hash
+        assert found["pending"] is True
+        assert rpc.call("eth_getTransactionByHash", "0xmissing") is None
+
+    def test_txpool_status_and_content(self, rpc_network, wallet, factory):
+        network, tx = rpc_network
+        node = network.node("a")
+        node.submit_transaction(factory.future(wallet.fresh_account(), gwei(2)))
+        rpc = RpcServer(node)
+        status = rpc.call("txpool_status")
+        assert status == {"pending": 1, "queued": 1}
+        content = rpc.call("txpool_content")
+        assert tx.hash in content["pending"][tx.sender]
+
+    def test_admin_peers_is_ground_truth(self, rpc_network):
+        network, _ = rpc_network
+        assert RpcServer(network.node("a")).call("admin_peers") == ["b"]
+
+    def test_send_raw_transaction(self, rpc_network, wallet, factory):
+        network, _ = rpc_network
+        rpc = RpcServer(network.node("a"))
+        tx = factory.transfer(wallet.fresh_account(), gas_price=gwei(1))
+        assert rpc.call("eth_sendRawTransaction", tx) == tx.hash
+
+    def test_send_raw_rejection_raises(self, rpc_network, wallet, factory):
+        network, existing = rpc_network
+        rpc = RpcServer(network.node("a"))
+        weak = Transaction(
+            sender=existing.sender, nonce=existing.nonce, gas_price=existing.gas_price
+        )
+        weak_bump = Transaction(
+            sender=existing.sender,
+            nonce=existing.nonce,
+            gas_price=existing.gas_price + 1,
+        )
+        with pytest.raises(ReproError):
+            rpc.call("eth_sendRawTransaction", weak_bump)
+
+    def test_disabled_rpc_raises(self):
+        network = Network(seed=1)
+        node = network.create_node(
+            "quiet", NodeConfig(policy=GETH.scaled(16), responds_to_rpc=False)
+        )
+        with pytest.raises(RpcUnavailableError):
+            RpcServer(node).call("web3_clientVersion")
+
+    def test_unknown_method_raises(self, rpc_network):
+        network, _ = rpc_network
+        with pytest.raises(KeyError):
+            RpcServer(network.node("a")).call("eth_mine_me_some_coins")
+
+
+class TestSupernode:
+    def test_joins_everyone_without_peer_limit(self, triangle_network):
+        supernode = Supernode.join(triangle_network)
+        assert supernode.degree == 3
+        assert all(
+            triangle_network.are_connected(supernode.id, n)
+            for n in ("n0", "n1", "n2")
+        )
+
+    def test_records_push_observations(self, triangle_network, wallet, factory):
+        supernode = Supernode.join(triangle_network)
+        tx = factory.transfer(wallet.fresh_account(), gas_price=gwei(1))
+        triangle_network.node("n0").submit_transaction(tx)
+        triangle_network.run(10.0)
+        assert supernode.observed_from("n0", tx.hash)
+        assert supernode.observers_of(tx.hash) >= {"n0"}
+
+    def test_records_announce_observations_despite_hold(
+        self, triangle_network, wallet, factory
+    ):
+        supernode = Supernode.join(triangle_network)
+        tx = factory.transfer(wallet.fresh_account(), gas_price=gwei(1))
+        supernode.handle_message(
+            "n0", NewPooledTransactionHashes(hashes=(tx.hash,))
+        )
+        supernode.handle_message(
+            "n1", NewPooledTransactionHashes(hashes=(tx.hash,))
+        )
+        assert supernode.observed_from("n0", tx.hash)
+        assert supernode.observed_from("n1", tx.hash)  # hold bypassed
+
+    def test_never_relays(self, wallet, factory):
+        network = Network(seed=8)
+        config = NodeConfig(policy=GETH.scaled(32))
+        network.create_node("a", config)
+        network.create_node("b", config)
+        # a and b are NOT connected; the supernode bridges them physically.
+        supernode = Supernode.join(network)
+        tx = factory.transfer(wallet.fresh_account(), gas_price=gwei(1))
+        supernode.send_transactions("a", [tx])
+        network.run(10.0)
+        assert tx.hash in network.node("a").mempool
+        assert tx.hash not in network.node("b").mempool
+
+    def test_clear_observations(self, triangle_network, wallet, factory):
+        supernode = Supernode.join(triangle_network)
+        tx = factory.transfer(wallet.fresh_account(), gas_price=gwei(1))
+        triangle_network.node("n0").submit_transaction(tx)
+        triangle_network.run(5.0)
+        supernode.clear_observations()
+        assert not supernode.observed_from("n0", tx.hash)
+        assert supernode.observations == []
+
+    def test_first_observation_time_is_monotone_in_distance(
+        self, line_network, wallet, factory
+    ):
+        supernode = Supernode.join(line_network)
+        tx = factory.transfer(wallet.fresh_account(), gas_price=gwei(1))
+        # Local submission: n0 then gossips to M (a node never propagates a
+        # transaction back to the peer that sent it, so injecting through M
+        # would leave n0 unobservable).
+        line_network.node("n0").submit_transaction(tx)
+        line_network.run(10.0)
+        t0 = supernode.first_observation_time("n0", tx.hash)
+        t3 = supernode.first_observation_time("n3", tx.hash)
+        assert t0 is not None and t3 is not None
+        assert t0 < t3  # farther along the line -> later possession
+
+    def test_find_node_crawling(self, triangle_network):
+        supernode = Supernode.join(triangle_network)
+        triangle_network.node("n0").routing_table = ["n1", "n2"]
+        supernode.send_find_node("n0")
+        triangle_network.run(2.0)
+        assert supernode.neighbor_responses["n0"] == ("n1", "n2")
+
+    def test_targets_subset_join(self, triangle_network):
+        supernode = Supernode.join(
+            triangle_network, node_id="partial-M", targets=["n0", "n1"]
+        )
+        assert supernode.degree == 2
+        assert not triangle_network.are_connected("partial-M", "n2")

@@ -1,0 +1,102 @@
+"""EIP-1559 mempool behaviour (Appendix E).
+
+"Under EIP1559, the mempool uses the max fee to make admission/eviction
+decisions. [...] when a pending transaction's max fee is below the base fee
+the transaction becomes underpriced and is dropped."
+"""
+
+import pytest
+
+from repro.eth.mempool import AddOutcome, Mempool
+from repro.eth.policies import GETH
+from repro.eth.transaction import DynamicFeeTransaction, gwei
+
+
+@pytest.fixture
+def fee_pool():
+    pool = Mempool(policy=GETH.scaled(64).with_base_fee_enforcement())
+    pool.base_fee = gwei(1.0)
+    return pool
+
+
+def dyn_tx(wallet, max_fee, priority_fee=0, nonce=0):
+    account = wallet.fresh_account()
+    return DynamicFeeTransaction(
+        sender=account.address,
+        nonce=nonce,
+        gas_price=max_fee,
+        max_fee=max_fee,
+        priority_fee=priority_fee,
+    )
+
+
+class TestAdmission:
+    def test_max_fee_above_base_admitted(self, fee_pool, wallet):
+        tx = dyn_tx(wallet, max_fee=gwei(2.0), priority_fee=gwei(0.1))
+        assert fee_pool.add(tx).outcome is AddOutcome.ADMITTED_PENDING
+
+    def test_max_fee_below_base_rejected(self, fee_pool, wallet):
+        tx = dyn_tx(wallet, max_fee=gwei(0.5))
+        assert fee_pool.add(tx).outcome is AddOutcome.REJECTED_BASE_FEE
+
+    def test_legacy_txs_held_to_same_rule(self, fee_pool, wallet, factory):
+        cheap = factory.transfer(wallet.fresh_account(), gas_price=gwei(0.5))
+        assert fee_pool.add(cheap).outcome is AddOutcome.REJECTED_BASE_FEE
+        rich = factory.transfer(wallet.fresh_account(), gas_price=gwei(2.0))
+        assert fee_pool.add(rich).admitted
+
+    def test_non_enforcing_pool_ignores_base_fee(self, wallet):
+        pool = Mempool(policy=GETH.scaled(64))
+        pool.base_fee = gwei(10.0)
+        tx = dyn_tx(wallet, max_fee=gwei(0.5))
+        assert pool.add(tx).admitted
+
+
+class TestReplacementByMaxFee:
+    def test_replacement_compares_max_fees(self, fee_pool, wallet):
+        account = wallet.fresh_account()
+        original = DynamicFeeTransaction(
+            sender=account.address, nonce=0, gas_price=0,
+            max_fee=gwei(2.0), priority_fee=gwei(0.1),
+        )
+        fee_pool.add(original)
+        bumped = DynamicFeeTransaction(
+            sender=account.address, nonce=0, gas_price=0,
+            max_fee=gwei(2.2), priority_fee=gwei(0.2),
+        )
+        assert fee_pool.add(bumped).outcome is AddOutcome.REPLACED
+
+    def test_insufficient_max_fee_bump_rejected(self, fee_pool, wallet):
+        account = wallet.fresh_account()
+        original = DynamicFeeTransaction(
+            sender=account.address, nonce=0, gas_price=0,
+            max_fee=gwei(2.0), priority_fee=gwei(0.1),
+        )
+        fee_pool.add(original)
+        weak = DynamicFeeTransaction(
+            sender=account.address, nonce=0, gas_price=0,
+            max_fee=gwei(2.1), priority_fee=gwei(2.1),
+        )
+        assert (
+            fee_pool.add(weak).outcome
+            is AddOutcome.REJECTED_UNDERPRICED_REPLACEMENT
+        )
+
+
+class TestBaseFeeUpdates:
+    def test_rising_base_fee_drops_underpriced(self, fee_pool, wallet):
+        survivor = dyn_tx(wallet, max_fee=gwei(5.0))
+        victim = dyn_tx(wallet, max_fee=gwei(2.0))
+        fee_pool.add(survivor)
+        fee_pool.add(victim)
+        dropped = fee_pool.apply_block([], new_base_fee=gwei(3.0))
+        assert victim.hash in {t.hash for t in dropped}
+        assert survivor.hash in fee_pool
+        fee_pool.check_invariants()
+
+    def test_falling_base_fee_drops_nothing(self, fee_pool, wallet):
+        tx = dyn_tx(wallet, max_fee=gwei(2.0))
+        fee_pool.add(tx)
+        dropped = fee_pool.apply_block([], new_base_fee=gwei(0.5))
+        assert dropped == []
+        assert tx.hash in fee_pool

@@ -1,0 +1,121 @@
+"""Property-based tests of mempool invariants (hypothesis).
+
+A random sequence of operations must never break the structural invariants
+checked by :meth:`Mempool.check_invariants`: capacity bound, disjoint and
+covering pending/future sets, contiguous pending runs per sender.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eth.mempool import AddOutcome, Mempool
+from repro.eth.policies import GETH, PARITY, MempoolPolicy
+from repro.eth.transaction import Transaction
+
+SENDERS = [f"0xsender{i}" for i in range(6)]
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(SENDERS),
+        st.integers(min_value=0, max_value=8),  # nonce
+        st.integers(min_value=1, max_value=1000),  # price
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def build_tx(sender: str, nonce: int, price: int) -> Transaction:
+    return Transaction(sender=sender, nonce=nonce, gas_price=price)
+
+
+@pytest.mark.parametrize(
+    "policy",
+    [GETH.scaled(16), PARITY.scaled(24), GETH.scaled(64)],
+    ids=["geth-16", "parity-24", "geth-64"],
+)
+@given(ops=operations)
+@settings(max_examples=60, deadline=None)
+def test_invariants_hold_under_arbitrary_adds(policy: MempoolPolicy, ops):
+    pool = Mempool(policy)
+    for sender, nonce, price in ops:
+        pool.add(build_tx(sender, nonce, price))
+        pool.check_invariants()
+    assert len(pool) <= policy.capacity
+
+
+@given(ops=operations)
+@settings(max_examples=60, deadline=None)
+def test_capacity_is_never_exceeded(ops):
+    policy = GETH.scaled(8)
+    pool = Mempool(policy)
+    for sender, nonce, price in ops:
+        pool.add(build_tx(sender, nonce, price))
+        assert len(pool) <= policy.capacity
+
+
+@given(ops=operations)
+@settings(max_examples=60, deadline=None)
+def test_pending_and_future_partition_the_pool(ops):
+    pool = Mempool(GETH.scaled(32))
+    for sender, nonce, price in ops:
+        pool.add(build_tx(sender, nonce, price))
+    assert pool.pending_count + pool.future_count == len(pool)
+
+
+@given(ops=operations)
+@settings(max_examples=60, deadline=None)
+def test_replacement_never_changes_pool_size(ops):
+    """A REPLACED outcome swaps one transaction for another in place."""
+    pool = Mempool(GETH.scaled(32))
+    for sender, nonce, price in ops:
+        before = len(pool)
+        result = pool.add(build_tx(sender, nonce, price))
+        if result.outcome is AddOutcome.REPLACED:
+            assert len(pool) == before
+
+@given(ops=operations)
+@settings(max_examples=60, deadline=None)
+def test_admitted_transaction_is_queryable(ops):
+    pool = Mempool(GETH.scaled(32))
+    for sender, nonce, price in ops:
+        tx = build_tx(sender, nonce, price)
+        result = pool.add(tx)
+        if result.admitted:
+            assert pool.get(tx.hash) is tx
+            assert pool.sender_transaction(sender, nonce) is tx
+
+
+@given(ops=operations, confirmed=st.integers(min_value=0, max_value=5))
+@settings(max_examples=60, deadline=None)
+def test_no_stale_nonces_survive(ops, confirmed):
+    pool = Mempool(GETH.scaled(32), confirmed_nonce=lambda s: confirmed)
+    for sender, nonce, price in ops:
+        result = pool.add(build_tx(sender, nonce, price))
+        if nonce < confirmed:
+            assert result.outcome is AddOutcome.REJECTED_STALE_NONCE
+    for tx in pool.all_transactions():
+        assert tx.nonce >= confirmed
+
+
+@given(
+    ops=operations,
+    block_senders=st.lists(st.sampled_from(SENDERS), max_size=3),
+)
+@settings(max_examples=40, deadline=None)
+def test_invariants_survive_block_application(ops, block_senders):
+    nonces = {}
+    pool = Mempool(GETH.scaled(32), confirmed_nonce=lambda s: nonces.get(s, 0))
+    for sender, nonce, price in ops:
+        pool.add(build_tx(sender, nonce, price))
+    included = []
+    for sender in block_senders:
+        tx = pool.sender_transaction(sender, nonces.get(sender, 0))
+        if tx is not None:
+            nonces[sender] = tx.nonce + 1
+            included.append(tx)
+    pool.apply_block(included)
+    pool.check_invariants()
+    for tx in included:
+        assert tx.hash not in pool

@@ -1,0 +1,37 @@
+"""End-to-end determinism: the whole pipeline is a pure function of the
+seed. This is what makes every number in EXPERIMENTS.md reproducible."""
+
+from repro.core.campaign import TopoShot
+from repro.netgen.ethereum import quick_network
+from repro.netgen.services import MainnetSpec, mainnet_like
+from repro.netgen.workloads import prefill_mempools
+
+
+def run_campaign(seed: int):
+    network = quick_network(n_nodes=14, seed=seed)
+    prefill_mempools(network)
+    shot = TopoShot.attach(network)
+    measurement = shot.measure_network()
+    return measurement, network
+
+
+class TestEndToEndDeterminism:
+    def test_identical_seeds_identical_measurements(self):
+        first, net_a = run_campaign(seed=123)
+        second, net_b = run_campaign(seed=123)
+        assert first.edges == second.edges
+        assert first.score == second.score
+        assert first.duration == second.duration
+        assert net_a.messages_sent == net_b.messages_sent
+        assert net_a.sim.executed_events == net_b.sim.executed_events
+
+    def test_different_seeds_differ(self):
+        first, _ = run_campaign(seed=123)
+        second, _ = run_campaign(seed=124)
+        assert first.edges != second.edges
+
+    def test_mainnet_generation_deterministic(self):
+        net_a, dir_a = mainnet_like(MainnetSpec(n_regular=15, seed=5))
+        net_b, dir_b = mainnet_like(MainnetSpec(n_regular=15, seed=5))
+        assert net_a.ground_truth_edges() == net_b.ground_truth_edges()
+        assert dir_a.members == dir_b.members

@@ -1,0 +1,73 @@
+"""End-to-end integration: full campaign -> graph -> analysis pipeline."""
+
+import networkx as nx
+import pytest
+
+from repro import TopoShot, quick_network
+from repro.analysis.communities import detect_communities
+from repro.analysis.degrees import degree_distribution
+from repro.analysis.metrics import compute_metrics
+from repro.analysis.randomgraphs import comparison_table
+from repro.netgen.workloads import prefill_mempools
+
+
+@pytest.fixture(scope="module")
+def campaign_result():
+    """One full measured campaign shared by the pipeline assertions."""
+    network = quick_network(n_nodes=20, seed=99)
+    prefill_mempools(network)
+    shot = TopoShot.attach(network)
+    measurement = shot.measure_network()
+    return network, measurement
+
+
+class TestFullPipeline:
+    def test_campaign_precision_is_perfect(self, campaign_result):
+        _, measurement = campaign_result
+        assert measurement.score.precision == 1.0
+
+    def test_campaign_recall_is_high(self, campaign_result):
+        _, measurement = campaign_result
+        assert measurement.score.recall >= 0.85
+
+    def test_measured_graph_feeds_metrics(self, campaign_result):
+        _, measurement = campaign_result
+        metrics = compute_metrics(measurement.graph, "measured")
+        assert metrics.n_nodes == len(measurement.node_ids)
+        assert metrics.diameter >= 1
+
+    def test_measured_graph_feeds_comparison_table(self, campaign_result):
+        _, measurement = campaign_result
+        table = comparison_table(measurement.graph, "Measured", trials=2, seed=1)
+        assert set(table) == {"Measured", "ER", "CM", "BA"}
+
+    def test_measured_graph_feeds_communities(self, campaign_result):
+        _, measurement = campaign_result
+        rows = detect_communities(measurement.graph, seed=1)
+        assert sum(r.n_nodes for r in rows) == len(measurement.node_ids)
+
+    def test_measured_graph_feeds_degrees(self, campaign_result):
+        _, measurement = campaign_result
+        dist = degree_distribution(measurement.graph)
+        assert dist.n_nodes == len(measurement.node_ids)
+
+    def test_measured_topology_structurally_close_to_truth(self, campaign_result):
+        network, measurement = campaign_result
+        truth = network.ground_truth_graph()
+        truth_sub = truth.subgraph(measurement.node_ids)
+        measured_avg = 2 * measurement.graph.number_of_edges() / len(
+            measurement.node_ids
+        )
+        true_avg = 2 * truth_sub.number_of_edges() / truth_sub.number_of_nodes()
+        assert measured_avg >= 0.85 * true_avg
+
+    def test_public_api_roundtrip(self):
+        """The README quickstart must keep working verbatim."""
+        from repro import quick_network as qn
+
+        net = qn(n_nodes=8, seed=7)
+        prefill_mempools(net)
+        shot = TopoShot.attach(net)
+        result = shot.measure_network()
+        assert isinstance(result.graph, nx.Graph)
+        assert result.graph.number_of_edges() > 0

@@ -1,0 +1,127 @@
+"""Tests for the Ethereum-like topology generator."""
+
+import networkx as nx
+import pytest
+
+from repro.netgen.ethereum import (
+    NetworkSpec,
+    generate_network,
+    goerli_like,
+    quick_network,
+    rinkeby_like,
+    ropsten_like,
+)
+
+
+class TestGeneration:
+    def test_node_count_and_connectivity(self):
+        network = quick_network(n_nodes=30, seed=1)
+        graph = network.ground_truth_graph()
+        assert graph.number_of_nodes() == 30
+        assert nx.is_connected(graph)
+
+    def test_seeded_determinism(self):
+        edges_a = set(quick_network(25, seed=9).ground_truth_graph().edges())
+        edges_b = set(quick_network(25, seed=9).ground_truth_graph().edges())
+        assert edges_a == edges_b
+
+    def test_different_seeds_differ(self):
+        edges_a = set(quick_network(25, seed=1).ground_truth_graph().edges())
+        edges_b = set(quick_network(25, seed=2).ground_truth_graph().edges())
+        assert edges_a != edges_b
+
+    def test_average_degree_tracks_outbound_dials(self):
+        spec = NetworkSpec(n_nodes=50, seed=3, outbound_dials=6, max_peers=30)
+        graph = generate_network(spec).ground_truth_graph()
+        avg = 2 * graph.number_of_edges() / graph.number_of_nodes()
+        assert 6 <= avg <= 13  # ~2x dials minus rejected attempts
+
+    def test_max_peers_respected(self):
+        spec = NetworkSpec(n_nodes=40, seed=4, outbound_dials=10, max_peers=12)
+        network = generate_network(spec)
+        for node_id in network.measurable_node_ids():
+            assert network.node(node_id).degree <= 12
+
+    def test_routing_tables_populated(self):
+        network = quick_network(n_nodes=20, seed=5)
+        for node_id in network.measurable_node_ids():
+            table = network.node(node_id).routing_table
+            assert table
+            assert node_id not in table
+
+    def test_policies_scaled_consistently(self):
+        network = quick_network(n_nodes=10, seed=6, mempool_capacity=256)
+        geth_nodes = [
+            network.node(nid)
+            for nid in network.measurable_node_ids()
+            if network.node(nid).config.client_version.startswith("Geth")
+        ]
+        default_capacity = {
+            n.config.policy.capacity for n in geth_nodes
+        }
+        assert 256 in default_capacity
+
+
+class TestHeterogeneity:
+    def test_fractions_realized(self):
+        spec = NetworkSpec(
+            n_nodes=200,
+            seed=7,
+            fraction_custom_capacity=0.2,
+            fraction_non_relaying=0.2,
+            fraction_future_forwarders=0.2,
+            fraction_future_echoers=0.2,
+            fraction_rpc_disabled=0.2,
+            parity_fraction=0.2,
+        )
+        network = generate_network(spec)
+        nodes = [network.node(nid) for nid in network.measurable_node_ids()]
+        customs = sum(1 for n in nodes if n.config.policy.capacity > 256)
+        silents = sum(1 for n in nodes if not n.config.relays_transactions)
+        forwarders = sum(1 for n in nodes if n.config.forwards_future)
+        echoers = sum(1 for n in nodes if n.config.echoes_future_to_sender)
+        no_rpc = sum(1 for n in nodes if not n.config.responds_to_rpc)
+        parity = sum(
+            1 for n in nodes if n.config.client_version.startswith("OpenEthereum")
+        )
+        for count in (customs, silents, forwarders, echoers, no_rpc, parity):
+            assert 15 <= count <= 70  # ~20% of 200, loose binomial bounds
+
+    def test_hubs_have_high_degree(self):
+        spec = goerli_like(seed=8)
+        network = generate_network(spec)
+        hubs = [spec.node_id(i) for i in range(spec.n_hubs)]
+        graph = network.ground_truth_graph()
+        hub_degrees = [graph.degree(h) for h in hubs]
+        others = [
+            graph.degree(n) for n in graph.nodes() if n not in hubs
+        ]
+        assert min(hub_degrees) > 2 * (sum(others) / len(others))
+
+
+class TestPresets:
+    @pytest.mark.parametrize(
+        "preset,expected_name",
+        [(ropsten_like, "ropsten"), (rinkeby_like, "rinkeby"), (goerli_like, "goerli")],
+    )
+    def test_preset_shapes(self, preset, expected_name):
+        spec = preset(seed=1)
+        assert spec.name == expected_name
+        assert spec.n_nodes >= 40
+        assert spec.mempool_capacity >= 512
+
+    def test_rinkeby_denser_than_ropsten(self):
+        ropsten = generate_network(ropsten_like(seed=2)).ground_truth_graph()
+        rinkeby = generate_network(rinkeby_like(seed=2)).ground_truth_graph()
+        density_r = 2 * ropsten.number_of_edges() / (
+            ropsten.number_of_nodes() * (ropsten.number_of_nodes() - 1)
+        )
+        density_k = 2 * rinkeby.number_of_edges() / (
+            rinkeby.number_of_nodes() * (rinkeby.number_of_nodes() - 1)
+        )
+        assert density_k > density_r
+
+    def test_preset_overrides(self):
+        spec = ropsten_like(seed=3, n_nodes=30)
+        assert spec.n_nodes == 30
+        assert spec.name == "ropsten"

@@ -1,0 +1,141 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import ScheduleInPastError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_event_fires_at_scheduled_time(self, sim):
+        fired = []
+        sim.schedule(1.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1.5]
+
+    def test_events_fire_in_chronological_order(self, sim):
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_schedule_order(self, sim):
+        order = []
+        for name in "abcde":
+            sim.schedule(1.0, lambda n=name: order.append(n))
+        sim.run()
+        assert order == list("abcde")
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ScheduleInPastError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_zero_delay_allowed(self, sim):
+        fired = []
+        sim.schedule(0.0, lambda: fired.append(True))
+        sim.run()
+        assert fired == [True]
+
+    def test_schedule_at_absolute_time(self, sim):
+        fired = []
+        sim.schedule_at(2.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [2.5]
+
+    def test_nested_scheduling_from_callback(self, sim):
+        order = []
+
+        def outer():
+            order.append(("outer", sim.now))
+            sim.schedule(1.0, lambda: order.append(("inner", sim.now)))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert order == [("outer", 1.0), ("inner", 2.0)]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(True))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+        assert sim.executed_events == 0
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("early"))
+        sim.schedule(5.0, lambda: fired.append("late"))
+        sim.run(until=2.0)
+        assert fired == ["early"]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_run_for_advances_relative_duration(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run_for(0.5)
+        assert sim.now == 0.5
+        sim.run_for(1.0)
+        assert sim.now == 1.5
+        assert sim.executed_events == 1
+
+    def test_run_until_advances_clock_even_without_events(self, sim):
+        sim.schedule(10.0, lambda: None)
+        sim.run(until=4.0)
+        assert sim.now == 4.0
+
+    def test_max_events_bound(self, sim):
+        for _ in range(10):
+            sim.schedule(1.0, lambda: None)
+        sim.run(max_events=3)
+        assert sim.executed_events == 3
+
+    def test_step_returns_false_on_empty_queue(self, sim):
+        assert sim.step() is False
+
+    def test_executed_events_counter(self, sim):
+        for delay in (1.0, 2.0, 3.0):
+            sim.schedule(delay, lambda: None)
+        sim.run()
+        assert sim.executed_events == 3
+        assert sim.pending_events == 0
+
+    def test_clock_never_goes_backwards(self, sim):
+        times = []
+        for delay in (5.0, 1.0, 3.0, 1.0, 2.0):
+            sim.schedule(delay, lambda: times.append(sim.now))
+        sim.run()
+        assert times == sorted(times)
+
+
+class TestDeterminism:
+    def test_same_seed_same_rng_draws(self):
+        a = Simulator(seed=1).rng.stream("x").random()
+        b = Simulator(seed=1).rng.stream("x").random()
+        assert a == b
+
+    def test_different_seed_different_draws(self):
+        a = Simulator(seed=1).rng.stream("x").random()
+        b = Simulator(seed=2).rng.stream("x").random()
+        assert a != b
+
+    def test_tracer_records_when_enabled(self):
+        sim = Simulator(seed=0, trace=True)
+        sim.schedule(1.0, lambda: None, label="hello")
+        sim.run()
+        assert len(sim.tracer.filter(kind="event", contains="hello")) == 1

@@ -1,0 +1,60 @@
+"""Tests for link-latency models."""
+
+import random
+
+import pytest
+
+from repro.sim.latency import ConstantLatency, LogNormalLatency, UniformLatency
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1)
+
+
+class TestConstantLatency:
+    def test_returns_fixed_delay(self, rng):
+        model = ConstantLatency(0.05)
+        assert model(rng, "a", "b") == 0.05
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(0.0)
+
+
+class TestUniformLatency:
+    def test_within_bounds(self, rng):
+        model = UniformLatency(0.02, 0.12)
+        for _ in range(200):
+            delay = model(rng, "a", "b")
+            assert 0.02 <= delay <= 0.12
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            UniformLatency(0.5, 0.1)
+
+    def test_rejects_zero_low(self):
+        with pytest.raises(ValueError):
+            UniformLatency(0.0, 0.1)
+
+
+class TestLogNormalLatency:
+    def test_positive_and_capped(self, rng):
+        model = LogNormalLatency(median=0.08, sigma=0.5, cap=1.0)
+        draws = [model(rng, "a", "b") for _ in range(500)]
+        assert all(0 < d <= 1.0 for d in draws)
+
+    def test_median_roughly_respected(self, rng):
+        model = LogNormalLatency(median=0.08, sigma=0.5, cap=10.0)
+        draws = sorted(model(rng, "a", "b") for _ in range(2001))
+        assert 0.06 <= draws[1000] <= 0.10
+
+    def test_zero_sigma_is_constant(self, rng):
+        model = LogNormalLatency(median=0.08, sigma=0.0)
+        assert abs(model(rng, "a", "b") - 0.08) < 1e-12
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            LogNormalLatency(median=0.0)
+        with pytest.raises(ValueError):
+            LogNormalLatency(median=0.1, sigma=-1.0)

@@ -1,0 +1,75 @@
+"""Tests for periodic processes."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+
+
+class TestPeriodicProcess:
+    def test_regular_ticks(self):
+        sim = Simulator(seed=0)
+        times = []
+        process = PeriodicProcess(sim, 1.0, lambda: times.append(sim.now))
+        process.start(initial_delay=1.0)
+        sim.run(until=5.5)
+        assert times == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_stop_halts_ticking(self):
+        sim = Simulator(seed=0)
+        ticks = []
+        process = PeriodicProcess(sim, 1.0, lambda: ticks.append(sim.now))
+        process.start(initial_delay=1.0)
+        sim.run(until=2.5)
+        process.stop()
+        sim.run(until=10.0)
+        assert len(ticks) == 2
+        assert not process.running
+
+    def test_start_is_idempotent(self):
+        sim = Simulator(seed=0)
+        ticks = []
+        process = PeriodicProcess(sim, 1.0, lambda: ticks.append(1))
+        process.start(initial_delay=1.0)
+        process.start(initial_delay=1.0)
+        sim.run(until=1.5)
+        assert len(ticks) == 1
+
+    def test_poisson_gaps_vary_but_average_out(self):
+        sim = Simulator(seed=3)
+        times = []
+        process = PeriodicProcess(
+            sim, 2.0, lambda: times.append(sim.now), poisson=True
+        )
+        process.start()
+        sim.run(until=2000.0)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert len(set(round(g, 6) for g in gaps)) > 10  # jittered
+        mean_gap = sum(gaps) / len(gaps)
+        assert 1.6 <= mean_gap <= 2.4
+
+    def test_tick_counter(self):
+        sim = Simulator(seed=0)
+        process = PeriodicProcess(sim, 1.0, lambda: None)
+        process.start(initial_delay=0.5)
+        sim.run(until=3.6)
+        assert process.ticks == 4
+
+    def test_rejects_non_positive_interval(self):
+        sim = Simulator(seed=0)
+        with pytest.raises(ValueError):
+            PeriodicProcess(sim, 0.0, lambda: None)
+
+    def test_stop_from_within_action(self):
+        sim = Simulator(seed=0)
+        ticks = []
+
+        def action():
+            ticks.append(sim.now)
+            if len(ticks) == 2:
+                process.stop()
+
+        process = PeriodicProcess(sim, 1.0, action)
+        process.start(initial_delay=1.0)
+        sim.run(until=10.0)
+        assert len(ticks) == 2

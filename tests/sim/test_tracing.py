@@ -1,0 +1,44 @@
+"""Tests for the structured tracer."""
+
+from repro.sim.tracing import Tracer
+
+
+class TestTracer:
+    def test_records_in_order(self):
+        tracer = Tracer()
+        tracer.record(1.0, "event", "first")
+        tracer.record(2.0, "event", "second")
+        assert [r.detail for r in tracer] == ["first", "second"]
+
+    def test_filter_by_kind(self):
+        tracer = Tracer()
+        tracer.record(1.0, "tx", "a")
+        tracer.record(1.0, "block", "b")
+        assert len(tracer.filter(kind="tx")) == 1
+
+    def test_filter_by_substring(self):
+        tracer = Tracer()
+        tracer.record(1.0, "tx", "node-7 pushed 0xabc")
+        tracer.record(1.0, "tx", "node-8 pushed 0xdef")
+        assert len(tracer.filter(contains="node-7")) == 1
+
+    def test_capacity_drops_and_counts(self):
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            tracer.record(float(i), "x", str(i))
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+    def test_clear_resets(self):
+        tracer = Tracer(capacity=1)
+        tracer.record(0.0, "x", "a")
+        tracer.record(0.0, "x", "b")
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+
+    def test_str_rendering(self):
+        tracer = Tracer()
+        tracer.record(1.2345, "kind", "detail")
+        assert "kind" in str(tracer.records[0])
+        assert "detail" in str(tracer.records[0])
