@@ -35,6 +35,7 @@ from repro.netgen.ethereum import (
     ropsten_like,
 )
 from repro.netgen.workloads import prefill_mempools
+from repro.sim.faults import FaultPlan
 
 PRESETS = {
     "ropsten": ropsten_like,
@@ -72,6 +73,21 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="write the measurement to this JSON file")
     measure.add_argument("--export-graph", type=str, default=None,
                          help="write the measured graph (edge list) here")
+    faults = measure.add_argument_group(
+        "fault injection", "measure under adverse network conditions"
+    )
+    faults.add_argument("--loss", type=float, default=0.0, metavar="RATE",
+                        help="per-message loss probability on every link")
+    faults.add_argument("--churn", type=float, default=0.0, metavar="RATE",
+                        help="link disconnect events per simulated second")
+    faults.add_argument("--crash-rate", type=float, default=0.0, metavar="RATE",
+                        help="node crash events per simulated second")
+    faults.add_argument("--max-retries", type=int, default=0,
+                        help="retry budget for failed/ambiguous probes")
+    faults.add_argument("--checkpoint", type=str, default=None, metavar="FILE",
+                        help="write a resumable checkpoint after each iteration")
+    faults.add_argument("--resume", action="store_true",
+                        help="continue from --checkpoint instead of starting over")
 
     sub.add_parser("profile", help="Table 3: profile the five clients")
 
@@ -104,13 +120,29 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_measure(args: argparse.Namespace) -> int:
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint", file=sys.stderr)
+        return 2
     if args.preset:
         network = generate_network(PRESETS[args.preset](seed=args.seed))
     else:
         network = quick_network(n_nodes=args.nodes, seed=args.seed)
     prefill_mempools(network)
+    plan = FaultPlan(
+        loss_rate=args.loss,
+        churn_rate=args.churn,
+        crash_rate=args.crash_rate,
+    )
+    if plan.enabled:
+        network.install_faults(plan)
+        print(
+            f"fault plan: loss={plan.loss_rate:.1%} "
+            f"churn={plan.churn_rate}/s crash={plan.crash_rate}/s"
+        )
     shot = TopoShot.attach(network)
     shot.config = shot.config.with_repeats(args.repeats)
+    if args.max_retries:
+        shot.config = shot.config.with_retries(args.max_retries)
     print(
         f"measuring {len(network.measurable_node_ids())} nodes "
         f"(Z={shot.config.future_count}, R={shot.config.replace_bump:.1%})"
@@ -118,6 +150,8 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     measurement = shot.measure_network(
         group_size=args.group_size,
         preprocess=not args.no_preprocess,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
     )
     print()
     print(measurement.summary())

@@ -8,8 +8,12 @@ simulator's ground truth.
 
 from __future__ import annotations
 
+import json
+import os
 from collections import Counter
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.config import MeasurementConfig
 from repro.core.parallel import ParallelProbeReport, measure_par_with_repeats
@@ -18,17 +22,105 @@ from repro.core.primitive import ProbeReport, measure_link_with_repeats
 from repro.core.results import (
     Edge,
     LinkResult,
+    MeasurementFailure,
     NetworkMeasurement,
     ValidationScore,
     edge,
 )
 from repro.core.schedule import ScheduleIteration, build_schedule
-from repro.errors import MeasurementError
+from repro.errors import CheckpointError, MeasurementError
 from repro.eth.account import Wallet
 from repro.eth.network import Network
 from repro.eth.supernode import Supernode
 
 ProgressCallback = Callable[[int, int, ScheduleIteration, ParallelProbeReport], None]
+
+PathLike = Union[str, Path]
+
+CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class CampaignCheckpoint:
+    """Everything needed to continue a measurement campaign after a kill.
+
+    Written atomically after every completed iteration, so the file on
+    disk is always a consistent prefix of the campaign. Resuming replays
+    nothing: completed iterations contribute their recorded edges and the
+    schedule walk continues at ``completed_iterations``.
+    """
+
+    seed: int
+    targets: List[str]
+    group_size: int
+    completed_iterations: int
+    edges: Set[Edge] = field(default_factory=set)
+    transactions_sent: int = 0
+    setup_failures: int = 0
+    send_timeouts: int = 0
+    skipped_nodes: List[str] = field(default_factory=list)
+    failures: List[MeasurementFailure] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "format_version": CHECKPOINT_VERSION,
+            "seed": self.seed,
+            "targets": list(self.targets),
+            "group_size": self.group_size,
+            "completed_iterations": self.completed_iterations,
+            "edges": sorted(sorted(e) for e in self.edges),
+            "transactions_sent": self.transactions_sent,
+            "setup_failures": self.setup_failures,
+            "send_timeouts": self.send_timeouts,
+            "skipped_nodes": list(self.skipped_nodes),
+            "failures": [f.to_dict() for f in self.failures],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CampaignCheckpoint":
+        try:
+            version = payload["format_version"]
+            if version != CHECKPOINT_VERSION:
+                raise CheckpointError(
+                    f"unsupported checkpoint format version {version}"
+                )
+            checkpoint = cls(
+                seed=int(payload["seed"]),
+                targets=list(payload["targets"]),
+                group_size=int(payload["group_size"]),
+                completed_iterations=int(payload["completed_iterations"]),
+                edges={frozenset(e) for e in payload["edges"]},
+                transactions_sent=int(payload.get("transactions_sent", 0)),
+                setup_failures=int(payload.get("setup_failures", 0)),
+                send_timeouts=int(payload.get("send_timeouts", 0)),
+                skipped_nodes=list(payload.get("skipped_nodes", [])),
+                failures=[
+                    MeasurementFailure.from_dict(item)
+                    for item in payload.get("failures", [])
+                ],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed checkpoint: {exc}") from exc
+        return checkpoint
+
+    def save(self, path: PathLike) -> Path:
+        """Atomic write (tmp + rename): a kill mid-save leaves the old file."""
+        target = Path(path)
+        tmp = target.with_suffix(target.suffix + ".tmp")
+        tmp.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(tmp, target)
+        return target
+
+    @classmethod
+    def load(cls, path: PathLike) -> "CampaignCheckpoint":
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+        return cls.from_dict(payload)
 
 
 class TopoShot:
@@ -186,22 +278,50 @@ class TopoShot:
         validate: bool = True,
         churn_between_iterations: bool = True,
         progress: Optional[ProgressCallback] = None,
+        checkpoint_path: Optional[PathLike] = None,
+        resume: bool = False,
     ) -> NetworkMeasurement:
         """Measure the topology among ``targets`` (default: all nodes that
-        survive pre-processing) using the two-round parallel schedule."""
+        survive pre-processing) using the two-round parallel schedule.
+
+        The campaign degrades gracefully instead of aborting: crashed or
+        unreachable targets and failed iterations are recorded in
+        ``NetworkMeasurement.failures`` and the walk continues. With
+        ``checkpoint_path`` set, a JSON checkpoint is written atomically
+        after every iteration; ``resume=True`` continues an interrupted
+        campaign from the checkpoint (skipping pre-processing — the
+        checkpointed target list is reused so the schedule is identical).
+        """
         self._capture_ambient()
-        if targets is None:
-            targets = self.network.measurable_node_ids()
+        checkpoint: Optional[CampaignCheckpoint] = None
+        if resume:
+            if checkpoint_path is None:
+                raise CheckpointError("resume=True requires a checkpoint_path")
+            if Path(checkpoint_path).exists():
+                checkpoint = CampaignCheckpoint.load(checkpoint_path)
+                if checkpoint.seed != self.network.sim.seed:
+                    raise CheckpointError(
+                        f"checkpoint was recorded under seed {checkpoint.seed}, "
+                        f"this network runs seed {self.network.sim.seed}"
+                    )
+
         skipped: List[str] = []
-        if preprocess:
-            report = self.preprocess(targets)
-            skipped = report.rejected
-            targets = report.accepted
-        targets = list(targets)
-        if len(targets) < 2:
-            raise MeasurementError("need at least two targets to measure")
-        if group_size is None:
-            group_size = self.config.group_size_for(len(targets))
+        if checkpoint is not None:
+            targets = list(checkpoint.targets)
+            skipped = list(checkpoint.skipped_nodes)
+            group_size = checkpoint.group_size
+        else:
+            if targets is None:
+                targets = self.network.measurable_node_ids()
+            if preprocess:
+                report = self.preprocess(targets)
+                skipped = report.rejected
+                targets = report.accepted
+            targets = list(targets)
+            if len(targets) < 2:
+                raise MeasurementError("need at least two targets to measure")
+            if group_size is None:
+                group_size = self.config.group_size_for(len(targets))
 
         schedule = build_schedule(targets, group_size)
         measurement = NetworkMeasurement(
@@ -210,19 +330,61 @@ class TopoShot:
             sim_time_start=self.network.sim.now,
             skipped_nodes=skipped,
         )
+        completed = 0
+        if checkpoint is not None:
+            if checkpoint.completed_iterations > len(schedule):
+                raise CheckpointError(
+                    f"checkpoint claims {checkpoint.completed_iterations} "
+                    f"completed iterations but the schedule has {len(schedule)}"
+                )
+            completed = checkpoint.completed_iterations
+            measurement.add_edges(checkpoint.edges)
+            measurement.transactions_sent = checkpoint.transactions_sent
+            measurement.setup_failures = checkpoint.setup_failures
+            measurement.send_timeouts = checkpoint.send_timeouts
+            measurement.failures = list(checkpoint.failures)
+
         refresh = self._refresh_pools if churn_between_iterations else None
         for index, iteration in enumerate(schedule):
-            report = measure_par_with_repeats(
-                self.network,
-                self.supernode,
-                iteration.edges,
-                self._config_for_iteration(iteration),
-                self.wallet,
-                refresh=refresh,
-            )
+            if index < completed:
+                continue  # already covered by the checkpoint
+            try:
+                report = measure_par_with_repeats(
+                    self.network,
+                    self.supernode,
+                    iteration.edges,
+                    self._config_for_iteration(iteration),
+                    self.wallet,
+                    refresh=refresh,
+                )
+            except MeasurementError as exc:
+                # One broken iteration must not kill the campaign; its
+                # pairs stay unmeasured and the failure is reported.
+                measurement.add_failure(
+                    "iteration_error", iteration=index, detail=str(exc)
+                )
+                self.supernode.clear_observations()
+                self.network.forget_known_transactions()
+                if churn_between_iterations and index + 1 < len(schedule):
+                    self._refresh_pools()
+                self._save_checkpoint(
+                    checkpoint_path, targets, group_size, index + 1, measurement
+                )
+                continue
             measurement.add_edges(report.detected)
             measurement.transactions_sent += report.transactions_sent
             measurement.setup_failures += report.setup_failures
+            measurement.send_timeouts += report.send_timeouts
+            for node_id in report.unreachable:
+                measurement.add_failure(
+                    "unreachable", node=node_id, iteration=index,
+                    detail="target was down; its pairs were skipped this iteration",
+                )
+            if report.send_timeouts:
+                measurement.add_failure(
+                    "send_timeout", iteration=index,
+                    detail=f"{report.send_timeouts} injection(s) timed out",
+                )
             self.measurement_senders.extend(report.seed_senders)
             if progress is not None:
                 progress(index, len(schedule), iteration, report)
@@ -231,12 +393,38 @@ class TopoShot:
             self.network.forget_known_transactions()
             if churn_between_iterations and index + 1 < len(schedule):
                 self._refresh_pools()
+            self._save_checkpoint(
+                checkpoint_path, targets, group_size, index + 1, measurement
+            )
         measurement.sim_time_end = self.network.sim.now
 
         if validate:
             truth = self._truth_edges_among(targets)
             measurement.validate_against(truth)
         return measurement
+
+    def _save_checkpoint(
+        self,
+        checkpoint_path: Optional[PathLike],
+        targets: Sequence[str],
+        group_size: int,
+        completed_iterations: int,
+        measurement: NetworkMeasurement,
+    ) -> None:
+        if checkpoint_path is None:
+            return
+        CampaignCheckpoint(
+            seed=self.network.sim.seed,
+            targets=list(targets),
+            group_size=group_size,
+            completed_iterations=completed_iterations,
+            edges=set(measurement.edges),
+            transactions_sent=measurement.transactions_sent,
+            setup_failures=measurement.setup_failures,
+            send_timeouts=measurement.send_timeouts,
+            skipped_nodes=list(measurement.skipped_nodes),
+            failures=list(measurement.failures),
+        ).save(checkpoint_path)
 
     def measure_pairs(
         self,

@@ -56,6 +56,20 @@ class MeasurementConfig:
     repeats:
         Measurements per link; the union of positives is reported (§5.2.3's
         passive recall improvement, 3 in the paper's validation).
+    max_retries:
+        Extra attempts granted when a probe reports a *setup failure* (the
+        injection never took hold — crashed target, lost packets, send
+        timeout) or an ambiguous low-confidence verdict. Retries do not
+        consume repeats; 0 (default) restores the seed behaviour exactly.
+    retry_backoff:
+        Simulated seconds to wait before the first retry; each further
+        retry multiplies the wait by ``retry_backoff_factor`` (exponential
+        backoff, so a crashed target has time to come back).
+    retry_backoff_factor:
+        Growth factor of the retry wait (>= 1).
+    send_timeout:
+        Simulated seconds burned when an injection attempt times out
+        (the supernode waits out its RPC deadline before giving up).
     mempool_slots_budget:
         Max mempool slots the measurement may occupy on targets; the paper
         bounds interference with 2000 of 5120 slots and derives the group
@@ -75,6 +89,10 @@ class MeasurementConfig:
     seed_wait: float = 3.0
     parallel_send_gap: float = 0.005
     repeats: int = 1
+    max_retries: int = 0
+    retry_backoff: float = 1.0
+    retry_backoff_factor: float = 2.0
+    send_timeout: float = 2.0
     mempool_slots_budget: int = 2000
     future_nonce_gap: int = 1_000_000
 
@@ -90,6 +108,25 @@ class MeasurementConfig:
             raise MeasurementError("repeats must be positive")
         if self.future_per_account is not None and self.future_per_account <= 0:
             raise MeasurementError("future_per_account U must be positive or None")
+        if self.max_retries < 0:
+            raise MeasurementError(
+                f"max_retries must be >= 0 (0 disables retries), got {self.max_retries}"
+            )
+        if self.retry_backoff < 0:
+            raise MeasurementError(
+                f"retry_backoff must be a non-negative wait in seconds, got "
+                f"{self.retry_backoff}"
+            )
+        if self.retry_backoff_factor < 1.0:
+            raise MeasurementError(
+                f"retry_backoff_factor must be >= 1 (backoff never shrinks), got "
+                f"{self.retry_backoff_factor}"
+            )
+        if self.send_timeout < 0:
+            raise MeasurementError(
+                f"send_timeout must be a non-negative wait in seconds, got "
+                f"{self.send_timeout}"
+            )
 
     # ------------------------------------------------------------------
     # Derived prices (Section 5.2, Steps 1-3)
@@ -162,6 +199,20 @@ class MeasurementConfig:
 
     def with_repeats(self, repeats: int) -> "MeasurementConfig":
         return replace(self, repeats=repeats)
+
+    def with_retries(
+        self,
+        max_retries: int,
+        backoff: Optional[float] = None,
+        factor: Optional[float] = None,
+    ) -> "MeasurementConfig":
+        """Copy with retry-with-backoff enabled for setup failures."""
+        updates: dict = {"max_retries": max_retries}
+        if backoff is not None:
+            updates["retry_backoff"] = backoff
+        if factor is not None:
+            updates["retry_backoff_factor"] = factor
+        return replace(self, **updates)
 
     def with_gas_price(self, y: Optional[int]) -> "MeasurementConfig":
         return replace(self, gas_price_y=y)

@@ -35,7 +35,7 @@ from repro.core.config import MeasurementConfig
 from repro.core.gas_estimator import estimate_y
 from repro.core.primitive import build_future_flood, rebid
 from repro.core.results import Edge, PairOutcome, edge
-from repro.errors import MeasurementError
+from repro.errors import MeasurementError, NotConnectedError, SendTimeoutError
 from repro.eth.account import Wallet
 from repro.eth.network import Network
 from repro.eth.supernode import Supernode
@@ -53,6 +53,8 @@ class ParallelProbeReport:
     seed_senders: List[str] = field(default_factory=list)
     flood_senders: List[str] = field(default_factory=list)
     transactions_sent: int = 0
+    send_timeouts: int = 0
+    unreachable: List[str] = field(default_factory=list)
 
     @property
     def setup_failures(self) -> int:
@@ -97,6 +99,34 @@ def measure_par(
     wallet = wallet or Wallet(f"toposhot-par-{network.sim.now:.3f}")
     factory = TransactionFactory()
 
+    report = ParallelProbeReport(edges_probed=len(pairs))
+
+    # Graceful degradation: endpoints that are down right now cannot be
+    # probed this round. Their pairs are reported as setup failures (never
+    # as negatives) so a later repeat — or the campaign's failure section —
+    # picks them up.
+    down = sorted(
+        {nid for pair in pairs for nid in pair if network.node(nid).crashed}
+    )
+    if down:
+        report.unreachable = down
+        down_set = set(down)
+        for pair in pairs:
+            if pair[0] in down_set or pair[1] in down_set:
+                report.outcomes.append(
+                    PairOutcome(
+                        source=pair[0],
+                        sink=pair[1],
+                        detected=False,
+                        setup_ok=False,
+                    )
+                )
+        pairs = [
+            p for p in pairs if p[0] not in down_set and p[1] not in down_set
+        ]
+        if not pairs:
+            return report
+
     sources = _ordered_unique([a for a, _ in pairs])
     sinks = _ordered_unique([b for _, b in pairs])
     overlap = set(sources) & set(sinks)
@@ -109,7 +139,7 @@ def measure_par(
         source_order_rng.shuffle(sinks)
 
     y = estimate_y(supernode, config)
-    report = ParallelProbeReport(edges_probed=len(pairs), y=y)
+    report.y = y
 
     # One EOA and one txC per edge ("any two different transactions are
     # sent from different EOAs").
@@ -129,13 +159,23 @@ def measure_par(
     # sent to every peer: a node never pushes a transaction back to the
     # peer it came from, so direct-to-everyone seeding would leave the
     # supernode blind to whether the seeds took hold anywhere.
+    def inject(peer_id: str, batch: List[Transaction]) -> None:
+        """One injection that survives supernode-side faults: a timed-out
+        or unroutable send is counted, not raised, so the rest of the
+        round still runs and the pair surfaces as a setup failure."""
+        try:
+            supernode.send_transactions(peer_id, batch)
+        except (SendTimeoutError, NotConnectedError):
+            report.send_timeouts += 1
+        else:
+            report.transactions_sent += len(batch)
+
     seed_batch = [tx_c[pair] for pair in pairs]
     peer_ids = supernode.peer_ids
     step = max(1, len(peer_ids) // 3)
     entry_peers = peer_ids[::step][:3]
     for peer_id in entry_peers:
-        supernode.send_transactions(peer_id, seed_batch)
-        report.transactions_sent += len(seed_batch)
+        inject(peer_id, seed_batch)
     network.run(config.seed_wait)
 
     # Isolation precondition: a txC that failed to take hold anywhere (e.g.
@@ -169,10 +209,9 @@ def measure_par(
         own = [tx_a[pair] for pair in active if pair[0] == source]
         others = [tx_c[pair] for pair in active if pair[0] != source]
         batch = [*flood, *others, *own]
-        report.transactions_sent += len(batch)
         network.sim.schedule(
             index * gap,
-            lambda s=source, b=batch: supernode.send_transactions(s, b),
+            lambda s=source, b=batch: inject(s, b),
             label=f"p2:{source}",
         )
 
@@ -183,10 +222,9 @@ def measure_par(
             tx_b[pair] if pair[1] == sink else tx_c[pair] for pair in active
         ]
         batch = [*flood, *vector]
-        report.transactions_sent += len(batch)
         network.sim.schedule(
             (offset + index) * gap,
-            lambda s=sink, b=batch: supernode.send_transactions(s, b),
+            lambda s=sink, b=batch: inject(s, b),
             label=f"p3:{sink}",
         )
 
@@ -248,11 +286,25 @@ def measure_par_with_repeats(
         merged.transactions_sent += report.transactions_sent
         merged.seed_senders.extend(report.seed_senders)
         merged.flood_senders.extend(report.flood_senders)
+        merged.send_timeouts += report.send_timeouts
+        for node_id in report.unreachable:
+            if node_id not in merged.unreachable:
+                merged.unreachable.append(node_id)
         merged.y = report.y
         for outcome in report.outcomes:
             key = (outcome.source, outcome.sink)
             previous = best_outcome.get(key)
-            if previous is None or (outcome.detected and not previous.detected):
+            # Keep the strongest evidence seen: a detection beats anything,
+            # and a clean (setup-ok) probe beats an unreachable/failed one.
+            if (
+                previous is None
+                or (outcome.detected and not previous.detected)
+                or (
+                    not previous.detected
+                    and outcome.setup_ok
+                    and not previous.setup_ok
+                )
+            ):
                 best_outcome[key] = outcome
         remaining = [
             pair for pair in remaining if edge(*pair) not in merged.detected

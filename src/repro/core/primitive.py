@@ -25,6 +25,7 @@ from typing import Callable, List, Optional
 
 from repro.core.config import MeasurementConfig
 from repro.core.gas_estimator import estimate_y
+from repro.errors import NotConnectedError, SendTimeoutError
 from repro.eth.account import Wallet
 from repro.eth.network import Network
 from repro.eth.supernode import Supernode
@@ -38,6 +39,29 @@ class LinkProbeOutcome(enum.Enum):
     NOT_CONNECTED = "not_connected"
     SETUP_FAILED_A = "setup_failed_a"  # txA never took hold on node A
     SETUP_FAILED_B = "setup_failed_b"  # txB never took hold on node B
+    SETUP_FAILED_SEND = "setup_failed_send"  # an injection never left M
+
+
+SETUP_FAILURES = (
+    LinkProbeOutcome.SETUP_FAILED_A,
+    LinkProbeOutcome.SETUP_FAILED_B,
+    LinkProbeOutcome.SETUP_FAILED_SEND,
+)
+
+
+class ProbeConfidence(enum.Enum):
+    """How much a verdict should be trusted under real-network adversity.
+
+    ``CONNECTED`` is always HIGH: txA's price band makes a false positive
+    structurally impossible, no matter the weather. A negative verdict is
+    HIGH only when every setup check passed *and* txC demonstrably flooded
+    to the sink — otherwise lost packets or a mid-probe crash could have
+    masked a real edge, the verdict is LOW, and the link is worth
+    re-probing (the paper's Section 6.1 false-negative discussion).
+    """
+
+    HIGH = "high"
+    LOW = "low"
 
 
 @dataclass
@@ -56,10 +80,20 @@ class ProbeReport:
     setup_b_ok: bool
     observed_at: Optional[float] = None
     measurement_senders: List[str] = field(default_factory=list)
+    confidence: ProbeConfidence = ProbeConfidence.HIGH
 
     @property
     def connected(self) -> bool:
         return self.outcome is LinkProbeOutcome.CONNECTED
+
+    @property
+    def setup_failed(self) -> bool:
+        return self.outcome in SETUP_FAILURES
+
+    @property
+    def ambiguous(self) -> bool:
+        """A verdict weak enough to warrant an automatic re-probe."""
+        return self.confidence is ProbeConfidence.LOW
 
 
 def build_future_flood(
@@ -127,11 +161,34 @@ def measure_one_link(
     y = estimate_y(supernode, config)
     senders: List[str] = []
 
+    def send_failed(tx_c_hash: str, tx_a_hash: str = "", tx_b_hash: str = "",
+                    flood_confirmed: bool = False) -> ProbeReport:
+        # The injection itself died (timeout, churned supernode link): wait
+        # out the timeout budget and fail the setup — never the link.
+        network.run(config.send_timeout)
+        return ProbeReport(
+            a=a_id,
+            b=b_id,
+            outcome=LinkProbeOutcome.SETUP_FAILED_SEND,
+            y=y,
+            tx_c_hash=tx_c_hash,
+            tx_a_hash=tx_a_hash,
+            tx_b_hash=tx_b_hash,
+            flood_confirmed=flood_confirmed,
+            setup_a_ok=False,
+            setup_b_ok=False,
+            measurement_senders=senders,
+            confidence=ProbeConfidence.LOW,
+        )
+
     # Step 1: plant txC on A; it floods to everyone, including B.
     seed_account = wallet.fresh_account(prefix="seed")
     senders.append(seed_account.address)
     tx_c = factory.transfer(seed_account, gas_price=config.price_c(y))
-    supernode.send_transactions(a_id, [tx_c])
+    try:
+        supernode.send_transactions(a_id, [tx_c])
+    except (SendTimeoutError, NotConnectedError):
+        return send_failed(tx_c.hash)
     network.run(config.flood_wait)
     flood_confirmed = supernode.observed_from(b_id, tx_c.hash)
 
@@ -139,13 +196,21 @@ def measure_one_link(
     flood_b = build_future_flood(wallet, factory, config, y)
     senders.extend({tx.sender for tx in flood_b})
     tx_b = rebid(factory, tx_c, config.price_b(y))
-    supernode.send_transactions(b_id, [*flood_b, tx_b])
+    try:
+        supernode.send_transactions(b_id, [*flood_b, tx_b])
+    except (SendTimeoutError, NotConnectedError):
+        return send_failed(tx_c.hash, tx_b_hash=tx_b.hash,
+                           flood_confirmed=flood_confirmed)
     network.run(config.settle_wait)
 
     # Step 3: evict txC on A and slot txA in its place. The paper re-uses
     # the same future set {txO1..txOZ} for both targets.
     tx_a = rebid(factory, tx_c, config.price_a(y))
-    supernode.send_transactions(a_id, [*flood_b, tx_a])
+    try:
+        supernode.send_transactions(a_id, [*flood_b, tx_a])
+    except (SendTimeoutError, NotConnectedError):
+        return send_failed(tx_c.hash, tx_a_hash=tx_a.hash, tx_b_hash=tx_b.hash,
+                           flood_confirmed=flood_confirmed)
     network.run(config.propagation_wait)
 
     # Step 4: did B demonstrably possess txA? Setup diagnostics use the
@@ -168,6 +233,16 @@ def measure_one_link(
     else:
         outcome = LinkProbeOutcome.NOT_CONNECTED
 
+    # A positive is always trustworthy (the price band forbids false
+    # positives); a negative is only trustworthy when the whole setup
+    # demonstrably worked end to end.
+    if outcome is LinkProbeOutcome.CONNECTED:
+        confidence = ProbeConfidence.HIGH
+    elif outcome is LinkProbeOutcome.NOT_CONNECTED and flood_confirmed:
+        confidence = ProbeConfidence.HIGH
+    else:
+        confidence = ProbeConfidence.LOW
+
     return ProbeReport(
         a=a_id,
         b=b_id,
@@ -181,6 +256,7 @@ def measure_one_link(
         setup_b_ok=setup_b_ok,
         observed_at=supernode.first_observation_time(b_id, tx_a.hash),
         measurement_senders=senders,
+        confidence=confidence,
     )
 
 
@@ -196,15 +272,38 @@ def measure_link_with_repeats(
     """Run the primitive ``config.repeats`` times (Section 6.1 runs each
     pair three times and takes the union of positives), clearing transient
     observation state — and running ``refresh`` (pool churn) — between
-    runs."""
+    runs.
+
+    With ``config.max_retries > 0`` the loop additionally retries setup
+    failures (crashed target, lost injection, send timeout) after an
+    exponentially growing backoff wait, and re-probes ambiguous
+    low-confidence negatives immediately. Retries come out of a separate
+    budget and do not consume repeats, so the union semantics of the
+    paper's validation are unchanged.
+    """
     config = config or MeasurementConfig()
     reports: List[ProbeReport] = []
-    for _ in range(config.repeats):
-        reports.append(
-            measure_one_link(network, supernode, a_id, b_id, config, wallet)
-        )
-        if reports[-1].connected:
+    repeats_left = config.repeats
+    retries_left = config.max_retries
+    backoff = config.retry_backoff
+    while repeats_left > 0:
+        report = measure_one_link(network, supernode, a_id, b_id, config, wallet)
+        reports.append(report)
+        if report.connected:
             break  # union semantics: one positive settles the question
+        if retries_left > 0 and report.setup_failed:
+            # The probe never ran end to end; back off (give a crashed
+            # target time to restart, a churned link time to return) and
+            # try again without burning a repeat.
+            retries_left -= 1
+            network.run(backoff)
+            backoff *= config.retry_backoff_factor
+        elif retries_left > 0 and report.ambiguous:
+            # The probe ran but its negative verdict is weak (txC never
+            # confirmed on B): re-probe immediately.
+            retries_left -= 1
+        else:
+            repeats_left -= 1
         supernode.clear_observations()
         network.forget_known_transactions()
         if refresh is not None:

@@ -81,6 +81,38 @@ class LinkResult:
         return edge(self.a, self.b)
 
 
+@dataclass(frozen=True)
+class MeasurementFailure:
+    """One adverse event the campaign survived instead of aborting on.
+
+    ``kind`` is one of ``"unreachable"`` (a target was down when its
+    iteration ran), ``"send_timeout"`` (supernode injections timed out),
+    or ``"iteration_error"`` (a whole iteration failed and was skipped).
+    """
+
+    kind: str
+    node: str = ""
+    iteration: int = -1
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "node": self.node,
+            "iteration": self.iteration,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "MeasurementFailure":
+        return cls(
+            kind=str(payload["kind"]),
+            node=str(payload.get("node", "")),
+            iteration=int(payload.get("iteration", -1)),  # type: ignore[arg-type]
+            detail=str(payload.get("detail", "")),
+        )
+
+
 @dataclass
 class NetworkMeasurement:
     """A measured topology snapshot plus metadata and optional validation."""
@@ -93,7 +125,9 @@ class NetworkMeasurement:
     transactions_sent: int = 0
     score: Optional[ValidationScore] = None
     setup_failures: int = 0
+    send_timeouts: int = 0
     skipped_nodes: List[str] = field(default_factory=list)
+    failures: List[MeasurementFailure] = field(default_factory=list)
 
     @property
     def duration(self) -> float:
@@ -112,6 +146,18 @@ class NetworkMeasurement:
 
     def add_edges(self, edges: Iterable[Edge]) -> None:
         self.edges.update(edges)
+
+    def add_failure(
+        self, kind: str, node: str = "", iteration: int = -1, detail: str = ""
+    ) -> None:
+        """Record an adverse event without aborting the campaign."""
+        self.failures.append(
+            MeasurementFailure(kind=kind, node=node, iteration=iteration, detail=detail)
+        )
+
+    def failed_nodes(self) -> List[str]:
+        """Nodes that were unreachable at least once, sorted."""
+        return sorted({f.node for f in self.failures if f.node})
 
     def validate_against(self, truth: Iterable[Edge]) -> ValidationScore:
         """Score and cache precision/recall against ground truth."""
@@ -134,6 +180,12 @@ class NetworkMeasurement:
         ]
         if self.score is not None:
             lines.append(f"validation     : {self.score}")
+        if self.failures:
+            kinds: Dict[str, int] = {}
+            for failure in self.failures:
+                kinds[failure.kind] = kinds.get(failure.kind, 0) + 1
+            detail = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+            lines.append(f"failures       : {len(self.failures)} ({detail})")
         return "\n".join(lines)
 
 

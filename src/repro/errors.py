@@ -39,6 +39,24 @@ class NotConnectedError(NetworkError):
     """An operation required a link between two nodes that does not exist."""
 
 
+class SendTimeoutError(NetworkError):
+    """A supernode-side injection timed out before reaching the target.
+
+    Models the RPC/DevP2P send timeouts the real tool hits against live
+    peers; the measurement stack converts it into a ``SETUP_FAILED_SEND``
+    probe outcome and retries with backoff rather than aborting.
+    """
+
+    def __init__(self, peer_id: str, detail: str = "") -> None:
+        suffix = f": {detail}" if detail else ""
+        super().__init__(f"send to {peer_id!r} timed out{suffix}")
+        self.peer_id = peer_id
+
+
+class FaultPlanError(ReproError):
+    """A fault-injection plan is malformed (negative rate, bad probability)."""
+
+
 class TransactionError(ReproError):
     """Invalid transaction construction or signing."""
 
@@ -62,6 +80,10 @@ class UnsupportedClientError(MeasurementError):
 
 class PreprocessError(MeasurementError):
     """The pre-processing phase failed or rejected a target node."""
+
+
+class CheckpointError(MeasurementError):
+    """A campaign checkpoint could not be read, or does not match the run."""
 
 
 class NonInterferenceViolation(MeasurementError):

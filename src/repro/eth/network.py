@@ -17,6 +17,7 @@ from repro.eth.chain import Chain
 from repro.eth.messages import Message
 from repro.eth.node import Node, NodeConfig
 from repro.sim.engine import Simulator
+from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.latency import LatencyModel, UniformLatency
 
 
@@ -50,6 +51,9 @@ class Network:
         self.supernode_ids: Set[str] = set()
         self.messages_sent = 0
         self.messages_by_kind: Dict[str, int] = {}
+        self.messages_dropped = 0
+        self.drops_by_reason: Dict[str, int] = {}
+        self.faults: Optional[FaultInjector] = None
 
     # ------------------------------------------------------------------
     # Node management
@@ -134,25 +138,93 @@ class Network:
         return list(self._links)
 
     # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def install_faults(self, plan: FaultPlan) -> FaultInjector:
+        """Arm a :class:`~repro.sim.faults.FaultPlan` on this network.
+
+        Every subsequent delivery consults the plan (loss, extra delay) and
+        its churn/crash processes start running through the event queue.
+        Installing a second plan disarms the first.
+        """
+        if self.faults is not None:
+            self.faults.stop()
+        self.faults = FaultInjector(self, plan)
+        return self.faults
+
+    def clear_faults(self) -> None:
+        """Disarm fault injection; the network is perfectly reliable again."""
+        if self.faults is not None:
+            self.faults.stop()
+            self.faults = None
+
+    def node_is_up(self, node_id: str) -> bool:
+        """False while ``node_id`` is crashed (fault injection)."""
+        return not self.node(node_id).crashed
+
+    # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
     def send(self, from_id: str, to_id: str, msg: Message) -> None:
-        """Deliver ``msg`` over the link after a sampled latency."""
+        """Deliver ``msg`` over the link after a sampled latency.
+
+        The message can still die en route: a lossy link may drop it at
+        send time, and a link or endpoint that disappears while it is in
+        flight drops it at delivery time (with a ``drop`` trace record).
+        """
         if to_id not in self.nodes:
             raise UnknownNodeError(to_id)
         if not self.are_connected(from_id, to_id):
             raise NotConnectedError(
                 f"{from_id} is not connected to {to_id}; cannot send {msg.kind}"
             )
+        if self.nodes[from_id].crashed:
+            self._drop(from_id, to_id, msg, "sender_crashed")
+            return
         self.messages_sent += 1
         self.messages_by_kind[msg.kind] = self.messages_by_kind.get(msg.kind, 0) + 1
         delay = self.latency(self._latency_rng, from_id, to_id)
-        target = self.nodes[to_id]
+        if self.faults is not None:
+            if self.faults.should_drop(from_id, to_id):
+                # The injector already traced this as fault:loss.
+                self._drop(from_id, to_id, msg, "loss", trace=False)
+                return
+            delay += self.faults.extra_delay(from_id, to_id)
         self.sim.schedule(
             delay,
-            lambda: target.handle_message(from_id, msg),
+            lambda: self._deliver(from_id, to_id, msg),
             label=f"{msg.kind}:{from_id}->{to_id}",
         )
+
+    def _deliver(self, from_id: str, to_id: str, msg: Message) -> None:
+        """Delivery-time guard: the world may have changed since the send."""
+        if frozenset((from_id, to_id)) not in self._links:
+            self._drop(from_id, to_id, msg, "link_vanished")
+            return
+        target = self.nodes.get(to_id)
+        if target is None:
+            self._drop(from_id, to_id, msg, "target_removed")
+            return
+        if target.crashed:
+            self._drop(from_id, to_id, msg, "target_crashed")
+            return
+        target.handle_message(from_id, msg)
+
+    def _drop(
+        self,
+        from_id: str,
+        to_id: str,
+        msg: Message,
+        reason: str,
+        trace: bool = True,
+    ) -> None:
+        """Account for a message that never reached its target."""
+        self.messages_dropped += 1
+        self.drops_by_reason[reason] = self.drops_by_reason.get(reason, 0) + 1
+        if trace and self.sim.tracer is not None:
+            self.sim.tracer.record(
+                self.sim.now, "drop", f"{msg.kind}:{from_id}->{to_id} ({reason})"
+            )
 
     # ------------------------------------------------------------------
     # Simulation control

@@ -113,6 +113,8 @@ class Node:
         self.tx_observers: List[TxObserver] = []
         self.block_observers: List[BlockObserver] = []
 
+        self.crashed = False
+        self.crash_count = 0
         self._rng = sim.rng.stream(f"node:{node_id}")
         self._push_queue: Dict[str, List[Transaction]] = {}
         self._announce_queue: Dict[str, List[str]] = {}
@@ -171,6 +173,38 @@ class Node:
 
     def forget_known_transactions(self) -> None:
         """Drop per-peer known-tx sets (between measurement iterations)."""
+        for state in self.peers.values():
+            state.known_txs.clear()
+        self._announce_requested.clear()
+
+    # ------------------------------------------------------------------
+    # Crash / restart (fault injection)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Take the node down: it neither sends nor receives while crashed.
+
+        The network drops deliveries to/from a crashed node at delivery
+        time; links are kept (the TCP sessions re-establish on restart).
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crash_count += 1
+        self._push_queue.clear()
+        self._announce_queue.clear()
+
+    def restart(self) -> None:
+        """Bring the node back with volatile state wiped.
+
+        Matches a rebooted client without a transaction journal (the
+        paper's testnet targets restart with empty mempools): the mempool
+        and all per-peer known-transaction/announcement state are gone;
+        the persisted chain view (head, confirmed nonces) survives.
+        """
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.mempool.clear()
         for state in self.peers.values():
             state.known_txs.clear()
         self._announce_requested.clear()

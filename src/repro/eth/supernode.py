@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.errors import SendTimeoutError
 from repro.eth.messages import (
     FindNode,
     GetPooledTransactions,
@@ -134,9 +135,17 @@ class Supernode(Node):
 
         Order within the packet is preserved on arrival, which Step 2/3 of
         the primitive relies on ("immediately after" the future flood).
+
+        Raises :class:`~repro.errors.SendTimeoutError` when the network's
+        fault plan times the injection out; the measurement stack converts
+        that into a setup failure and retries with backoff.
         """
-        if txs:
-            self._send(peer_id, Transactions(txs=tuple(txs)))
+        if not txs:
+            return
+        faults = self.network.faults if self.network is not None else None
+        if faults is not None and faults.send_times_out(peer_id):
+            raise SendTimeoutError(peer_id, f"injecting {len(txs)} transactions")
+        self._send(peer_id, Transactions(txs=tuple(txs)))
 
     def announce_hashes(self, peer_id: str, hashes: Sequence[str]) -> None:
         """Announce transaction hashes without ever delivering the bodies.

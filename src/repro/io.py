@@ -15,7 +15,7 @@ from typing import Union
 
 import networkx as nx
 
-from repro.core.results import NetworkMeasurement, ValidationScore
+from repro.core.results import MeasurementFailure, NetworkMeasurement, ValidationScore
 from repro.errors import ReproError
 
 PathLike = Union[str, Path]
@@ -38,7 +38,9 @@ def measurement_to_dict(measurement: NetworkMeasurement) -> dict:
         "sim_time_end": measurement.sim_time_end,
         "transactions_sent": measurement.transactions_sent,
         "setup_failures": measurement.setup_failures,
+        "send_timeouts": measurement.send_timeouts,
         "skipped_nodes": list(measurement.skipped_nodes),
+        "failures": [failure.to_dict() for failure in measurement.failures],
     }
     if measurement.score is not None:
         payload["score"] = {
@@ -64,7 +66,12 @@ def measurement_from_dict(payload: dict) -> NetworkMeasurement:
             sim_time_end=float(payload["sim_time_end"]),
             transactions_sent=int(payload["transactions_sent"]),
             setup_failures=int(payload.get("setup_failures", 0)),
+            send_timeouts=int(payload.get("send_timeouts", 0)),
             skipped_nodes=list(payload.get("skipped_nodes", [])),
+            failures=[
+                MeasurementFailure.from_dict(item)
+                for item in payload.get("failures", [])
+            ],
         )
         measurement.add_edges(
             frozenset(edge) for edge in payload["edges"]

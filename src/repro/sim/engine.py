@@ -30,6 +30,9 @@ class Event:
 
     Events compare by ``(time, seq)`` so the heap pops them in deterministic
     chronological order. ``cancelled`` events are popped and discarded.
+    ``daemon`` events (fault-injection processes, periodic maintenance) run
+    normally but do not keep an open-ended :meth:`Simulator.run` alive: once
+    only daemon events remain the simulation is considered quiescent.
     """
 
     time: float
@@ -37,6 +40,7 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    daemon: bool = field(compare=False, default=False)
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
@@ -61,6 +65,7 @@ class Simulator:
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self._executed = 0
+        self._non_daemon_pending = 0
         self.rng = RngRegistry(seed)
         self.seed = seed
         self.tracer: Optional[Tracer] = Tracer() if trace else None
@@ -87,19 +92,26 @@ class Simulator:
     # Scheduling
     # ------------------------------------------------------------------
     def schedule(
-        self, delay: float, callback: Callable[[], None], label: str = ""
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        label: str = "",
+        daemon: bool = False,
     ) -> Event:
         """Schedule ``callback`` to run ``delay`` seconds from now.
 
         Returns the :class:`Event`, which the caller may ``cancel()``.
-        Raises :class:`ScheduleInPastError` for negative delays.
+        Raises :class:`ScheduleInPastError` for negative delays. ``daemon``
+        events never keep an open-ended :meth:`run` going on their own.
         """
         if delay < 0:
             raise ScheduleInPastError(
                 f"cannot schedule {delay:.6f}s in the past (now={self._now:.6f})"
             )
-        event = Event(self._now + delay, next(self._seq), callback, label)
+        event = Event(self._now + delay, next(self._seq), callback, label, daemon=daemon)
         heapq.heappush(self._queue, event)
+        if not daemon:
+            self._non_daemon_pending += 1
         return event
 
     def schedule_at(
@@ -118,6 +130,8 @@ class Simulator:
         """
         while self._queue:
             event = heapq.heappop(self._queue)
+            if not event.daemon:
+                self._non_daemon_pending -= 1
             if event.cancelled:
                 continue
             if event.time < self._now:
@@ -137,10 +151,17 @@ class Simulator:
 
         ``until`` is an absolute simulation time; events scheduled beyond it
         stay queued and the clock is advanced exactly to ``until``.
+
+        An open-ended run (``until=None``) stops once only daemon events
+        remain queued — otherwise a recurring fault-injection process would
+        keep ``settle()`` from ever returning. A bounded run executes daemon
+        events up to ``until`` like any other event.
         """
         executed = 0
         while self._queue:
             if max_events is not None and executed >= max_events:
+                return
+            if until is None and self._non_daemon_pending <= 0:
                 return
             next_event = self._peek()
             if next_event is None:
@@ -163,6 +184,8 @@ class Simulator:
             event = self._queue[0]
             if event.cancelled:
                 heapq.heappop(self._queue)
+                if not event.daemon:
+                    self._non_daemon_pending -= 1
                 continue
             return event
         return None

@@ -1,0 +1,309 @@
+"""Deterministic fault injection for simulated measurement campaigns.
+
+The seed network is perfectly reliable, so the reproduction never exercised
+the failure modes the paper's live deployment fought (Sections 6-7): lossy
+links, peers churning in and out, nodes restarting with empty mempools, and
+send timeouts on the measurement node itself. This module adds all of them
+behind a single seed-driven :class:`FaultPlan`:
+
+- **message loss** — every delivery is dropped with a per-link probability;
+- **extra delay** — an exponential delay term added on top of the latency
+  model (congestion, slow peers);
+- **link churn** — a Poisson process disconnects a random live link and
+  reconnects it after a downtime (the <5% unstable peers of Section 6.1);
+- **node crash/restart** — a Poisson process crashes a random target; while
+  down it neither sends nor receives, and on restart its mempool and
+  per-peer known-transaction state are wiped (a rebooted Geth with the
+  transaction journal disabled, the paper's testnet configuration);
+- **send timeouts** — the supernode's direct injections fail with a
+  probability, surfacing as :class:`~repro.errors.SendTimeoutError`.
+
+Everything samples from one named RNG stream (``"faults"``) and runs through
+the simulator's event queue, so a (seed, FaultPlan) pair fully determines
+the run: same seed + same plan = byte-identical measurement results. With no
+plan installed the network behaves exactly as before — the fault path is
+consulted but never fires.
+
+Typical usage::
+
+    plan = FaultPlan(loss_rate=0.05, churn_rate=0.01, crash_rate=0.002)
+    network.install_faults(plan)
+    shot = TopoShot.attach(network)
+    measurement = shot.measure_network()   # now survives the weather
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import FaultPlanError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.eth.network import Network
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise FaultPlanError(f"{name} must be a probability in [0, 1], got {value}")
+
+
+def _check_non_negative(name: str, value: float) -> None:
+    if value < 0:
+        raise FaultPlanError(f"{name} must be non-negative, got {value}")
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Per-link override of the plan-wide loss/delay behaviour."""
+
+    loss_rate: float = 0.0
+    extra_delay_mean: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_probability("loss_rate", self.loss_rate)
+        _check_non_negative("extra_delay_mean", self.extra_delay_mean)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, validated description of the adversity to inject.
+
+    Attributes
+    ----------
+    loss_rate:
+        Probability that any single delivery is silently dropped.
+    extra_delay_mean:
+        Mean of an exponential delay added to every surviving delivery
+        (0 disables it).
+    link_overrides:
+        Map of undirected link (``frozenset({a, b})``) to a
+        :class:`LinkFaults` that replaces the plan-wide loss/delay on that
+        link only.
+    churn_rate:
+        Expected link-churn events per simulated second (Poisson process).
+        Each event disconnects one random live target-target link and
+        reconnects it ``churn_downtime`` seconds later.
+    churn_downtime:
+        Seconds a churned link stays down.
+    churn_supernode_links:
+        Whether the supernode's own links are eligible for churn (default
+        no: the paper's measurement node keeps stable connections).
+    crash_rate:
+        Expected node crashes per simulated second (Poisson process). Each
+        event crashes one random non-supernode node for
+        ``crash_downtime`` seconds; restart wipes its mempool and
+        known-transaction state.
+    crash_downtime:
+        Seconds a crashed node stays down.
+    send_timeout_rate:
+        Probability that one ``Supernode.send_transactions`` call times out
+        (raises :class:`~repro.errors.SendTimeoutError`) instead of sending.
+    """
+
+    loss_rate: float = 0.0
+    extra_delay_mean: float = 0.0
+    link_overrides: Dict[FrozenSet[str], LinkFaults] = field(default_factory=dict)
+    churn_rate: float = 0.0
+    churn_downtime: float = 5.0
+    churn_supernode_links: bool = False
+    crash_rate: float = 0.0
+    crash_downtime: float = 10.0
+    send_timeout_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_probability("loss_rate", self.loss_rate)
+        _check_probability("send_timeout_rate", self.send_timeout_rate)
+        _check_non_negative("extra_delay_mean", self.extra_delay_mean)
+        _check_non_negative("churn_rate", self.churn_rate)
+        _check_non_negative("crash_rate", self.crash_rate)
+        if self.churn_downtime <= 0:
+            raise FaultPlanError(
+                f"churn_downtime must be positive, got {self.churn_downtime}"
+            )
+        if self.crash_downtime <= 0:
+            raise FaultPlanError(
+                f"crash_downtime must be positive, got {self.crash_downtime}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True if any fault can ever fire under this plan."""
+        return bool(
+            self.loss_rate
+            or self.extra_delay_mean
+            or self.link_overrides
+            or self.churn_rate
+            or self.crash_rate
+            or self.send_timeout_rate
+        )
+
+    def link_faults(self, a: str, b: str) -> Tuple[float, float]:
+        """(loss_rate, extra_delay_mean) effective on link a--b."""
+        override = self.link_overrides.get(frozenset((a, b)))
+        if override is not None:
+            return override.loss_rate, override.extra_delay_mean
+        return self.loss_rate, self.extra_delay_mean
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault that actually fired (for diagnostics and tests)."""
+
+    time: float
+    kind: str  # "loss" | "churn_down" | "churn_up" | "crash" | "restart" | "send_timeout"
+    detail: str
+
+
+class FaultInjector:
+    """Runtime binding of a :class:`FaultPlan` to one network.
+
+    Created by :meth:`repro.eth.network.Network.install_faults`. All
+    randomness comes from the simulator's ``"faults"`` stream; churn and
+    crash processes self-reschedule through daemon events so they never keep
+    ``settle()`` from terminating.
+    """
+
+    def __init__(self, network: "Network", plan: FaultPlan) -> None:
+        self.network = network
+        self.plan = plan
+        self._rng = network.sim.rng.stream("faults")
+        self.events: List[FaultEvent] = []
+        self.messages_dropped = 0
+        self.send_timeouts = 0
+        self.crashes = 0
+        self.churn_events = 0
+        self._active = True
+        if plan.churn_rate > 0:
+            self._schedule_next_churn()
+        if plan.crash_rate > 0:
+            self._schedule_next_crash()
+
+    # ------------------------------------------------------------------
+    # Per-delivery hooks (called by Network.send)
+    # ------------------------------------------------------------------
+    def should_drop(self, from_id: str, to_id: str) -> bool:
+        """Sample the loss coin for one delivery on link from--to."""
+        loss, _ = self.plan.link_faults(from_id, to_id)
+        if loss <= 0.0:
+            return False
+        if self._rng.random() >= loss:
+            return False
+        self.messages_dropped += 1
+        self._log("loss", f"{from_id}->{to_id}")
+        return True
+
+    def extra_delay(self, from_id: str, to_id: str) -> float:
+        """Sample the additional delivery delay for link from--to."""
+        _, mean = self.plan.link_faults(from_id, to_id)
+        if mean <= 0.0:
+            return 0.0
+        return self._rng.expovariate(1.0 / mean)
+
+    def send_times_out(self, peer_id: str) -> bool:
+        """Sample the timeout coin for one supernode injection."""
+        rate = self.plan.send_timeout_rate
+        if rate <= 0.0 or self._rng.random() >= rate:
+            return False
+        self.send_timeouts += 1
+        self._log("send_timeout", peer_id)
+        return True
+
+    # ------------------------------------------------------------------
+    # Link churn (Poisson process over live links)
+    # ------------------------------------------------------------------
+    def _schedule_next_churn(self) -> None:
+        delay = self._rng.expovariate(self.plan.churn_rate)
+        self.network.sim.schedule(
+            delay, self._churn_once, label="fault:churn", daemon=True
+        )
+
+    def _churn_once(self) -> None:
+        if not self._active:
+            return
+        link = self._pick_churnable_link()
+        if link is not None:
+            a, b = sorted(link)
+            self.network.disconnect(a, b)
+            self.churn_events += 1
+            self._log("churn_down", f"{a}--{b}")
+            self.network.sim.schedule(
+                self.plan.churn_downtime,
+                lambda: self._reconnect(a, b),
+                label=f"fault:reconnect:{a}--{b}",
+                daemon=True,
+            )
+        self._schedule_next_churn()
+
+    def _pick_churnable_link(self) -> Optional[FrozenSet[str]]:
+        supernodes = self.network.supernode_ids
+        candidates = sorted(
+            (tuple(sorted(link)) for link in self.network.links()
+             if self.plan.churn_supernode_links or not (link & supernodes)),
+        )
+        if not candidates:
+            return None
+        return frozenset(self._rng.choice(candidates))
+
+    def _reconnect(self, a: str, b: str) -> None:
+        # Heals run even after stop(): a disarmed injector must not leave
+        # the network in the broken state it created.
+        if a in self.network and b in self.network and not self.network.are_connected(a, b):
+            self.network.connect(a, b, force=True)
+            self._log("churn_up", f"{a}--{b}")
+
+    # ------------------------------------------------------------------
+    # Crash/restart (Poisson process over non-supernode nodes)
+    # ------------------------------------------------------------------
+    def _schedule_next_crash(self) -> None:
+        delay = self._rng.expovariate(self.plan.crash_rate)
+        self.network.sim.schedule(
+            delay, self._crash_once, label="fault:crash", daemon=True
+        )
+
+    def _crash_once(self) -> None:
+        if not self._active:
+            return
+        victims = [
+            nid for nid in self.network.measurable_node_ids()
+            if not self.network.node(nid).crashed
+        ]
+        if victims:
+            victim = self._rng.choice(sorted(victims))
+            self.network.node(victim).crash()
+            self.crashes += 1
+            self._log("crash", victim)
+            self.network.sim.schedule(
+                self.plan.crash_downtime,
+                lambda: self._restart(victim),
+                label=f"fault:restart:{victim}",
+                daemon=True,
+            )
+        self._schedule_next_crash()
+
+    def _restart(self, node_id: str) -> None:
+        # Heals run even after stop(), like _reconnect.
+        if node_id in self.network:
+            self.network.node(node_id).restart()
+            self._log("restart", node_id)
+
+    # ------------------------------------------------------------------
+    # Lifecycle / bookkeeping
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Disarm the injector: no new faults fire, but pending heals
+        (reconnects, restarts) still run so nothing stays broken."""
+        self._active = False
+
+    def _log(self, kind: str, detail: str) -> None:
+        self.events.append(FaultEvent(self.network.sim.now, kind, detail))
+        tracer = self.network.sim.tracer
+        if tracer is not None:
+            tracer.record(self.network.sim.now, f"fault:{kind}", detail)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultInjector(dropped={self.messages_dropped}, "
+            f"churn={self.churn_events}, crashes={self.crashes}, "
+            f"send_timeouts={self.send_timeouts})"
+        )

@@ -108,3 +108,36 @@ class TestBuilders:
             MeasurementConfig(repeats=0)
         with pytest.raises(MeasurementError):
             MeasurementConfig(future_per_account=0)
+
+
+class TestRetryFields:
+    def test_defaults_disable_retries(self):
+        config = MeasurementConfig()
+        assert config.max_retries == 0
+        assert config.retry_backoff_factor >= 1.0
+
+    def test_with_retries_builder(self):
+        config = MeasurementConfig().with_retries(3, backoff=0.5, factor=3.0)
+        assert config.max_retries == 3
+        assert config.retry_backoff == 0.5
+        assert config.retry_backoff_factor == 3.0
+
+    def test_with_retries_keeps_other_backoff_fields(self):
+        config = MeasurementConfig().with_retries(2)
+        assert config.retry_backoff == MeasurementConfig().retry_backoff
+
+    def test_negative_max_retries_rejected(self):
+        with pytest.raises(MeasurementError, match="max_retries"):
+            MeasurementConfig(max_retries=-1)
+
+    def test_negative_backoff_rejected(self):
+        with pytest.raises(MeasurementError, match="retry_backoff"):
+            MeasurementConfig(retry_backoff=-0.1)
+
+    def test_shrinking_backoff_factor_rejected(self):
+        with pytest.raises(MeasurementError, match="retry_backoff_factor"):
+            MeasurementConfig(retry_backoff_factor=0.5)
+
+    def test_negative_send_timeout_rejected(self):
+        with pytest.raises(MeasurementError, match="send_timeout"):
+            MeasurementConfig(send_timeout=-1.0)

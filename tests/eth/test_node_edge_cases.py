@@ -24,15 +24,36 @@ def pair_network(wallet, factory):
 
 
 class TestChurn:
-    def test_in_flight_message_after_disconnect_is_harmless(
+    def test_in_flight_message_after_disconnect_is_dropped(
         self, pair_network, wallet, factory
     ):
+        pair_network.run(1.0)  # let the handshake Status messages land
         tx = factory.transfer(wallet.fresh_account(), gas_price=gwei(1))
         pair_network.send("a", "b", Transactions(txs=(tx,)))
         pair_network.disconnect("a", "b")  # message still in flight
         pair_network.run(5.0)
-        # Delivered (the TCP segment was already sent); nothing crashes.
-        assert tx.hash in pair_network.node("b").mempool
+        # The link is gone, so the in-flight segment dies with it: a closed
+        # TCP session delivers nothing, and neither do we.
+        assert tx.hash not in pair_network.node("b").mempool
+        assert pair_network.messages_dropped == 1
+        assert pair_network.drops_by_reason == {"link_vanished": 1}
+
+    def test_in_flight_drop_emits_trace_record(self, wallet, factory):
+        from repro.sim.engine import Simulator
+
+        network = Network(sim=Simulator(seed=44, trace=True))
+        config = NodeConfig(policy=GETH.scaled(64))
+        network.create_node("a", config)
+        network.create_node("b", config)
+        network.connect("a", "b")
+        network.run(1.0)  # let the handshake Status messages land
+        tx = factory.transfer(wallet.fresh_account(), gas_price=gwei(1))
+        network.send("a", "b", Transactions(txs=(tx,)))
+        network.disconnect("a", "b")
+        network.run(5.0)
+        drops = network.sim.tracer.filter(kind="drop")
+        assert len(drops) == 1
+        assert "link_vanished" in drops[0].detail
 
     def test_queued_broadcast_to_removed_peer_is_dropped(
         self, pair_network, wallet, factory

@@ -1,0 +1,244 @@
+"""The fault-injection layer: plans, determinism, churn, crash/restart."""
+
+import pytest
+
+from repro.errors import FaultPlanError, SendTimeoutError
+from repro.eth.network import Network
+from repro.eth.node import NodeConfig
+from repro.eth.policies import GETH
+from repro.eth.supernode import Supernode
+from repro.eth.transaction import TransactionFactory, gwei
+from repro.eth.account import Wallet
+from repro.sim.faults import FaultInjector, FaultPlan, LinkFaults
+
+
+def pair_network(seed=11):
+    network = Network(seed=seed)
+    config = NodeConfig(policy=GETH.scaled(64))
+    network.create_node("a", config)
+    network.create_node("b", config)
+    network.connect("a", "b")
+    network.run(1.0)  # let the handshake settle
+    return network
+
+
+def submit_transfer(network, node_id, wallet, factory):
+    account = wallet.fresh_account()
+    tx = factory.transfer(account, gas_price=gwei(2.0))
+    network.node(node_id).submit_transaction(tx)
+    return tx
+
+
+class TestFaultPlanValidation:
+    def test_default_plan_is_disabled(self):
+        assert not FaultPlan().enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"loss_rate": -0.1},
+            {"loss_rate": 1.5},
+            {"send_timeout_rate": 2.0},
+            {"extra_delay_mean": -1.0},
+            {"churn_rate": -0.5},
+            {"crash_rate": -0.5},
+            {"churn_downtime": 0.0},
+            {"crash_downtime": -3.0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(**kwargs)
+
+    def test_rejects_bad_link_override(self):
+        with pytest.raises(FaultPlanError):
+            LinkFaults(loss_rate=1.2)
+
+    def test_link_override_beats_plan_wide_rates(self):
+        plan = FaultPlan(
+            loss_rate=0.1,
+            extra_delay_mean=0.5,
+            link_overrides={frozenset(("a", "b")): LinkFaults(loss_rate=0.9)},
+        )
+        assert plan.link_faults("b", "a") == (0.9, 0.0)
+        assert plan.link_faults("a", "c") == (0.1, 0.5)
+        assert plan.enabled
+
+
+class TestMessageLoss:
+    def test_total_loss_blocks_propagation(self, wallet, factory):
+        network = pair_network()
+        network.install_faults(FaultPlan(loss_rate=1.0))
+        tx = submit_transfer(network, "a", wallet, factory)
+        network.run(5.0)
+        assert tx.hash not in network.node("b").mempool
+        assert network.faults.messages_dropped > 0
+        assert network.drops_by_reason.get("loss", 0) > 0
+
+    def test_zero_loss_changes_nothing(self, wallet, factory):
+        network = pair_network()
+        network.install_faults(FaultPlan())
+        tx = submit_transfer(network, "a", wallet, factory)
+        network.run(5.0)
+        assert tx.hash in network.node("b").mempool
+        assert network.messages_dropped == 0
+
+    def test_loss_is_deterministic_in_the_seed(self):
+        def run(seed):
+            wallet = Wallet("loss-det")
+            factory = TransactionFactory()
+            network = pair_network(seed=seed)
+            network.install_faults(FaultPlan(loss_rate=0.5))
+            # Spaced submissions so each push is its own message (the
+            # broadcast loop batches same-instant submissions into one).
+            for _ in range(20):
+                submit_transfer(network, "a", wallet, factory)
+                network.run(1.0)
+            network.run(10.0)
+            return (
+                [
+                    (event.time, event.kind, event.detail)
+                    for event in network.faults.events
+                ],
+                sorted(
+                    tx.hash
+                    for tx in network.node("b").mempool.all_transactions()
+                ),
+            )
+
+        first = run(31)
+        second = run(31)
+        assert first == second
+        assert first[0], "a 50% loss rate over 20 messages must drop some"
+        third = run(32)
+        assert third != first
+
+    def test_extra_delay_slows_but_delivers(self, wallet, factory):
+        slow = pair_network()
+        slow.install_faults(FaultPlan(extra_delay_mean=2.0))
+        tx = submit_transfer(slow, "a", wallet, factory)
+        slow.run(0.2)
+        assert tx.hash not in slow.node("b").mempool  # still in flight
+        slow.run(60.0)
+        assert tx.hash in slow.node("b").mempool  # ... but never lost
+
+
+class TestChurn:
+    def test_churn_takes_links_down_and_back_up(self):
+        network = pair_network(seed=21)
+        network.install_faults(
+            FaultPlan(churn_rate=0.5, churn_downtime=2.0)
+        )
+        network.run(30.0)
+        injector = network.faults
+        assert injector.churn_events > 0
+        kinds = [event.kind for event in injector.events]
+        assert "churn_down" in kinds
+        assert "churn_up" in kinds
+        # Disarm and let the last pending downtime elapse: the heal still
+        # runs after stop(), so the link comes back.
+        network.clear_faults()
+        network.run(5.0)
+        assert network.are_connected("a", "b")
+
+    def test_supernode_links_are_spared_by_default(self):
+        network = pair_network(seed=22)
+        supernode = Supernode.join(network)
+        network.install_faults(FaultPlan(churn_rate=1.0, churn_downtime=1.0))
+        network.run(30.0)
+        for event in network.faults.events:
+            if event.kind == "churn_down":
+                assert supernode.id not in event.detail
+
+    def test_fault_daemons_do_not_block_settle(self):
+        network = pair_network(seed=23)
+        network.install_faults(FaultPlan(churn_rate=1.0, crash_rate=1.0))
+        before = network.sim.now
+        network.settle()  # must terminate despite self-rescheduling faults
+        assert network.sim.now >= before
+
+    def test_stop_disarms_the_injector(self):
+        network = pair_network(seed=24)
+        injector = network.install_faults(FaultPlan(churn_rate=5.0))
+        network.run(5.0)
+        events_before = len(injector.events)
+        network.clear_faults()
+        network.run(20.0)
+        down_events = sum(
+            1 for e in injector.events[events_before:] if e.kind == "churn_down"
+        )
+        assert down_events == 0  # no new faults after stop()
+        assert network.are_connected("a", "b")  # ... but heals still ran
+
+
+class TestCrashRestart:
+    def test_crash_wipes_mempool_and_known_txs_on_restart(self, wallet, factory):
+        network = pair_network(seed=25)
+        tx = submit_transfer(network, "a", wallet, factory)
+        network.run(5.0)
+        node_b = network.node("b")
+        assert tx.hash in node_b.mempool
+        assert any(state.known_txs for state in node_b.peers.values())
+
+        node_b.crash()
+        assert node_b.crashed
+        node_b.restart()
+        assert not node_b.crashed
+        assert node_b.crash_count == 1
+        assert len(node_b.mempool) == 0
+        assert tx.hash not in node_b.mempool
+        assert all(not state.known_txs for state in node_b.peers.values())
+
+    def test_restart_keeps_the_chain_view(self):
+        network = pair_network(seed=26)
+        node = network.node("a")
+        node.head_number = 7
+        node.confirmed_nonces["0xabc"] = 3
+        node.crash()
+        node.restart()
+        assert node.head_number == 7
+        assert node.confirmed_nonces["0xabc"] == 3
+
+    def test_crashed_node_neither_sends_nor_receives(self, wallet, factory):
+        network = pair_network(seed=27)
+        network.node("b").crash()
+        tx = submit_transfer(network, "a", wallet, factory)
+        network.run(5.0)
+        assert tx.hash not in network.node("b").mempool
+        assert network.drops_by_reason.get("target_crashed", 0) > 0
+
+    def test_crash_process_fires_and_recovers(self):
+        network = pair_network(seed=28)
+        network.install_faults(FaultPlan(crash_rate=0.5, crash_downtime=2.0))
+        network.run(40.0)
+        injector = network.faults
+        assert injector.crashes > 0
+        kinds = [event.kind for event in injector.events]
+        assert "crash" in kinds and "restart" in kinds
+        # Disarm and let the last downtime elapse: everyone comes back.
+        network.clear_faults()
+        network.run(5.0)
+        assert not network.node("a").crashed
+        assert not network.node("b").crashed
+
+
+class TestSendTimeouts:
+    def test_supernode_injection_times_out(self):
+        network = pair_network(seed=29)
+        supernode = Supernode.join(network)
+        network.install_faults(FaultPlan(send_timeout_rate=1.0))
+        factory = TransactionFactory()
+        wallet = Wallet("timeout")
+        tx = factory.transfer(wallet.fresh_account(), gas_price=gwei(1.0))
+        with pytest.raises(SendTimeoutError):
+            supernode.send_transactions("a", [tx])
+        assert network.faults.send_timeouts == 1
+
+    def test_injector_survives_reinstall(self):
+        network = pair_network(seed=30)
+        first = network.install_faults(FaultPlan(churn_rate=1.0))
+        second = network.install_faults(FaultPlan(loss_rate=0.1))
+        assert network.faults is second
+        assert isinstance(first, FaultInjector)
+        network.run(10.0)  # first's pending daemons must be inert
+        assert first.churn_events == 0
