@@ -1,0 +1,505 @@
+"""Pre-optimization ("legacy") hot-path implementations, for benchmarking.
+
+These are faithful copies of the simulation hot paths as they stood before
+the performance overhaul (repo revision 516007c): the ``@dataclass(order=True)``
+event heap, closure-per-message scheduling, per-broadcast peer rescans,
+unbounded per-peer known-tx sets and the un-cached mempool admission chain.
+
+``legacy_hot_paths()`` swaps them onto the live classes so
+``bench_engine_throughput.py`` can run the *same scenario* through both
+implementations in one process and report an honest speedup. Nothing in the
+library imports this module.
+
+Two deliberate deviations from the seed, both neutral or favorable to the
+legacy side of the comparison:
+
+- ``_add_inner`` normalizes the confirmed-nonce provider with ``or 0``
+  (nodes now hand the pool a raw ``dict.get``, which returns ``None``);
+- ``schedule_at`` accepts and *drops* a ``daemon`` flag, reproducing the
+  seed scheduling bug this PR fixes, so seed-era callers keep working.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ScheduleInPastError, SimulationError
+from repro.eth.mempool import AddOutcome, AddResult
+from repro.eth.messages import (
+    FindNode,
+    GetPooledTransactions,
+    Neighbors,
+    NewBlock,
+    NewPooledTransactionHashes,
+    PooledTransactions,
+    Status,
+    Transactions,
+)
+from repro.sim.rng import RngRegistry
+from repro.sim.tracing import Tracer
+
+
+# ----------------------------------------------------------------------
+# Seed engine: dataclass events compared by the generated __lt__
+# ----------------------------------------------------------------------
+@dataclass(order=True)
+class LegacyEvent:
+    """The seed's heap entry: ordering via dataclass-generated comparison."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+    daemon: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class LegacySimulator:
+    """The seed's Simulator, verbatim except for the tolerances above."""
+
+    def __init__(self, seed: int = 0, trace: bool = False) -> None:
+        self._now = 0.0
+        self._queue: List[LegacyEvent] = []
+        self._seq = itertools.count()
+        self._executed = 0
+        self._non_daemon_pending = 0
+        self.rng = RngRegistry(seed)
+        self.seed = seed
+        self.tracer: Optional[Tracer] = Tracer() if trace else None
+        self.profiler = None  # engine profiling did not exist in the seed
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    @property
+    def executed_events(self) -> int:
+        return self._executed
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        label: str = "",
+        daemon: bool = False,
+        args: Tuple = (),
+    ) -> LegacyEvent:
+        if delay < 0:
+            raise ScheduleInPastError(
+                f"cannot schedule {delay:.6f}s in the past (now={self._now:.6f})"
+            )
+        if args:
+            # The seed API had no `args`; emulate with the closure the seed
+            # callers allocated themselves.
+            inner = callback
+            callback = lambda: inner(*args)  # noqa: E731
+        event = LegacyEvent(
+            self._now + delay, next(self._seq), callback, label, daemon=daemon
+        )
+        heapq.heappush(self._queue, event)
+        if not daemon:
+            self._non_daemon_pending += 1
+        return event
+
+    def schedule_call(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        label: str = "",
+        args: Tuple = (),
+    ) -> None:
+        # Post-seed API, kept so Network.__init__ can bind it even in
+        # legacy mode. The legacy send() (patched wholesale) never calls
+        # it; routing through schedule() keeps semantics identical.
+        self.schedule(delay, callback, label, False, args)
+
+    def schedule_at(
+        self,
+        when: float,
+        callback: Callable[..., None],
+        label: str = "",
+        daemon: bool = False,
+        args: Tuple = (),
+    ) -> LegacyEvent:
+        # Seed bug, reproduced on purpose: `daemon` is dropped.
+        return self.schedule(when - self._now, callback, label, args=args)
+
+    def step(self) -> bool:
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if not event.daemon:
+                self._non_daemon_pending -= 1
+            if event.cancelled:
+                continue
+            if event.time < self._now:
+                raise SimulationError(
+                    f"event at t={event.time} popped after clock t={self._now}"
+                )
+            self._now = event.time
+            if self.tracer is not None:
+                self.tracer.record(self._now, "event", event.label)
+            event.callback()
+            self._executed += 1
+            return True
+        return False
+
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> None:
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                return
+            if until is None and self._non_daemon_pending <= 0:
+                return
+            next_event = self._peek()
+            if next_event is None:
+                break
+            if until is not None and next_event.time > until:
+                self._now = max(self._now, until)
+                return
+            if self.step():
+                executed += 1
+        if until is not None:
+            self._now = max(self._now, until)
+
+    def run_for(self, duration: float, max_events: Optional[int] = None) -> None:
+        self.run(until=self._now + duration, max_events=max_events)
+
+    def _peek(self) -> Optional[LegacyEvent]:
+        while self._queue:
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                if not event.daemon:
+                    self._non_daemon_pending -= 1
+                continue
+            return event
+        return None
+
+
+# ----------------------------------------------------------------------
+# Seed node hot paths (module-level functions patched in as methods)
+# ----------------------------------------------------------------------
+def _legacy_handle_message(self, from_id, msg):
+    if isinstance(msg, (Transactions, PooledTransactions)):
+        for tx in msg.txs:
+            self.receive_transaction(from_id, tx)
+    elif isinstance(msg, NewPooledTransactionHashes):
+        self._handle_announcement(from_id, msg)
+    elif isinstance(msg, GetPooledTransactions):
+        self._handle_tx_request(from_id, msg)
+    elif isinstance(msg, NewBlock):
+        self.receive_block(from_id, msg.block)
+    elif isinstance(msg, FindNode):
+        self._send(from_id, Neighbors(node_ids=tuple(self.routing_table)))
+    elif isinstance(msg, Status):
+        self.peer_versions[from_id] = msg.client_version
+    elif isinstance(msg, Neighbors):
+        pass
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unhandled message type {type(msg).__name__}")
+
+
+def _legacy_mark_known(self, peer_id, tx_hash):
+    state = self.peers.get(peer_id)
+    if state is not None:
+        state.known_txs.add(tx_hash)  # unbounded, as in the seed
+
+
+def _legacy_receive_transaction(self, from_id, tx):
+    if from_id is not None:
+        self._mark_known(from_id, tx.hash)
+    result = self.mempool.add(tx)
+    for observer in self.tx_observers:
+        observer(from_id or "", tx, result)
+    if (
+        self.config.echoes_future_to_sender
+        and from_id is not None
+        and from_id in self.peers
+        and result.admitted
+        and not result.is_pending
+    ):
+        self._send(from_id, Transactions(txs=(tx,)))
+    if self.config.relays_transactions:
+        self._relay(result)
+    return result
+
+
+def _legacy_relay(self, result):
+    to_broadcast = []
+    if result.propagatable:
+        to_broadcast.append(result.tx)
+    elif result.admitted and self.config.forwards_future:
+        to_broadcast.append(result.tx)
+    to_broadcast.extend(result.promoted)
+    for tx in to_broadcast:
+        self.broadcast_transaction(tx)
+
+
+def _legacy_broadcast_transaction(self, tx):
+    unaware = [p for p, s in self.peers.items() if tx.hash not in s.known_txs]
+    if not unaware:
+        return
+    if self.config.announce_only:
+        push_targets = []
+        announce_targets = unaware
+    elif self.config.push_to_all or not self.config.announce_enabled:
+        push_targets = unaware
+        announce_targets = []
+    else:
+        self._rng.shuffle(unaware)
+        n_push = max(1, math.ceil(math.sqrt(len(self.peers))))
+        push_targets = unaware[:n_push]
+        announce_targets = unaware[n_push:]
+    for peer_id in push_targets:
+        self._mark_known(peer_id, tx.hash)
+        self._push_queue.setdefault(peer_id, []).append(tx)
+    for peer_id in announce_targets:
+        self._mark_known(peer_id, tx.hash)
+        self._announce_queue.setdefault(peer_id, []).append(tx.hash)
+    self._schedule_flush()
+
+
+def _legacy_schedule_flush(self):
+    if self._flush_scheduled:
+        return
+    self._flush_scheduled = True
+    self.sim.schedule(
+        self.config.broadcast_interval, self._flush, label=f"flush:{self.id}"
+    )
+
+
+def _legacy_flush(self):
+    self._flush_scheduled = False
+    push_queue, self._push_queue = self._push_queue, {}
+    announce_queue, self._announce_queue = self._announce_queue, {}
+    for peer_id, txs in push_queue.items():
+        if peer_id in self.peers:
+            self._send(peer_id, Transactions(txs=tuple(txs)))
+    for peer_id, hashes in announce_queue.items():
+        if peer_id in self.peers:
+            self._send(peer_id, NewPooledTransactionHashes(hashes=tuple(hashes)))
+
+
+def _legacy_handle_announcement(self, from_id, msg):
+    wanted = []
+    now = self.sim.now
+    for tx_hash in msg.hashes:
+        self._mark_known(from_id, tx_hash)
+        if tx_hash in self.mempool:
+            continue
+        if self._announce_requested.get(tx_hash, -1.0) > now:
+            continue
+        self._announce_requested[tx_hash] = now + self.config.announce_hold
+        wanted.append(tx_hash)
+    if wanted:
+        self._send(from_id, GetPooledTransactions(hashes=tuple(wanted)))
+
+
+def _legacy_handle_tx_request(self, from_id, msg):
+    available = tuple(
+        tx
+        for tx_hash in msg.hashes
+        if (tx := self.mempool.get(tx_hash)) is not None
+    )
+    if available:
+        for tx in available:
+            self._mark_known(from_id, tx.hash)
+        self._send(from_id, PooledTransactions(txs=available))
+
+
+# ----------------------------------------------------------------------
+# Seed network hot paths
+# ----------------------------------------------------------------------
+def _legacy_are_connected(self, a, b):
+    return frozenset((a, b)) in self._links
+
+
+def _legacy_send(self, from_id, to_id, msg):
+    from repro.errors import NotConnectedError, UnknownNodeError
+
+    if to_id not in self.nodes:
+        raise UnknownNodeError(to_id)
+    if not self.are_connected(from_id, to_id):
+        raise NotConnectedError(
+            f"{from_id} is not connected to {to_id}; cannot send {msg.kind}"
+        )
+    if self.nodes[from_id].crashed:
+        self._drop(from_id, to_id, msg, "sender_crashed")
+        return
+    self.messages_sent += 1
+    self.messages_by_kind[msg.kind] = self.messages_by_kind.get(msg.kind, 0) + 1
+    delay = self.latency(self._latency_rng, from_id, to_id)
+    if self.faults is not None:
+        if self.faults.should_drop(from_id, to_id):
+            self._drop(from_id, to_id, msg, "loss", trace=False)
+            return
+        delay += self.faults.extra_delay(from_id, to_id)
+    self.sim.schedule(
+        delay,
+        lambda: self._deliver(from_id, to_id, msg),
+        label=f"{msg.kind}:{from_id}->{to_id}",
+    )
+
+
+def _legacy_deliver(self, from_id, to_id, msg):
+    if frozenset((from_id, to_id)) not in self._links:
+        self._drop(from_id, to_id, msg, "link_vanished")
+        return
+    target = self.nodes.get(to_id)
+    if target is None:
+        self._drop(from_id, to_id, msg, "target_removed")
+        return
+    if target.crashed:
+        self._drop(from_id, to_id, msg, "target_crashed")
+        return
+    target.handle_message(from_id, msg)
+
+
+# ----------------------------------------------------------------------
+# Seed mempool admission chain
+# ----------------------------------------------------------------------
+def _legacy_add(self, tx):
+    result = self._add_inner(tx)
+    self.stats[result.outcome.value] += 1
+    self.stats["evictions"] += len(result.evicted)
+    return result
+
+
+def _legacy_add_inner(self, tx):
+    if tx.hash in self._by_hash:
+        return AddResult(tx, AddOutcome.REJECTED_KNOWN)
+
+    confirmed = self._confirmed_nonce(tx.sender) or 0
+    if tx.nonce < confirmed:
+        return AddResult(tx, AddOutcome.REJECTED_STALE_NONCE)
+
+    if self.policy.enforce_base_fee and tx.is_underpriced_for_base_fee(
+        self.base_fee
+    ):
+        return AddResult(tx, AddOutcome.REJECTED_BASE_FEE)
+
+    bid = tx.bid_price(self.base_fee)
+
+    occupant = self.sender_transaction(tx.sender, tx.nonce)
+    if occupant is not None:
+        if not self.policy.replacement_allowed(
+            occupant.bid_price(self.base_fee), bid
+        ):
+            return AddResult(
+                tx, AddOutcome.REJECTED_UNDERPRICED_REPLACEMENT, replaced=None
+            )
+        self._remove(occupant.hash)
+        self._insert(tx)
+        promoted = self._rebalance_sender(tx.sender)
+        return AddResult(
+            tx,
+            AddOutcome.REPLACED,
+            replaced=occupant,
+            promoted=[p for p in promoted if p.hash != tx.hash],
+            is_pending=tx.hash in self._pending,
+        )
+
+    will_be_pending = self._would_be_pending(tx, confirmed)
+
+    if not will_be_pending:
+        limit = self.policy.future_limit_per_account
+        if limit is not None and self.sender_count(tx.sender) >= limit:
+            return AddResult(tx, AddOutcome.REJECTED_FUTURE_LIMIT)
+
+    evicted = []
+    if self.is_full:
+        victim = self._select_victim(will_be_pending, bid)
+        if victim is None:
+            return AddResult(tx, AddOutcome.REJECTED_POOL_FULL)
+        self._remove(victim.hash)
+        self._rebalance_sender(victim.sender)
+        evicted.append(victim)
+
+    self._insert(tx)
+    promoted = self._rebalance_sender(tx.sender)
+    is_pending = tx.hash in self._pending
+    outcome = (
+        AddOutcome.ADMITTED_PENDING if is_pending else AddOutcome.ADMITTED_FUTURE
+    )
+    return AddResult(
+        tx,
+        outcome,
+        evicted=evicted,
+        promoted=[p for p in promoted if p.hash != tx.hash],
+        is_pending=is_pending,
+    )
+
+
+# ----------------------------------------------------------------------
+# Patch management
+# ----------------------------------------------------------------------
+_NODE_PATCHES = {
+    "handle_message": _legacy_handle_message,
+    "_mark_known": _legacy_mark_known,
+    "receive_transaction": _legacy_receive_transaction,
+    "_relay": _legacy_relay,
+    "broadcast_transaction": _legacy_broadcast_transaction,
+    "_schedule_flush": _legacy_schedule_flush,
+    "_flush": _legacy_flush,
+    "_handle_announcement": _legacy_handle_announcement,
+    "_handle_tx_request": _legacy_handle_tx_request,
+}
+
+_NETWORK_PATCHES = {
+    "are_connected": _legacy_are_connected,
+    "send": _legacy_send,
+    "_deliver": _legacy_deliver,
+}
+
+_MEMPOOL_PATCHES = {
+    "add": _legacy_add,
+    "_add_inner": _legacy_add_inner,
+}
+
+_MISSING = object()
+
+
+@contextlib.contextmanager
+def legacy_hot_paths():
+    """Temporarily swap the seed hot-path implementations onto the live
+    classes (and make new networks use :class:`LegacySimulator`)."""
+    import repro.eth.network as network_module
+    from repro.eth.mempool import Mempool
+    from repro.eth.network import Network
+    from repro.eth.node import Node
+
+    saved = []
+
+    def patch(target, name, value):
+        saved.append((target, name, target.__dict__.get(name, _MISSING)))
+        setattr(target, name, value)
+
+    for name, fn in _NODE_PATCHES.items():
+        patch(Node, name, fn)
+    for name, fn in _NETWORK_PATCHES.items():
+        patch(Network, name, fn)
+    for name, fn in _MEMPOOL_PATCHES.items():
+        patch(Mempool, name, fn)
+    patch(network_module, "Simulator", LegacySimulator)
+    try:
+        yield
+    finally:
+        for target, name, original in reversed(saved):
+            if original is _MISSING:
+                delattr(target, name)
+            else:
+                setattr(target, name, original)

@@ -1,0 +1,190 @@
+"""Engine throughput: the optimized simulation hot path vs the pre-PR one.
+
+Runs the same transaction-propagation scenario twice in one process — once
+on the optimized engine and once on the faithful seed implementations from
+:mod:`benchmarks._legacy_engine` — and reports events/sec, wall time and
+peak RSS per scenario, plus the speedup. Both runs draw from the same
+seeded RNG streams, so they execute the *identical* event sequence; the
+bench asserts that equivalence (event and message counts must match) before
+trusting the timing.
+
+Standalone (full 1k/5k/10k matrix, writes benchmarks/results/BENCH_engine.json)::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+
+Pytest smoke (small scenario, same JSON artifact)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine_throughput.py \
+        -k smoke --benchmark-disable -q
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import platform
+import resource
+import sys
+from pathlib import Path
+from time import perf_counter
+
+import pytest
+
+if __package__ in (None, ""):
+    # Standalone `python benchmarks/bench_engine_throughput.py`: put the
+    # repo root on sys.path so the `benchmarks` package resolves.
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks._legacy_engine import legacy_hot_paths
+from benchmarks.harness import RESULTS_DIR, emit, run_once
+from repro.eth.account import Wallet
+from repro.eth.transaction import TransactionFactory, gwei
+from repro.netgen.ethereum import quick_network
+
+JSON_PATH = RESULTS_DIR / "BENCH_engine.json"
+
+# The 5k scenario is the acceptance gate: the optimized hot path must beat
+# the seed by >= MIN_SPEEDUP_5K on events/sec there.
+MIN_SPEEDUP_5K = 2.0
+
+FULL_SCENARIOS = (
+    {"name": "1k", "n_nodes": 1_000, "txs": 150, "seed": 11},
+    {"name": "5k", "n_nodes": 5_000, "txs": 60, "seed": 11},
+    {"name": "10k", "n_nodes": 10_000, "txs": 25, "seed": 11},
+)
+
+SMOKE_SCENARIO = {"name": "smoke-300", "n_nodes": 300, "txs": 40, "seed": 11}
+
+
+def _peak_rss_mb() -> float:
+    """Process peak RSS in MiB (Linux ru_maxrss is in KiB)."""
+    rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - ru_maxrss is in bytes
+        rss_kb /= 1024
+    return rss_kb / 1024
+
+
+def run_scenario(n_nodes: int, txs: int, seed: int, legacy: bool = False) -> dict:
+    """Build the network, inject ``txs`` transactions, settle, and time it.
+
+    The timed region covers submission + propagation to quiescence — the
+    event-loop work a measurement campaign is made of — not topology
+    generation. Identical seeds mean the legacy and optimized runs execute
+    the same events in the same order.
+    """
+    guard = legacy_hot_paths() if legacy else contextlib.nullcontext()
+    with guard:
+        network = quick_network(n_nodes=n_nodes, seed=seed)
+        wallet = Wallet("bench-engine")
+        factory = TransactionFactory()
+        ids = network.measurable_node_ids()
+        start = perf_counter()
+        for index in range(txs):
+            origin = network.node(ids[(index * 37) % len(ids)])
+            origin.submit_transaction(
+                factory.transfer(wallet.fresh_account(), gas_price=gwei(2.0) + index)
+            )
+        network.settle()
+        elapsed = perf_counter() - start
+        events = network.sim.executed_events
+    return {
+        "mode": "legacy" if legacy else "optimized",
+        "n_nodes": n_nodes,
+        "txs": txs,
+        "events": events,
+        "messages": network.messages_sent,
+        "elapsed_s": round(elapsed, 3),
+        "events_per_sec": round(events / elapsed, 1),
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
+    }
+
+
+def compare_scenario(spec: dict) -> dict:
+    """Run one scenario under both engines and cross-check equivalence."""
+    optimized = run_scenario(spec["n_nodes"], spec["txs"], spec["seed"])
+    legacy = run_scenario(spec["n_nodes"], spec["txs"], spec["seed"], legacy=True)
+    # Same seed, same scenario: if the hot-path rewrite changed behaviour at
+    # all, the event/message counts diverge and the timing is meaningless.
+    assert optimized["events"] == legacy["events"], (
+        f"{spec['name']}: optimized executed {optimized['events']} events, "
+        f"legacy {legacy['events']} — engines are not equivalent"
+    )
+    assert optimized["messages"] == legacy["messages"]
+    return {
+        "name": spec["name"],
+        "n_nodes": spec["n_nodes"],
+        "txs": spec["txs"],
+        "events": optimized["events"],
+        "optimized": optimized,
+        "legacy": legacy,
+        "speedup": round(
+            optimized["events_per_sec"] / legacy["events_per_sec"], 2
+        ),
+    }
+
+
+def write_results(rows: list, kind: str) -> dict:
+    payload = {
+        "benchmark": "engine_throughput",
+        "kind": kind,
+        "python": platform.python_version(),
+        "min_speedup_5k": MIN_SPEEDUP_5K,
+        "scenarios": rows,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return payload
+
+
+def format_table(rows: list) -> str:
+    lines = [
+        f"{'scenario':<10} {'events':>9} {'seed ev/s':>10} {'opt ev/s':>10} "
+        f"{'speedup':>8} {'seed RSS':>9} {'opt RSS':>9}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['name']:<10} {row['events']:>9} "
+            f"{row['legacy']['events_per_sec']:>10.0f} "
+            f"{row['optimized']['events_per_sec']:>10.0f} "
+            f"{row['speedup']:>7.2f}x "
+            f"{row['legacy']['peak_rss_mb']:>8.0f}M "
+            f"{row['optimized']['peak_rss_mb']:>8.0f}M"
+        )
+    return "\n".join(lines)
+
+
+@pytest.mark.benchmark(group="engine-throughput")
+def test_engine_throughput_smoke(benchmark):
+    """CI smoke: a small scenario must already show a real speedup."""
+    row = run_once(benchmark, lambda: compare_scenario(SMOKE_SCENARIO))
+    write_results([row], kind="smoke")
+    emit("engine_throughput_smoke", format_table([row]))
+    assert row["speedup"] > 1.1
+
+
+def main() -> int:
+    rows = []
+    for spec in FULL_SCENARIOS:
+        print(f"[{spec['name']}] {spec['n_nodes']} nodes, {spec['txs']} txs ...")
+        row = compare_scenario(spec)
+        rows.append(row)
+        print(
+            f"  legacy {row['legacy']['events_per_sec']:,.0f} ev/s -> "
+            f"optimized {row['optimized']['events_per_sec']:,.0f} ev/s "
+            f"({row['speedup']:.2f}x, {row['events']} events)"
+        )
+    write_results(rows, kind="full")
+    emit("engine_throughput", format_table(rows))
+    gate = next(row for row in rows if row["name"] == "5k")
+    if gate["speedup"] < MIN_SPEEDUP_5K:
+        print(
+            f"FAIL: 5k speedup {gate['speedup']:.2f}x < {MIN_SPEEDUP_5K}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: 5k speedup {gate['speedup']:.2f}x >= {MIN_SPEEDUP_5K}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

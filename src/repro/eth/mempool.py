@@ -32,7 +32,6 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import MempoolError
@@ -53,6 +52,11 @@ class AddOutcome(enum.Enum):
     REJECTED_POOL_FULL = "rejected_pool_full"
     REJECTED_BASE_FEE = "rejected_base_fee"
 
+    # Enum members are singletons, so identity hashing is consistent with
+    # their (identity-based) equality — and C-speed, unlike the default
+    # name-based Enum hash, which showed up in mempool.add profiles.
+    __hash__ = object.__hash__
+
 
 _ADMITTED = {
     AddOutcome.ADMITTED_PENDING,
@@ -60,26 +64,66 @@ _ADMITTED = {
     AddOutcome.REPLACED,
 }
 
+# Pre-resolved outcome -> stats-key strings: AddOutcome.value goes through
+# enum's DynamicClassAttribute descriptor, far too slow for once-per-add.
+_OUTCOME_KEY = {outcome: outcome.value for outcome in AddOutcome}
 
-@dataclass
+# Shared immutable default for AddResult.evicted/.promoted: results are
+# read-only, and two fresh lists per offered transaction was the second
+# largest allocation source after the results themselves.
+_NO_TXS: Tuple[Transaction, ...] = ()
+
+
 class AddResult:
-    """Everything that happened when a transaction was offered to the pool."""
+    """Everything that happened when a transaction was offered to the pool.
 
-    tx: Transaction
-    outcome: AddOutcome
-    replaced: Optional[Transaction] = None
-    evicted: List[Transaction] = field(default_factory=list)
-    promoted: List[Transaction] = field(default_factory=list)
-    is_pending: bool = False
+    A ``__slots__`` class (one is allocated per ``Mempool.add``, the
+    hottest allocation in a campaign) with ``admitted``/``propagatable``
+    computed eagerly instead of via properties: the relay path reads them
+    for every received transaction.
+    """
 
-    @property
-    def admitted(self) -> bool:
-        return self.outcome in _ADMITTED
+    __slots__ = (
+        "tx",
+        "outcome",
+        "replaced",
+        "evicted",
+        "promoted",
+        "is_pending",
+        "admitted",
+        "propagatable",
+    )
 
-    @property
-    def propagatable(self) -> bool:
-        """Admitted *and* executable: only these are forwarded to peers."""
-        return self.admitted and self.is_pending
+    def __init__(
+        self,
+        tx: Transaction,
+        outcome: AddOutcome,
+        replaced: Optional[Transaction] = None,
+        evicted: Optional[List[Transaction]] = None,
+        promoted: Optional[List[Transaction]] = None,
+        is_pending: bool = False,
+    ) -> None:
+        self.tx = tx
+        self.outcome = outcome
+        self.replaced = replaced
+        self.evicted = _NO_TXS if evicted is None else evicted
+        self.promoted = _NO_TXS if promoted is None else promoted
+        self.is_pending = is_pending
+        admitted = (
+            outcome is AddOutcome.ADMITTED_PENDING
+            or outcome is AddOutcome.ADMITTED_FUTURE
+            or outcome is AddOutcome.REPLACED
+        )
+        self.admitted = admitted
+        # Admitted *and* executable: only these are forwarded to peers.
+        self.propagatable = admitted and is_pending
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AddResult({self.tx.short_hash()}, {self.outcome.name}, "
+            f"pending={self.is_pending}, evicted={len(self.evicted)}, "
+            f"promoted={len(self.promoted)})"
+        )
 
 
 NonceProvider = Callable[[str], int]
@@ -110,6 +154,10 @@ class Mempool:
         self._confirmed_nonce: NonceProvider = confirmed_nonce or (lambda sender: 0)
         self._clock: Callable[[], float] = clock or (lambda: 0.0)
         self.base_fee: int = 0
+        # Hot-path caches of (immutable) policy attributes.
+        self._capacity = policy.capacity
+        self._enforce_base_fee = policy.enforce_base_fee
+        self._future_limit = policy.future_limit_per_account
 
         self._by_hash: Dict[str, Transaction] = {}
         self._by_sender: Dict[str, Dict[int, Transaction]] = {}
@@ -148,7 +196,7 @@ class Mempool:
 
     @property
     def is_full(self) -> bool:
-        return len(self._by_hash) >= self.policy.capacity
+        return len(self._by_hash) >= self._capacity
 
     @property
     def free_slots(self) -> int:
@@ -173,11 +221,13 @@ class Mempool:
 
     def sender_transaction(self, sender: str, nonce: int) -> Optional[Transaction]:
         """The stored transaction occupying (sender, nonce), if any."""
-        return self._by_sender.get(sender, {}).get(nonce)
+        nonces = self._by_sender.get(sender)
+        return nonces.get(nonce) if nonces is not None else None
 
     def sender_count(self, sender: str) -> int:
         """How many transactions from ``sender`` are buffered."""
-        return len(self._by_sender.get(sender, {}))
+        nonces = self._by_sender.get(sender)
+        return len(nonces) if nonces is not None else 0
 
     def pending_prices(self) -> List[int]:
         """Bid prices of all pending transactions (unsorted)."""
@@ -206,7 +256,7 @@ class Mempool:
         ordered: List[Transaction] = []
         deferred: Dict[str, List[Transaction]] = {}
         for tx in txs:
-            expected = seen_nonce.get(tx.sender, self._confirmed_nonce(tx.sender))
+            expected = seen_nonce.get(tx.sender, self._confirmed_nonce(tx.sender) or 0)
             if tx.nonce == expected:
                 ordered.append(tx)
                 seen_nonce[tx.sender] = expected + 1
@@ -226,27 +276,33 @@ class Mempool:
     def add(self, tx: Transaction) -> AddResult:
         """Offer one transaction to the pool and apply the policy."""
         result = self._add_inner(tx)
-        self.stats[result.outcome.value] += 1
-        self.stats["evictions"] += len(result.evicted)
+        stats = self.stats
+        stats[_OUTCOME_KEY[result.outcome]] += 1
+        if result.evicted:
+            stats["evictions"] += len(result.evicted)
         return result
 
     def _add_inner(self, tx: Transaction) -> AddResult:
-        if tx.hash in self._by_hash:
+        tx_hash = tx.hash
+        if tx_hash in self._by_hash:
             return AddResult(tx, AddOutcome.REJECTED_KNOWN)
 
-        confirmed = self._confirmed_nonce(tx.sender)
-        if tx.nonce < confirmed:
+        sender = tx.sender
+        tx_nonce = tx.nonce
+        confirmed = self._confirmed_nonce(sender) or 0
+        if tx_nonce < confirmed:
             return AddResult(tx, AddOutcome.REJECTED_STALE_NONCE)
 
-        if self.policy.enforce_base_fee and tx.is_underpriced_for_base_fee(
+        if self._enforce_base_fee and tx.is_underpriced_for_base_fee(
             self.base_fee
         ):
             return AddResult(tx, AddOutcome.REJECTED_BASE_FEE)
 
         bid = tx.bid_price(self.base_fee)
+        nonces = self._by_sender.get(sender)
 
         # --- Replacement path: a stored transaction occupies (sender, nonce).
-        occupant = self.sender_transaction(tx.sender, tx.nonce)
+        occupant = nonces.get(tx_nonce) if nonces is not None else None
         if occupant is not None:
             if not self.policy.replacement_allowed(
                 occupant.bid_price(self.base_fee), bid
@@ -256,26 +312,40 @@ class Mempool:
                 )
             self._remove(occupant.hash)
             self._insert(tx)
-            promoted = self._rebalance_sender(tx.sender)
+            promoted = self._rebalance_sender(sender)
             return AddResult(
                 tx,
                 AddOutcome.REPLACED,
                 replaced=occupant,
-                promoted=[p for p in promoted if p.hash != tx.hash],
-                is_pending=tx.hash in self._pending,
+                promoted=[p for p in promoted if p.hash != tx_hash],
+                is_pending=tx_hash in self._pending,
             )
 
-        will_be_pending = self._would_be_pending(tx, confirmed)
+        # _would_be_pending inlined on the `nonces` lookup already in hand.
+        if nonces is None:
+            will_be_pending = tx_nonce == confirmed
+        else:
+            nonce = confirmed
+            while True:
+                if nonce == tx_nonce:
+                    will_be_pending = True
+                    break
+                if nonce not in nonces:
+                    will_be_pending = False
+                    break
+                nonce += 1
 
         # --- Per-account future limit U.
         if not will_be_pending:
-            limit = self.policy.future_limit_per_account
-            if limit is not None and self.sender_count(tx.sender) >= limit:
+            limit = self._future_limit
+            if limit is not None and (
+                len(nonces) if nonces is not None else 0
+            ) >= limit:
                 return AddResult(tx, AddOutcome.REJECTED_FUTURE_LIMIT)
 
         # --- Eviction path when the pool is full.
         evicted: List[Transaction] = []
-        if self.is_full:
+        if len(self._by_hash) >= self._capacity:
             victim = self._select_victim(will_be_pending, bid)
             if victim is None:
                 return AddResult(tx, AddOutcome.REJECTED_POOL_FULL)
@@ -284,8 +354,8 @@ class Mempool:
             evicted.append(victim)
 
         self._insert(tx)
-        promoted = self._rebalance_sender(tx.sender)
-        is_pending = tx.hash in self._pending
+        promoted = self._rebalance_sender(sender)
+        is_pending = tx_hash in self._pending
         outcome = (
             AddOutcome.ADMITTED_PENDING if is_pending else AddOutcome.ADMITTED_FUTURE
         )
@@ -293,7 +363,7 @@ class Mempool:
             tx,
             outcome,
             evicted=evicted,
-            promoted=[p for p in promoted if p.hash != tx.hash],
+            promoted=[p for p in promoted if p.hash != tx_hash],
             is_pending=is_pending,
         )
 
@@ -371,7 +441,7 @@ class Mempool:
         promoted: List[Transaction] = []
         if not nonces:
             return promoted
-        confirmed = self._confirmed_nonce(sender)
+        confirmed = self._confirmed_nonce(sender) or 0
         pending_run: Set[str] = set()
         nonce = confirmed
         while nonce in nonces:
@@ -441,7 +511,7 @@ class Mempool:
                 dropped.append(self._remove(tx.hash))
         # Drop now-stale nonces of every touched sender.
         for sender in touched_senders:
-            confirmed = self._confirmed_nonce(sender)
+            confirmed = self._confirmed_nonce(sender) or 0
             stale = [
                 tx
                 for nonce, tx in self._by_sender.get(sender, {}).items()
@@ -451,10 +521,40 @@ class Mempool:
                 dropped.append(self._remove(tx.hash))
             self._rebalance_sender(sender)
         if new_base_fee is not None:
+            base_fee_changed = new_base_fee != self.base_fee
             self.base_fee = new_base_fee
             if self.policy.enforce_base_fee:
                 dropped.extend(self._drop_underpriced(new_base_fee))
+            if base_fee_changed:
+                # The lazy eviction heaps are keyed by bid_price(base_fee)
+                # at push time; a base-fee change invalidates every stored
+                # key, so _peek_lowest could hand eviction a non-lowest
+                # victim and break the isolation argument (Appendix E).
+                self._rebuild_price_heaps()
         return dropped
+
+    def _rebuild_price_heaps(self) -> None:
+        """Re-key both eviction heaps under the current ``base_fee``.
+
+        Iterates ``_by_hash`` (insertion-ordered) rather than the
+        pending/future hash *sets* so that re-assigned tie-breaker
+        sequence numbers — and therefore victim selection among
+        equal-priced transactions — stay identical across processes.
+        """
+        base_fee = self.base_fee
+        pending_entries: List[Tuple[int, int, str]] = []
+        future_entries: List[Tuple[int, int, str]] = []
+        pending = self._pending
+        for tx_hash, tx in self._by_hash.items():
+            entry = (tx.bid_price(base_fee), next(self._seq), tx_hash)
+            if tx_hash in pending:
+                pending_entries.append(entry)
+            else:
+                future_entries.append(entry)
+        heapq.heapify(pending_entries)
+        heapq.heapify(future_entries)
+        self._pending_heap = pending_entries
+        self._future_heap = future_entries
 
     def _drop_underpriced(self, base_fee: int) -> List[Transaction]:
         doomed = [
@@ -511,7 +611,7 @@ class Mempool:
         if set(self._by_hash) != self._pending | self._future:
             raise MempoolError("pending/future sets do not cover the pool")
         for sender, nonces in self._by_sender.items():
-            confirmed = self._confirmed_nonce(sender)
+            confirmed = self._confirmed_nonce(sender) or 0
             run = confirmed
             while run in nonces:
                 if nonces[run].hash not in self._pending:

@@ -8,6 +8,7 @@ scored (the simulator-equivalent of the paper's local-node validation).
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set
 
 import networkx as nx
@@ -47,7 +48,29 @@ class Network:
         self.chain = chain or Chain()
         self.nodes: Dict[str, Node] = {}
         self._links: Set[FrozenSet[str]] = set()
+        # Adjacency mirror of _links: connectivity checks run once per
+        # message (twice counting delivery), and `to_id in adjacency[from]`
+        # avoids allocating a frozenset per check.
+        self._adjacency: Dict[str, Set[str]] = {}
+        # Topology/liveness epoch. Bumped by connect/disconnect and node
+        # crash/restart; a message delivered under the epoch it was sent in
+        # cannot have lost its link or target, so delivery skips the guard
+        # chain entirely in the (overwhelmingly common) quiet case.
+        self._epoch = 0
+        # Nodes currently down. The delivery fast path additionally
+        # requires this to be zero: an *already* crashed target has the
+        # same epoch at send and delivery time, yet must still drop.
+        self._crashed_count = 0
         self._latency_rng = self.sim.rng.stream("latency")
+        # Bound once: these run once per message. The queue/seq bindings
+        # let send() inline Simulator.schedule_call's heap push — one
+        # Python frame per message saved; safe because the simulator never
+        # reassigns either object and transport latency is strictly
+        # positive (no schedule-in-the-past check needed).
+        self._sim_queue = self.sim._queue
+        self._next_seq = self.sim._seq.__next__
+        self._latency_random = self._latency_rng.random
+        self._deliver_cb = self._deliver
         self.supernode_ids: Set[str] = set()
         self.messages_sent = 0
         self.messages_by_kind: Dict[str, int] = {}
@@ -65,6 +88,8 @@ class Network:
             raise NetworkError(f"duplicate node id {node.id!r}")
         node.network = self
         self.nodes[node.id] = node
+        if node.crashed:
+            self._crashed_count += 1
         if supernode:
             self.supernode_ids.add(node.id)
         return node
@@ -113,6 +138,9 @@ class Network:
         if not force and not (node_a.can_accept_peer() and node_b.can_accept_peer()):
             raise NetworkError(f"no free peer slot for link {a}--{b}")
         self._links.add(link)
+        self._adjacency.setdefault(a, set()).add(b)
+        self._adjacency.setdefault(b, set()).add(a)
+        self._epoch += 1
         node_a.add_peer(b)
         node_b.add_peer(a)
 
@@ -121,11 +149,15 @@ class Network:
         if link not in self._links:
             raise NotConnectedError(f"no link {a}--{b}")
         self._links.remove(link)
+        self._adjacency.get(a, set()).discard(b)
+        self._adjacency.get(b, set()).discard(a)
+        self._epoch += 1
         self.node(a).remove_peer(b)
         self.node(b).remove_peer(a)
 
     def are_connected(self, a: str, b: str) -> bool:
-        return frozenset((a, b)) in self._links
+        peers = self._adjacency.get(a)
+        return peers is not None and b in peers
 
     def neighbors(self, node_id: str) -> List[str]:
         return self.node(node_id).peer_ids
@@ -172,33 +204,80 @@ class Network:
         send time, and a link or endpoint that disappears while it is in
         flight drops it at delivery time (with a ``drop`` trace record).
         """
-        if to_id not in self.nodes:
-            raise UnknownNodeError(to_id)
-        if not self.are_connected(from_id, to_id):
+        nodes = self.nodes
+        peers = self._adjacency.get(from_id)
+        if peers is None or to_id not in peers:
+            if to_id not in nodes:
+                raise UnknownNodeError(to_id)
             raise NotConnectedError(
                 f"{from_id} is not connected to {to_id}; cannot send {msg.kind}"
             )
-        if self.nodes[from_id].crashed:
+        if nodes[from_id].crashed:
             self._drop(from_id, to_id, msg, "sender_crashed")
             return
         self.messages_sent += 1
-        self.messages_by_kind[msg.kind] = self.messages_by_kind.get(msg.kind, 0) + 1
-        delay = self.latency(self._latency_rng, from_id, to_id)
+        kind = type(msg).__name__
+        by_kind = self.messages_by_kind
+        try:
+            by_kind[kind] += 1
+        except KeyError:
+            by_kind[kind] = 1
+        # Inlined LatencyModel.__call__: same sample + positivity guard,
+        # one Python call less on a once-per-message path. The uniform
+        # model (the default) is additionally expanded in place — the type
+        # check is exact so subclasses still get their own sample().
+        latency = self.latency
+        if type(latency) is UniformLatency:
+            delay = latency.low + latency._span * self._latency_random()
+        else:
+            delay = latency.sample(self._latency_rng, from_id, to_id)
+        if delay <= 0:
+            raise ValueError(f"latency model produced non-positive delay {delay}")
         if self.faults is not None:
             if self.faults.should_drop(from_id, to_id):
                 # The injector already traced this as fault:loss.
                 self._drop(from_id, to_id, msg, "loss", trace=False)
                 return
             delay += self.faults.extra_delay(from_id, to_id)
-        self.sim.schedule(
-            delay,
-            lambda: self._deliver(from_id, to_id, msg),
-            label=f"{msg.kind}:{from_id}->{to_id}",
+        # The label is built unconditionally: a tracer/profiler may be
+        # attached after this message is queued but before it delivers,
+        # and the recorded trace must not depend on when that happened.
+        # Deliveries are never cancelled, so the fire-and-forget entry
+        # shape (no Event allocation) is safe here — and the schedule_call
+        # frame itself is inlined (see the __init__ bindings).
+        sim = self.sim
+        heappush(
+            self._sim_queue,
+            (
+                sim._now + delay,
+                self._next_seq(),
+                self._deliver_cb,
+                (from_id, to_id, msg, self._epoch),
+                f"{kind}:{from_id}->{to_id}",
+            ),
         )
+        sim._non_daemon_pending += 1
 
-    def _deliver(self, from_id: str, to_id: str, msg: Message) -> None:
-        """Delivery-time guard: the world may have changed since the send."""
-        if frozenset((from_id, to_id)) not in self._links:
+    def _deliver(self, from_id: str, to_id: str, msg: Message, epoch: int = -1) -> None:
+        """Deliver a message, guarding against a world that changed in flight.
+
+        ``epoch`` is the network epoch captured at send time. While it still
+        matches, no link was torn down and no node crashed or restarted
+        since the send, so the guard chain below cannot fire and delivery
+        dispatches straight into the target's per-type handler table
+        (skipping the generic :meth:`Node.handle_message` frame). Direct
+        callers omit ``epoch`` and always take the guarded path.
+        """
+        if epoch == self._epoch and not self._crashed_count:
+            target = self.nodes[to_id]
+            handler = target._dispatch.get(msg.__class__)
+            if handler is not None:
+                handler(from_id, msg)
+            else:
+                target.handle_message(from_id, msg)
+            return
+        peers = self._adjacency.get(from_id)
+        if peers is None or to_id not in peers:
             self._drop(from_id, to_id, msg, "link_vanished")
             return
         target = self.nodes.get(to_id)

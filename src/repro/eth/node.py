@@ -13,23 +13,29 @@ Models exactly the behaviours TopoShot's correctness argument depends on
   ``forwards_future`` flag models the misbehaving testnet nodes the paper's
   pre-processing phase filters out);
 - **per-peer known-transaction tracking** so a transaction is never pushed
-  back to the peer it came from;
+  back to the peer it came from, bounded like Geth's 32k known-tx cache so
+  memory stays flat over long campaigns;
 - **batched broadcast**: outgoing pushes are flushed every
   ``broadcast_interval`` seconds in one ``Transactions`` packet per peer,
   like Geth's broadcast loop.
 
 Blocks are forwarded eagerly; on arrival a node advances its confirmed
 nonce view and prunes its mempool.
+
+The transaction paths here execute once per (message, peer) and dominate
+large-campaign wall time together with the event engine, so they avoid
+per-call dict lookups, closure allocations and repeated config attribute
+chains; see ``docs/performance.md``.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.eth.chain import Block
-from repro.eth.mempool import AddResult, Mempool
+from repro.eth.mempool import AddOutcome, AddResult, Mempool
 from repro.eth.messages import (
     FindNode,
     GetPooledTransactions,
@@ -52,12 +58,43 @@ TxObserver = Callable[[str, Transaction, AddResult], None]
 BlockObserver = Callable[[str, Block], None]
 
 
+class KnownTxCache(dict):
+    """Bounded, insertion-ordered known-transaction-hash cache.
+
+    A dict subclass so the hot paths keep C-speed membership tests
+    (``h in cache``) and inserts (``cache[h] = None``) while offering the
+    small set-like API (`add`/`discard`) the rest of the code and the tests
+    use. Eviction is FIFO over insertion order — the dict *is* the order —
+    mirroring Geth's bounded per-peer knownTxs cache (32768 hashes). FIFO
+    keeps eviction deterministic across processes, unlike anything derived
+    from string-hash iteration order.
+    """
+
+    __slots__ = ()
+
+    def add(self, tx_hash: str) -> None:
+        self[tx_hash] = None
+
+    def discard(self, tx_hash: str) -> None:
+        self.pop(tx_hash, None)
+
+    def prune(self, limit: int) -> int:
+        """Drop oldest entries until at most ``limit`` remain."""
+        dropped = 0
+        while len(self) > limit:
+            del self[next(iter(self))]
+            dropped += 1
+        return dropped
+
+
 @dataclass(frozen=True)
 class NodeConfig:
     """Behavioural knobs of one node.
 
     ``max_peers=None`` means unlimited (used by supernodes). The default of
     50 active neighbours matches the Geth default quoted in the paper.
+    ``known_tx_limit`` bounds each peer's known-transaction cache (Geth's
+    ``maxKnownTxs`` is 32768); ``None`` disables the bound.
     """
 
     policy: MempoolPolicy = GETH
@@ -73,6 +110,7 @@ class NodeConfig:
     responds_to_rpc: bool = True
     client_version: str = "Geth/v1.9.25-stable"
     network_id: int = 1
+    known_tx_limit: Optional[int] = 32768
 
     def with_policy(self, policy: MempoolPolicy) -> "NodeConfig":
         return replace(self, policy=policy)
@@ -83,9 +121,14 @@ class PeerState:
     """Per-peer bookkeeping."""
 
     peer_id: str
-    known_txs: Set[str] = field(default_factory=set)
+    known_txs: KnownTxCache = field(default_factory=KnownTxCache)
     known_blocks: Set[str] = field(default_factory=set)
     connected_at: float = 0.0
+
+
+# How many `_announce_requested` entries may pile up before a flush takes
+# the time to sweep out the expired ones.
+_ANNOUNCE_PRUNE_THRESHOLD = 512
 
 
 class Node:
@@ -104,9 +147,12 @@ class Node:
         self.peers: Dict[str, PeerState] = {}
         self.confirmed_nonces: Dict[str, int] = {}
         self.head_number = 0
+        # The mempool consults the confirmed nonce once per offered
+        # transaction; handing it the dict's own C-level ``get`` (the pool
+        # normalizes the None default) skips two Python frames per add.
         self.mempool = Mempool(
             policy=self.config.policy,
-            confirmed_nonce=self.confirmed_nonce,
+            confirmed_nonce=self.confirmed_nonces.get,
             clock=lambda: self.sim.now,
         )
         self.routing_table: List[str] = []  # inactive neighbours (discovery)
@@ -116,11 +162,44 @@ class Node:
         self.crashed = False
         self.crash_count = 0
         self._rng = sim.rng.stream(f"node:{node_id}")
+        self._getrandbits = self._rng.getrandbits
         self._push_queue: Dict[str, List[Transaction]] = {}
         self._announce_queue: Dict[str, List[str]] = {}
         self._flush_scheduled = False
+        self._flush_label = f"flush:{node_id}"
         self._announce_requested: Dict[str, float] = {}  # hash -> hold expiry
         self._seen_blocks: Set[str] = set()
+        # Broadcast-path caches. `_peer_known` pairs each peer id with its
+        # known-tx cache *object* (stable identity: caches are cleared in
+        # place, never replaced) in peer-dict insertion order, so the
+        # per-transaction unaware scan runs on a plain list with C-level
+        # dict membership. `_push_fanout` is Geth's ceil(sqrt(peer_count)).
+        self._peer_known: List[Tuple[str, KnownTxCache]] = []
+        self._peer_known_map: Dict[str, KnownTxCache] = {}
+        self._push_fanout = 1
+        # Per-type message handler table, consulted by handle_message and
+        # directly by Network._deliver's fast path. Built from bound
+        # methods, so subclass overrides (Supernode) resolve through the
+        # MRO as usual. Subclassed *message* types fall back to
+        # handle_message's isinstance chain.
+        self._dispatch: Dict[type, Callable[[str, Message], None]] = {
+            Transactions: self._handle_txs,
+            PooledTransactions: self._handle_txs,
+            NewPooledTransactionHashes: self._handle_announcement,
+            GetPooledTransactions: self._handle_tx_request,
+            NewBlock: self._handle_new_block,
+            FindNode: self._handle_find_node,
+            Status: self._handle_status,
+            Neighbors: self._handle_neighbors,
+        }
+        # Immutable-config hot-path caches (NodeConfig is frozen).
+        config = self.config
+        self._known_tx_limit = config.known_tx_limit
+        self._announce_hold = config.announce_hold
+        self._broadcast_interval = config.broadcast_interval
+        self._relays_transactions = config.relays_transactions
+        self._forwards_future = config.forwards_future
+        self._echoes_future = config.echoes_future_to_sender
         # Client versions learned from DevP2P Status handshakes; this is
         # the public information the paper's service discovery matches
         # frontend web3_clientVersion strings against (Section 6.3).
@@ -133,9 +212,17 @@ class Node:
         limit = self.config.max_peers
         return limit is None or len(self.peers) < limit
 
+    def _refresh_peer_caches(self) -> None:
+        self._peer_known = [
+            (peer_id, state.known_txs) for peer_id, state in self.peers.items()
+        ]
+        self._peer_known_map = dict(self._peer_known)
+        self._push_fanout = max(1, math.ceil(math.sqrt(len(self.peers))))
+
     def add_peer(self, peer_id: str) -> None:
         if peer_id not in self.peers:
             self.peers[peer_id] = PeerState(peer_id=peer_id, connected_at=self.sim.now)
+            self._refresh_peer_caches()
             if self.network is not None:
                 # DevP2P handshake: exchange Status with the new peer.
                 self._send(
@@ -149,6 +236,7 @@ class Node:
 
     def remove_peer(self, peer_id: str) -> None:
         self.peers.pop(peer_id, None)
+        self._refresh_peer_caches()
         self._push_queue.pop(peer_id, None)
         self._announce_queue.pop(peer_id, None)
         self.peer_versions.pop(peer_id, None)
@@ -169,7 +257,11 @@ class Node:
     def _mark_known(self, peer_id: str, tx_hash: str) -> None:
         state = self.peers.get(peer_id)
         if state is not None:
-            state.known_txs.add(tx_hash)
+            known = state.known_txs
+            known[tx_hash] = None
+            limit = self._known_tx_limit
+            if limit is not None and len(known) > limit:
+                known.prune(limit)
 
     def forget_known_transactions(self) -> None:
         """Drop per-peer known-tx sets (between measurement iterations)."""
@@ -192,6 +284,11 @@ class Node:
         self.crash_count += 1
         self._push_queue.clear()
         self._announce_queue.clear()
+        if self.network is not None:
+            # Liveness changed: deliveries must re-run the guard chain
+            # instead of taking the epoch fast path.
+            self.network._epoch += 1
+            self.network._crashed_count += 1
 
     def restart(self) -> None:
         """Bring the node back with volatile state wiped.
@@ -208,6 +305,9 @@ class Node:
         for state in self.peers.values():
             state.known_txs.clear()
         self._announce_requested.clear()
+        if self.network is not None:
+            self.network._epoch += 1
+            self.network._crashed_count -= 1
 
     # ------------------------------------------------------------------
     # Chain view
@@ -220,36 +320,107 @@ class Node:
     # ------------------------------------------------------------------
     def handle_message(self, from_id: str, msg: Message) -> None:
         """Entry point for all network deliveries."""
+        handler = self._dispatch.get(msg.__class__)
+        if handler is not None:
+            handler(from_id, msg)
+            return
+        # Subclassed message types miss the exact-type table; route them
+        # by isinstance like the table's construction implies.
         if isinstance(msg, (Transactions, PooledTransactions)):
-            for tx in msg.txs:
-                self.receive_transaction(from_id, tx)
+            self._handle_txs(from_id, msg)
         elif isinstance(msg, NewPooledTransactionHashes):
             self._handle_announcement(from_id, msg)
         elif isinstance(msg, GetPooledTransactions):
             self._handle_tx_request(from_id, msg)
         elif isinstance(msg, NewBlock):
-            self.receive_block(from_id, msg.block)
+            self._handle_new_block(from_id, msg)
         elif isinstance(msg, FindNode):
-            self._send(from_id, Neighbors(node_ids=tuple(self.routing_table)))
+            self._handle_find_node(from_id, msg)
         elif isinstance(msg, Status):
-            self.peer_versions[from_id] = msg.client_version
+            self._handle_status(from_id, msg)
         elif isinstance(msg, Neighbors):
-            pass  # discovery responses carry no state at the base node
+            self._handle_neighbors(from_id, msg)
         else:  # pragma: no cover - defensive
             raise TypeError(f"unhandled message type {type(msg).__name__}")
+
+    def _handle_txs(self, from_id: str, msg: Message) -> None:
+        receive = self._receive_gossip
+        for tx in msg.txs:
+            receive(from_id, tx)
+
+    def _handle_new_block(self, from_id: str, msg: NewBlock) -> None:
+        self.receive_block(from_id, msg.block)
+
+    def _handle_find_node(self, from_id: str, msg: FindNode) -> None:
+        self._send(from_id, Neighbors(node_ids=tuple(self.routing_table)))
+
+    def _handle_status(self, from_id: str, msg: Status) -> None:
+        self.peer_versions[from_id] = msg.client_version
+
+    def _handle_neighbors(self, from_id: str, msg: Neighbors) -> None:
+        pass  # discovery responses carry no state at the base node
 
     # ------------------------------------------------------------------
     # Transactions
     # ------------------------------------------------------------------
     def receive_transaction(self, from_id: Optional[str], tx: Transaction) -> AddResult:
         """Admit a transaction arriving from ``from_id`` (None = local RPC)."""
+        tx_hash = tx.hash
         if from_id is not None:
-            self._mark_known(from_id, tx.hash)
+            # _mark_known inlined: this runs once per received transaction.
+            known = self._peer_known_map.get(from_id)
+            if known is not None:
+                known[tx_hash] = None
+                limit = self._known_tx_limit
+                if limit is not None and len(known) > limit:
+                    known.prune(limit)
+        pool = self.mempool
+        if tx_hash in pool._by_hash:
+            # Duplicate fast path: during gossip most deliveries carry a
+            # transaction the pool already holds. Equivalent to pool.add()
+            # for a known hash (same stats bump, same result), minus the
+            # admission machinery that cannot apply to a duplicate.
+            pool.stats["rejected_known"] += 1
+            result = AddResult(tx, AddOutcome.REJECTED_KNOWN)
+            if self.tx_observers:
+                for observer in self.tx_observers:
+                    observer(from_id or "", tx, result)
+            return result
+        return self._admit(from_id, tx)
+
+    def _receive_gossip(self, from_id: str, tx: Transaction) -> None:
+        """Per-transaction body of a Transactions/PooledTransactions batch.
+
+        Identical to :meth:`receive_transaction` except that the duplicate
+        path — the bulk of gossip traffic — builds no :class:`AddResult`
+        unless an observer is registered to see it; the dispatch loop
+        discards the result either way.
+        """
+        tx_hash = tx.hash
+        known = self._peer_known_map.get(from_id)
+        if known is not None:
+            known[tx_hash] = None
+            limit = self._known_tx_limit
+            if limit is not None and len(known) > limit:
+                known.prune(limit)
+        pool = self.mempool
+        if tx_hash in pool._by_hash:
+            pool.stats["rejected_known"] += 1
+            if self.tx_observers:
+                result = AddResult(tx, AddOutcome.REJECTED_KNOWN)
+                for observer in self.tx_observers:
+                    observer(from_id, tx, result)
+            return
+        self._admit(from_id, tx)
+
+    def _admit(self, from_id: Optional[str], tx: Transaction) -> AddResult:
+        """Offer a not-yet-known transaction to the pool; echo and relay."""
         result = self.mempool.add(tx)
-        for observer in self.tx_observers:
-            observer(from_id or "", tx, result)
+        if self.tx_observers:
+            for observer in self.tx_observers:
+                observer(from_id or "", tx, result)
         if (
-            self.config.echoes_future_to_sender
+            self._echoes_future
             and from_id is not None
             and from_id in self.peers
             and result.admitted
@@ -260,97 +431,163 @@ class Node:
             # in Rinkeby, these nodes return the same future transactions
             # back to node M."
             self._send(from_id, Transactions(txs=(tx,)))
-        if self.config.relays_transactions:
-            self._relay(result)
+        if self._relays_transactions:
+            # Relay (inlined): push what became executable to peers.
+            if result.propagatable or (result.admitted and self._forwards_future):
+                # forwards_future: misbehaving node relays future
+                # transactions too (Section 6.2.1).
+                self.broadcast_transaction(tx)
+            for promoted_tx in result.promoted:
+                self.broadcast_transaction(promoted_tx)
         return result
 
     def submit_transaction(self, tx: Transaction) -> AddResult:
         """Local submission (eth_sendRawTransaction)."""
         return self.receive_transaction(None, tx)
 
-    def _relay(self, result: AddResult) -> None:
-        to_broadcast: List[Transaction] = []
-        if result.propagatable:
-            to_broadcast.append(result.tx)
-        elif result.admitted and self.config.forwards_future:
-            # Misbehaving node: forwards future transactions (Section 6.2.1).
-            to_broadcast.append(result.tx)
-        to_broadcast.extend(result.promoted)
-        for tx in to_broadcast:
-            self.broadcast_transaction(tx)
-
     def broadcast_transaction(self, tx: Transaction) -> None:
         """Queue ``tx`` toward every peer not known to have it."""
-        unaware = [p for p, s in self.peers.items() if tx.hash not in s.known_txs]
+        tx_hash = tx.hash
+        unaware = [item for item in self._peer_known if tx_hash not in item[1]]
         if not unaware:
             return
-        if self.config.announce_only:
+        config = self.config
+        if config.announce_only:
             # Bitcoin's propagation model (what TxProbe exploits): hashes
             # first, bodies on request, never unsolicited pushes.
-            push_targets: List[str] = []
+            push_targets: List[Tuple[str, KnownTxCache]] = []
             announce_targets = unaware
-        elif self.config.push_to_all or not self.config.announce_enabled:
+        elif config.push_to_all or not config.announce_enabled:
             push_targets = unaware
             announce_targets = []
         else:
-            self._rng.shuffle(unaware)
-            n_push = max(1, math.ceil(math.sqrt(len(self.peers))))
+            # Inlined random.Random.shuffle: the exact Fisher-Yates of
+            # CPython's shuffle, with _randbelow_with_getrandbits expanded
+            # in place. Consumes the identical getrandbits sequence, so the
+            # permutation — and every later draw — is bit-for-bit the same,
+            # without two Python frames per element.
+            getrandbits = self._getrandbits
+            for i in range(len(unaware) - 1, 0, -1):
+                n = i + 1
+                k = n.bit_length()
+                r = getrandbits(k)
+                while r >= n:
+                    r = getrandbits(k)
+                unaware[i], unaware[r] = unaware[r], unaware[i]
+            n_push = self._push_fanout
             push_targets = unaware[:n_push]
             announce_targets = unaware[n_push:]
-        for peer_id in push_targets:
-            self._mark_known(peer_id, tx.hash)
-            self._push_queue.setdefault(peer_id, []).append(tx)
-        for peer_id in announce_targets:
-            self._mark_known(peer_id, tx.hash)
-            self._announce_queue.setdefault(peer_id, []).append(tx.hash)
-        self._schedule_flush()
+        limit = self._known_tx_limit
+        if push_targets:
+            push_queue = self._push_queue
+            for peer_id, known in push_targets:
+                known[tx_hash] = None
+                if limit is not None and len(known) > limit:
+                    known.prune(limit)
+                bucket = push_queue.get(peer_id)
+                if bucket is None:
+                    push_queue[peer_id] = [tx]
+                else:
+                    bucket.append(tx)
+        if announce_targets:
+            announce_queue = self._announce_queue
+            for peer_id, known in announce_targets:
+                known[tx_hash] = None
+                if limit is not None and len(known) > limit:
+                    known.prune(limit)
+                bucket = announce_queue.get(peer_id)
+                if bucket is None:
+                    announce_queue[peer_id] = [tx_hash]
+                else:
+                    bucket.append(tx_hash)
+        if not self._flush_scheduled:
+            self._schedule_flush()
 
     def _schedule_flush(self) -> None:
         if self._flush_scheduled:
             return
         self._flush_scheduled = True
-        self.sim.schedule(
-            self.config.broadcast_interval, self._flush, label=f"flush:{self.id}"
-        )
+        self.sim.schedule(self._broadcast_interval, self._flush, self._flush_label)
 
     def _flush(self) -> None:
         self._flush_scheduled = False
+        peers = self.peers
+        network = self.network
+        if network is None:
+            raise RuntimeError(f"node {self.id} is not attached to a network")
+        send = network.send  # bypass _send: most messages leave via flush
+        my_id = self.id
         push_queue, self._push_queue = self._push_queue, {}
         announce_queue, self._announce_queue = self._announce_queue, {}
         for peer_id, txs in push_queue.items():
-            if peer_id in self.peers:
-                self._send(peer_id, Transactions(txs=tuple(txs)))
+            if peer_id in peers:
+                send(my_id, peer_id, Transactions(txs=tuple(txs)))
         for peer_id, hashes in announce_queue.items():
-            if peer_id in self.peers:
-                self._send(peer_id, NewPooledTransactionHashes(hashes=tuple(hashes)))
+            if peer_id in peers:
+                send(my_id, peer_id, NewPooledTransactionHashes(hashes=tuple(hashes)))
+        # Opportunistic hold-window hygiene: announcement holds are only
+        # ever *read* within their 5 s window, but entries used to pile up
+        # one per announced hash until a restart. Sweep the expired ones
+        # once the map is big enough to matter.
+        requested = self._announce_requested
+        if len(requested) >= _ANNOUNCE_PRUNE_THRESHOLD:
+            now = self.sim.now
+            self._announce_requested = {
+                tx_hash: expiry
+                for tx_hash, expiry in requested.items()
+                if expiry > now
+            }
 
     def _handle_announcement(
         self, from_id: str, msg: NewPooledTransactionHashes
     ) -> None:
+        known = self._peer_known_map.get(from_id)
         wanted: List[str] = []
         now = self.sim.now
-        for tx_hash in msg.hashes:
-            self._mark_known(from_id, tx_hash)
-            if tx_hash in self.mempool:
-                continue
-            # Within the hold window we do not respond to other
-            # announcements of the same transaction (Section 2).
-            if self._announce_requested.get(tx_hash, -1.0) > now:
-                continue
-            self._announce_requested[tx_hash] = now + self.config.announce_hold
-            wanted.append(tx_hash)
+        hold = self._announce_hold
+        requested = self._announce_requested
+        requested_get = requested.get
+        # Membership against the mempool's primary hash index directly:
+        # Mempool.__contains__ is one Python frame per announced hash.
+        pool_txs = self.mempool._by_hash
+        if known is not None:
+            for tx_hash in msg.hashes:
+                known[tx_hash] = None
+                if tx_hash in pool_txs:
+                    continue
+                # Within the hold window we do not respond to other
+                # announcements of the same transaction (Section 2).
+                if requested_get(tx_hash, -1.0) > now:
+                    continue
+                requested[tx_hash] = now + hold
+                wanted.append(tx_hash)
+            limit = self._known_tx_limit
+            if limit is not None and len(known) > limit:
+                known.prune(limit)
+        else:
+            for tx_hash in msg.hashes:
+                if tx_hash in pool_txs:
+                    continue
+                if requested_get(tx_hash, -1.0) > now:
+                    continue
+                requested[tx_hash] = now + hold
+                wanted.append(tx_hash)
         if wanted:
             self._send(from_id, GetPooledTransactions(hashes=tuple(wanted)))
 
     def _handle_tx_request(self, from_id: str, msg: GetPooledTransactions) -> None:
+        pool_get = self.mempool.get
         available = tuple(
-            tx
-            for tx_hash in msg.hashes
-            if (tx := self.mempool.get(tx_hash)) is not None
+            tx for tx_hash in msg.hashes if (tx := pool_get(tx_hash)) is not None
         )
         if available:
-            for tx in available:
-                self._mark_known(from_id, tx.hash)
+            known = self._peer_known_map.get(from_id)
+            if known is not None:
+                for tx in available:
+                    known[tx.hash] = None
+                limit = self._known_tx_limit
+                if limit is not None and len(known) > limit:
+                    known.prune(limit)
             self._send(from_id, PooledTransactions(txs=available))
 
     # ------------------------------------------------------------------
@@ -390,9 +627,10 @@ class Node:
         return self.mempool.evict_expired(self.sim.now)
 
     def _send(self, to_id: str, msg: Message) -> None:
-        if self.network is None:
+        network = self.network
+        if network is None:
             raise RuntimeError(f"node {self.id} is not attached to a network")
-        self.network.send(self.id, to_id, msg)
+        network.send(self.id, to_id, msg)
 
     def __repr__(self) -> str:
         return (

@@ -23,7 +23,6 @@ from repro.errors import SendTimeoutError
 from repro.eth.messages import (
     FindNode,
     GetPooledTransactions,
-    Message,
     Neighbors,
     NewPooledTransactionHashes,
     Transactions,
@@ -74,13 +73,10 @@ class Supernode(Node):
         self.neighbor_responses: Dict[str, Tuple[str, ...]] = {}
         self.tx_observers.append(self._record_push)
 
-    def handle_message(self, from_id: str, msg: Message) -> None:
-        if isinstance(msg, Neighbors):
-            # Discovery crawling (the W2 baseline): remember who reported
-            # which routing-table entries.
-            self.neighbor_responses[from_id] = msg.node_ids
-            return
-        super().handle_message(from_id, msg)
+    def _handle_neighbors(self, from_id: str, msg: Neighbors) -> None:
+        # Discovery crawling (the W2 baseline): remember who reported
+        # which routing-table entries.
+        self.neighbor_responses[from_id] = msg.node_ids
 
     # ------------------------------------------------------------------
     # Observation log

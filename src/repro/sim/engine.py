@@ -1,50 +1,83 @@
 """Core discrete-event simulation loop.
 
-The simulator maintains a heap of :class:`Event` records ordered by
-``(time, sequence)``. The sequence number makes ordering total and
+The simulator maintains a heap of plain ``(time, seq, event)`` tuples so
+heap ordering is decided by C-level tuple comparison instead of a generated
+dataclass ``__lt__``. The sequence number makes ordering total and
 deterministic: two events scheduled for the same instant fire in the order
-they were scheduled.
+they were scheduled, and the payload :class:`Event` is never compared.
 
 Typical usage::
 
     sim = Simulator(seed=42)
     sim.schedule(1.5, lambda: print("fires at t=1.5"))
     sim.run()
+
+For a breakdown of where callback time goes, attach an
+:class:`~repro.core.profiler.EngineProfiler` via :meth:`Simulator.attach_profiler`.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from time import perf_counter
+from typing import TYPE_CHECKING, Callable, Optional, Tuple
 
 from repro.errors import ScheduleInPastError, SimulationError
 from repro.sim.rng import RngRegistry
 from repro.sim.tracing import Tracer
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.profiler import EngineProfiler
 
-@dataclass(order=True)
+
 class Event:
     """A scheduled callback.
 
-    Events compare by ``(time, seq)`` so the heap pops them in deterministic
-    chronological order. ``cancelled`` events are popped and discarded.
-    ``daemon`` events (fault-injection processes, periodic maintenance) run
-    normally but do not keep an open-ended :meth:`Simulator.run` alive: once
-    only daemon events remain the simulation is considered quiescent.
+    The heap entry carrying an event is ``(time, seq, event)``; the event
+    object itself is just the mutable payload. ``cancelled`` events are
+    popped and discarded. ``daemon`` events (fault-injection processes,
+    periodic maintenance) run normally but do not keep an open-ended
+    :meth:`Simulator.run` alive: once only daemon events remain the
+    simulation is considered quiescent.
+
+    Not every heap entry carries an :class:`Event`: fire-and-forget
+    callbacks from :meth:`Simulator.schedule_call` are stored as plain
+    ``(time, seq, callback, args, label)`` 5-tuples with no handle at all.
+    The two shapes share one heap — ``(time, seq)`` prefixes are unique,
+    so ordering never compares the payloads.
     """
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
-    daemon: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "callback", "args", "label", "cancelled", "daemon")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: Tuple = (),
+        label: str = "",
+        daemon: bool = False,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.label = label
+        self.cancelled = False
+        self.daemon = daemon
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
         self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join(
+            flag
+            for flag, on in (("d", self.daemon), ("x", self.cancelled))
+            if on
+        )
+        return f"Event(t={self.time:.6f}, seq={self.seq}, {self.label!r}{flags})"
 
 
 class Simulator:
@@ -62,13 +95,16 @@ class Simulator:
 
     def __init__(self, seed: int = 0, trace: bool = False) -> None:
         self._now = 0.0
-        self._queue: list[Event] = []
+        # Entries are (time, seq, Event) or (time, seq, callback, args,
+        # label) — see Event's docstring.
+        self._queue: list[Tuple] = []
         self._seq = itertools.count()
         self._executed = 0
         self._non_daemon_pending = 0
         self.rng = RngRegistry(seed)
         self.seed = seed
         self.tracer: Optional[Tracer] = Tracer() if trace else None
+        self.profiler: Optional["EngineProfiler"] = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -88,37 +124,109 @@ class Simulator:
         """Number of events executed so far."""
         return self._executed
 
+    @property
+    def wants_labels(self) -> bool:
+        """Whether event labels are observable (tracer or profiler attached).
+
+        Hot callers use this to skip building label strings nobody reads:
+        with ~1 message per event, the f-string per send is a measurable
+        share of the un-traced hot path.
+        """
+        return self.tracer is not None or self.profiler is not None
+
+    # ------------------------------------------------------------------
+    # Profiling
+    # ------------------------------------------------------------------
+    def attach_profiler(
+        self, profiler: Optional["EngineProfiler"] = None
+    ) -> "EngineProfiler":
+        """Attach (and return) a profiler timing every executed callback.
+
+        Wall-clock cost is aggregated by label category (the part before
+        the first ``:``), so a run breaks down into ``Transactions``,
+        ``NewPooledTransactionHashes``, ``flush``, ``fault`` ... buckets.
+        Profiling only observes wall time; simulation order and the
+        simulated clock are unaffected.
+        """
+        if profiler is None:
+            from repro.core.profiler import EngineProfiler
+
+            profiler = EngineProfiler()
+        self.profiler = profiler
+        return profiler
+
+    def detach_profiler(self) -> None:
+        self.profiler = None
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
     def schedule(
         self,
         delay: float,
-        callback: Callable[[], None],
+        callback: Callable[..., None],
         label: str = "",
         daemon: bool = False,
+        args: Tuple = (),
     ) -> Event:
-        """Schedule ``callback`` to run ``delay`` seconds from now.
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
 
         Returns the :class:`Event`, which the caller may ``cancel()``.
         Raises :class:`ScheduleInPastError` for negative delays. ``daemon``
         events never keep an open-ended :meth:`run` going on their own.
+        ``args`` lets hot paths avoid allocating a closure per message.
         """
         if delay < 0:
             raise ScheduleInPastError(
                 f"cannot schedule {delay:.6f}s in the past (now={self._now:.6f})"
             )
-        event = Event(self._now + delay, next(self._seq), callback, label, daemon=daemon)
-        heapq.heappush(self._queue, event)
+        when = self._now + delay
+        event = Event(when, next(self._seq), callback, args, label, daemon)
+        heapq.heappush(self._queue, (when, event.seq, event))
         if not daemon:
             self._non_daemon_pending += 1
         return event
 
+    def schedule_call(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        label: str = "",
+        args: Tuple = (),
+    ) -> None:
+        """Fire-and-forget scheduling for the per-message hot path.
+
+        Semantically identical to :meth:`schedule` with ``daemon=False``,
+        except that no :class:`Event` handle is created or returned — the
+        heap entry is the plain 5-tuple ``(time, seq, callback, args,
+        label)``. Use only when the caller will never cancel: transport
+        deliveries are the canonical case (roughly one call per simulated
+        message, the single most frequent allocation in a campaign).
+        """
+        if delay < 0:
+            raise ScheduleInPastError(
+                f"cannot schedule {delay:.6f}s in the past (now={self._now:.6f})"
+            )
+        when = self._now + delay
+        heapq.heappush(self._queue, (when, next(self._seq), callback, args, label))
+        self._non_daemon_pending += 1
+
     def schedule_at(
-        self, when: float, callback: Callable[[], None], label: str = ""
+        self,
+        when: float,
+        callback: Callable[..., None],
+        label: str = "",
+        daemon: bool = False,
+        args: Tuple = (),
     ) -> Event:
-        """Schedule ``callback`` at absolute simulation time ``when``."""
-        return self.schedule(when - self._now, callback, label)
+        """Schedule ``callback`` at absolute simulation time ``when``.
+
+        ``daemon`` is threaded through to :meth:`schedule`: a recurring
+        daemon process that reschedules itself via ``schedule_at`` must not
+        morph into a non-daemon event (that would keep open-ended
+        :meth:`run`/settle loops alive forever).
+        """
+        return self.schedule(when - self._now, callback, label, daemon, args)
 
     # ------------------------------------------------------------------
     # Execution
@@ -128,23 +236,57 @@ class Simulator:
 
         Returns ``False`` when the queue is exhausted, ``True`` otherwise.
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            entry = heapq.heappop(queue)
+            when = entry[0]
+            if len(entry) != 3:
+                # Fire-and-forget call entry: never daemon, never cancelled.
+                self._non_daemon_pending -= 1
+                if when < self._now:
+                    raise SimulationError(
+                        f"event at t={when} popped after clock t={self._now}"
+                    )
+                self._now = when
+                self._execute_call(entry)
+                return True
+            event = entry[2]
             if not event.daemon:
                 self._non_daemon_pending -= 1
             if event.cancelled:
                 continue
-            if event.time < self._now:
+            if when < self._now:
                 raise SimulationError(
-                    f"event at t={event.time} popped after clock t={self._now}"
+                    f"event at t={when} popped after clock t={self._now}"
                 )
-            self._now = event.time
-            if self.tracer is not None:
-                self.tracer.record(self._now, "event", event.label)
-            event.callback()
-            self._executed += 1
+            self._now = when
+            self._execute(event)
             return True
         return False
+
+    def _execute(self, event: Event) -> None:
+        """Run one event's callback under tracing/profiling."""
+        if self.tracer is not None:
+            self.tracer.record(self._now, "event", event.label)
+        if self.profiler is not None:
+            start = perf_counter()
+            event.callback(*event.args)
+            self.profiler.account(event.label, perf_counter() - start)
+        else:
+            event.callback(*event.args)
+        self._executed += 1
+
+    def _execute_call(self, entry: Tuple) -> None:
+        """Run one fire-and-forget call entry under tracing/profiling."""
+        if self.tracer is not None:
+            self.tracer.record(self._now, "event", entry[4])
+        if self.profiler is not None:
+            start = perf_counter()
+            entry[2](*entry[3])
+            self.profiler.account(entry[4], perf_counter() - start)
+        else:
+            entry[2](*entry[3])
+        self._executed += 1
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run until the queue drains, ``until`` is reached, or ``max_events``.
@@ -157,38 +299,104 @@ class Simulator:
         keep ``settle()`` from ever returning. A bounded run executes daemon
         events up to ``until`` like any other event.
         """
+        # This is the hottest loop in the repo; it is deliberately flat,
+        # with the common path (plain event, no tracer/profiler, no bound)
+        # touching only local names and C-level tuple/heap operations.
+        # ``executed`` stays local and is folded into ``self._executed``
+        # once on the way out (every exit path runs the finally) instead
+        # of paying an attribute store per event.
+        queue = self._queue
+        heappop = heapq.heappop
+        tracer = self.tracer
+        profiler = self.profiler
         executed = 0
-        while self._queue:
-            if max_events is not None and executed >= max_events:
-                return
-            if until is None and self._non_daemon_pending <= 0:
-                return
-            next_event = self._peek()
-            if next_event is None:
-                break
-            if until is not None and next_event.time > until:
-                self._now = max(self._now, until)
-                return
-            if self.step():
+        try:
+            while queue:
+                if max_events is not None and executed >= max_events:
+                    return
+                if until is None and self._non_daemon_pending <= 0:
+                    return
+                head = queue[0]
+                if len(head) != 3:
+                    # Fire-and-forget call entry (the per-message hot
+                    # case): never daemon, never cancelled, so no payload
+                    # checks.
+                    when = head[0]
+                    if until is not None and when > until:
+                        self._now = max(self._now, until)
+                        return
+                    heappop(queue)
+                    self._non_daemon_pending -= 1
+                    if when < self._now:
+                        raise SimulationError(
+                            f"event at t={when} popped after clock t={self._now}"
+                        )
+                    self._now = when
+                    if tracer is not None:
+                        tracer.record(when, "event", head[4])
+                    if profiler is not None:
+                        start = perf_counter()
+                        head[2](*head[3])
+                        profiler.account(head[4], perf_counter() - start)
+                    else:
+                        head[2](*head[3])
+                    executed += 1
+                    continue
+                # Find the next live event, discarding cancelled heads.
+                # The quiescence check above intentionally happens once per
+                # live event, not per discarded one, matching step() runs.
+                event = head[2]
+                if event.cancelled:
+                    while True:
+                        heappop(queue)
+                        if not event.daemon:
+                            self._non_daemon_pending -= 1
+                        if not queue:
+                            if until is not None:
+                                self._now = max(self._now, until)
+                            return
+                        head = queue[0]
+                        if len(head) != 3:
+                            # A live call entry surfaced; it cannot be the
+                            # one that made pending hit zero (it is itself
+                            # counted as non-daemon pending), so looping
+                            # back to the quiescence check cannot skip it.
+                            event = None
+                            break
+                        event = head[2]
+                        if not event.cancelled:
+                            break
+                    if event is None:
+                        continue
+                when = head[0]
+                if until is not None and when > until:
+                    self._now = max(self._now, until)
+                    return
+                heappop(queue)
+                if not event.daemon:
+                    self._non_daemon_pending -= 1
+                if when < self._now:
+                    raise SimulationError(
+                        f"event at t={when} popped after clock t={self._now}"
+                    )
+                self._now = when
+                if tracer is not None:
+                    tracer.record(when, "event", event.label)
+                if profiler is not None:
+                    start = perf_counter()
+                    event.callback(*event.args)
+                    profiler.account(event.label, perf_counter() - start)
+                else:
+                    event.callback(*event.args)
                 executed += 1
-        if until is not None:
-            self._now = max(self._now, until)
+            if until is not None:
+                self._now = max(self._now, until)
+        finally:
+            self._executed += executed
 
     def run_for(self, duration: float, max_events: Optional[int] = None) -> None:
         """Run the simulation for ``duration`` seconds of simulated time."""
         self.run(until=self._now + duration, max_events=max_events)
-
-    def _peek(self) -> Optional[Event]:
-        """Return the next live event without popping it."""
-        while self._queue:
-            event = self._queue[0]
-            if event.cancelled:
-                heapq.heappop(self._queue)
-                if not event.daemon:
-                    self._non_daemon_pending -= 1
-                continue
-            return event
-        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

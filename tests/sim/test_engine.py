@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import ScheduleInPastError
 from repro.sim.engine import Simulator
+from repro.sim.tracing import Tracer
 
 
 class TestScheduling:
@@ -139,3 +140,133 @@ class TestDeterminism:
         sim.schedule(1.0, lambda: None, label="hello")
         sim.run()
         assert len(sim.tracer.filter(kind="event", contains="hello")) == 1
+
+
+class TestScheduleAtDaemon:
+    """Regression tests: ``schedule_at`` used to drop the ``daemon`` flag."""
+
+    def test_schedule_at_threads_daemon_flag(self, sim):
+        event = sim.schedule_at(2.0, lambda: None, daemon=True)
+        assert event.daemon is True
+
+    def test_schedule_at_daemon_does_not_block_quiescence(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("work"))
+        sim.schedule_at(5.0, lambda: fired.append("daemon"), daemon=True)
+        sim.run()
+        # The open-ended run stops once only daemon events remain; before
+        # the fix the t=5 event counted as regular work and executed.
+        assert fired == ["work"]
+        assert sim.now == 1.0
+
+    def test_recurring_daemon_rescheduled_at_absolute_time(self, sim):
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            sim.schedule_at(sim.now + 1.0, tick, daemon=True)
+
+        sim.schedule_at(1.0, tick, daemon=True)
+        sim.schedule(2.5, lambda: ticks.append("work"))
+        # max_events bounds the damage if the regression ever returns: a
+        # daemon process that loses its flag on reschedule would keep the
+        # open-ended run alive and tick forever.
+        sim.run(max_events=50)
+        assert ticks == [1.0, 2.0, "work"]
+
+    def test_schedule_at_passes_args(self, sim):
+        seen = []
+        sim.schedule_at(1.0, lambda a, b: seen.append((a, b)), args=(1, 2))
+        sim.run()
+        assert seen == [(1, 2)]
+
+
+class TestEngineProfiler:
+    def test_profiler_accounts_by_label_category(self, sim):
+        profiler = sim.attach_profiler()
+        sim.schedule(1.0, lambda: None, "flush:n1")
+        sim.schedule(2.0, lambda: None, "flush:n2")
+        sim.schedule(3.0, lambda: None, "Transactions:a->b")
+        sim.schedule(4.0, lambda: None)
+        sim.run()
+        assert profiler.total_events == 4
+        stats = profiler.as_dict()
+        assert stats["flush"]["events"] == 2
+        assert stats["Transactions"]["events"] == 1
+        assert stats[profiler.UNLABELED]["events"] == 1
+        assert all(entry["seconds"] >= 0.0 for entry in stats.values())
+
+    def test_report_lists_categories(self, sim):
+        profiler = sim.attach_profiler()
+        sim.schedule(1.0, lambda: None, "flush:n1")
+        sim.run()
+        report = profiler.report()
+        assert "flush" in report
+        assert "total" in report
+
+    def test_detach_profiler_stops_accounting(self, sim):
+        profiler = sim.attach_profiler()
+        sim.schedule(1.0, lambda: None, "flush:n1")
+        sim.run()
+        sim.detach_profiler()
+        sim.schedule(1.0, lambda: None, "flush:n2")
+        sim.run()
+        assert profiler.total_events == 1
+
+    def test_wants_labels_follows_attachments(self, sim):
+        assert not sim.wants_labels
+        sim.attach_profiler()
+        assert sim.wants_labels
+        sim.detach_profiler()
+        assert not sim.wants_labels
+
+
+class TestScheduleCall:
+    """Fire-and-forget entries must interleave exactly with Event entries."""
+
+    def test_orders_with_regular_events(self, sim):
+        order = []
+        sim.schedule(2.0, lambda: order.append("event"))
+        sim.schedule_call(1.0, order.append, args=("early",))
+        sim.schedule_call(2.0, order.append, args=("tied-later",))
+        sim.run()
+        # The tie at t=2.0 resolves by scheduling order (seq), not by shape.
+        assert order == ["early", "event", "tied-later"]
+
+    def test_counts_as_non_daemon(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: None, daemon=True)
+        sim.schedule_call(5.0, fired.append, args=("late",))
+        sim.run()  # open-ended: must not quiesce before the call entry
+        assert fired == ["late"]
+        assert sim.now == 5.0
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ScheduleInPastError):
+            sim.schedule_call(-0.1, lambda: None)
+
+    def test_step_handles_call_entries(self, sim):
+        order = []
+        sim.schedule_call(1.0, order.append, args=("a",))
+        sim.schedule(2.0, lambda: order.append("b"))
+        assert sim.step()
+        assert order == ["a"] and sim.now == 1.0
+        assert sim.step()
+        assert not sim.step()
+        assert order == ["a", "b"]
+
+    def test_traced_and_profiled_like_events(self, sim):
+        sim.tracer = Tracer()
+        profiler = sim.attach_profiler()
+        sim.schedule_call(1.0, lambda: None, "deliver:a->b")
+        sim.run()
+        assert [r.detail for r in sim.tracer] == ["deliver:a->b"]
+        assert profiler.as_dict()["deliver"]["events"] == 1
+
+    def test_cancelled_event_then_call_entry_runs(self, sim):
+        order = []
+        handle = sim.schedule(1.0, lambda: order.append("cancelled"))
+        sim.schedule_call(2.0, order.append, args=("call",))
+        handle.cancel()
+        sim.run()
+        assert order == ["call"]
