@@ -36,7 +36,7 @@ if __package__ in (None, ""):
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 from benchmarks._legacy_engine import legacy_hot_paths
-from benchmarks.harness import RESULTS_DIR, emit, run_once
+from benchmarks.harness import RESULTS_DIR, emit, emit_metrics_sidecar, run_once
 from repro.eth.account import Wallet
 from repro.eth.transaction import TransactionFactory, gwei
 from repro.netgen.ethereum import quick_network
@@ -64,17 +64,25 @@ def _peak_rss_mb() -> float:
     return rss_kb / 1024
 
 
-def run_scenario(n_nodes: int, txs: int, seed: int, legacy: bool = False) -> dict:
+def run_scenario(
+    n_nodes: int, txs: int, seed: int, legacy: bool = False, obs=None
+) -> dict:
     """Build the network, inject ``txs`` transactions, settle, and time it.
 
     The timed region covers submission + propagation to quiescence — the
     event-loop work a measurement campaign is made of — not topology
     generation. Identical seeds mean the legacy and optimized runs execute
     the same events in the same order.
+
+    ``obs`` (a :class:`repro.obs.Observability`) is installed on the
+    network before the timed region; the wiring is pull-only, so it reads
+    nothing until its collectors run at export time and the timing stands.
     """
     guard = legacy_hot_paths() if legacy else contextlib.nullcontext()
     with guard:
         network = quick_network(n_nodes=n_nodes, seed=seed)
+        if obs is not None:
+            network.install_observability(obs)
         wallet = Wallet("bench-engine")
         factory = TransactionFactory()
         ids = network.measurable_node_ids()
@@ -99,9 +107,15 @@ def run_scenario(n_nodes: int, txs: int, seed: int, legacy: bool = False) -> dic
     }
 
 
-def compare_scenario(spec: dict) -> dict:
-    """Run one scenario under both engines and cross-check equivalence."""
-    optimized = run_scenario(spec["n_nodes"], spec["txs"], spec["seed"])
+def compare_scenario(spec: dict, obs=None) -> dict:
+    """Run one scenario under both engines and cross-check equivalence.
+
+    ``obs`` instruments the *optimized* leg only (the legacy engine
+    predates the observability layer); the caller exports the sidecar.
+    """
+    optimized = run_scenario(
+        spec["n_nodes"], spec["txs"], spec["seed"], obs=obs
+    )
     legacy = run_scenario(spec["n_nodes"], spec["txs"], spec["seed"], legacy=True)
     # Same seed, same scenario: if the hot-path rewrite changed behaviour at
     # all, the event/message counts diverge and the timing is meaningless.
@@ -156,17 +170,27 @@ def format_table(rows: list) -> str:
 @pytest.mark.benchmark(group="engine-throughput")
 def test_engine_throughput_smoke(benchmark):
     """CI smoke: a small scenario must already show a real speedup."""
-    row = run_once(benchmark, lambda: compare_scenario(SMOKE_SCENARIO))
+    from repro.obs import Observability
+
+    obs = Observability()
+    row = run_once(benchmark, lambda: compare_scenario(SMOKE_SCENARIO, obs=obs))
     write_results([row], kind="smoke")
     emit("engine_throughput_smoke", format_table([row]))
+    emit_metrics_sidecar("BENCH_engine", obs)
     assert row["speedup"] > 1.1
 
 
 def main() -> int:
+    from repro.obs import Observability
+
     rows = []
     for spec in FULL_SCENARIOS:
         print(f"[{spec['name']}] {spec['n_nodes']} nodes, {spec['txs']} txs ...")
-        row = compare_scenario(spec)
+        # A fresh bundle per scenario: its collectors are bound to that
+        # scenario's network, so one sidecar reflects one run.
+        obs = Observability()
+        row = compare_scenario(spec, obs=obs)
+        emit_metrics_sidecar(f"BENCH_engine.{spec['name']}", obs)
         rows.append(row)
         print(
             f"  legacy {row['legacy']['events_per_sec']:,.0f} ev/s -> "

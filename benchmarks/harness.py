@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -13,6 +14,22 @@ def emit(name: str, text: str) -> None:
     print(banner)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def emit_metrics_sidecar(name: str, obs) -> Path:
+    """Persist an observability snapshot next to a BENCH_*.json artifact.
+
+    ``obs`` is a :class:`repro.obs.Observability`; the sidecar lands at
+    ``benchmarks/results/<name>.metrics.json`` so a bench run ships its
+    metric readings alongside its timing numbers.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.metrics.json"
+    path.write_text(
+        json.dumps(obs.snapshot(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
 
 
 def run_once(benchmark, fn):

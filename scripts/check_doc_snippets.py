@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Execute every ```python code block in the docs and README.
+
+Documentation that does not run is documentation that drifts. This script
+extracts every fenced ``python`` block from ``README.md`` and ``docs/*.md``
+and executes it, so CI fails the moment a docs example references an API
+that no longer exists.
+
+Rules:
+
+- Blocks in one file run *cumulatively* in one namespace, top to bottom —
+  a later block may use names defined by an earlier one (how a reader
+  follows a page).
+- Each file runs in a fresh temporary working directory, so examples may
+  write artifacts (``campaign.json``...) without polluting the repo.
+- A block can opt out by being immediately preceded by the marker comment
+  ``<!-- doc-snippet: skip -->`` (e.g. deliberately partial fragments).
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_doc_snippets.py [files...]
+
+With no arguments, checks README.md plus every docs/*.md.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SKIP_MARKER = "<!-- doc-snippet: skip -->"
+
+
+@dataclass
+class Snippet:
+    path: Path
+    start_line: int  # 1-based line of the opening fence
+    code: str
+    skipped: bool
+
+
+def extract_snippets(path: Path) -> List[Snippet]:
+    """Fenced ```python blocks of one markdown file, in document order."""
+    snippets: List[Snippet] = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    in_block = False
+    fence_line = 0
+    buffer: List[str] = []
+    skip_next = False
+    pending_skip = False
+    for number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not in_block:
+            if stripped == SKIP_MARKER:
+                skip_next = True
+                continue
+            if stripped.startswith("```python"):
+                in_block = True
+                fence_line = number
+                buffer = []
+                pending_skip = skip_next
+            if stripped and stripped != SKIP_MARKER:
+                # Any other non-blank line between marker and fence
+                # cancels the marker.
+                if not stripped.startswith("```python"):
+                    skip_next = False
+            continue
+        if stripped.startswith("```"):
+            in_block = False
+            skip_next = False
+            snippets.append(
+                Snippet(
+                    path=path,
+                    start_line=fence_line,
+                    code="\n".join(buffer),
+                    skipped=pending_skip,
+                )
+            )
+            continue
+        buffer.append(line)
+    return snippets
+
+
+def run_file(path: Path) -> List[str]:
+    """Execute one file's snippets cumulatively; return failure messages."""
+    failures: List[str] = []
+    snippets = extract_snippets(path)
+    if not snippets:
+        return failures
+    namespace: dict = {"__name__": "__doc_snippet__"}
+    cwd = os.getcwd()
+    with tempfile.TemporaryDirectory(prefix="doc-snippets-") as workdir:
+        os.chdir(workdir)
+        try:
+            for snippet in snippets:
+                label = f"{path.relative_to(REPO_ROOT)}:{snippet.start_line}"
+                if snippet.skipped:
+                    print(f"  SKIP {label}")
+                    continue
+                try:
+                    code = compile(snippet.code, str(label), "exec")
+                    exec(code, namespace)  # noqa: S102 - the point of the script
+                except Exception:
+                    failures.append(
+                        f"{label}\n{traceback.format_exc(limit=8)}"
+                    )
+                    print(f"  FAIL {label}")
+                else:
+                    print(f"  ok   {label}")
+        finally:
+            os.chdir(cwd)
+    return failures
+
+
+def default_targets() -> List[Path]:
+    targets = [REPO_ROOT / "README.md"]
+    targets.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [t for t in targets if t.exists()]
+
+
+def main(argv: List[str]) -> int:
+    targets = [Path(a).resolve() for a in argv] if argv else default_targets()
+    all_failures: List[str] = []
+    total = 0
+    for path in targets:
+        snippets = extract_snippets(path)
+        runnable = sum(1 for s in snippets if not s.skipped)
+        total += runnable
+        print(f"{path.relative_to(REPO_ROOT)}: {runnable} snippet(s)")
+        all_failures.extend(run_file(path))
+    print()
+    if all_failures:
+        print(f"{len(all_failures)} of {total} snippet(s) FAILED:\n")
+        for failure in all_failures:
+            print(failure)
+        return 1
+    print(f"all {total} snippet(s) passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

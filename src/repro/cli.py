@@ -88,6 +88,23 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="write a resumable checkpoint after each iteration")
     faults.add_argument("--resume", action="store_true",
                         help="continue from --checkpoint instead of starting over")
+    observability = measure.add_argument_group(
+        "observability", "export metrics and a structured event trace"
+    )
+    observability.add_argument(
+        "--metrics-out", type=str, default=None, metavar="FILE",
+        help="write campaign metrics here; format from the suffix "
+             "(.jsonl/.json, .prom/.txt, .csv)",
+    )
+    observability.add_argument(
+        "--metrics-format", choices=("jsonl", "prometheus", "csv"),
+        default=None,
+        help="override the metrics format inferred from --metrics-out",
+    )
+    observability.add_argument(
+        "--trace-out", type=str, default=None, metavar="FILE",
+        help="write the structured event log here as JSON-lines",
+    )
 
     sub.add_parser("profile", help="Table 3: profile the five clients")
 
@@ -139,7 +156,12 @@ def _cmd_measure(args: argparse.Namespace) -> int:
             f"fault plan: loss={plan.loss_rate:.1%} "
             f"churn={plan.churn_rate}/s crash={plan.crash_rate}/s"
         )
-    shot = TopoShot.attach(network)
+    obs = None
+    if args.metrics_out or args.trace_out:
+        from repro.obs import Observability
+
+        obs = Observability()
+    shot = TopoShot.attach(network, obs=obs)
     shot.config = shot.config.with_repeats(args.repeats)
     if args.max_retries:
         shot.config = shot.config.with_retries(args.max_retries)
@@ -155,6 +177,16 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     )
     print()
     print(measurement.summary())
+    if obs is not None:
+        from repro.obs.export import write_events, write_metrics
+
+        if args.metrics_out:
+            path = write_metrics(
+                obs.metrics, args.metrics_out, fmt=args.metrics_format
+            )
+            print(f"\nmetrics written to {path}")
+        if args.trace_out:
+            print(f"event trace written to {write_events(obs.events, args.trace_out)}")
     if args.output:
         from repro.io import save_measurement
 

@@ -13,6 +13,7 @@ import os
 from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.config import MeasurementConfig
@@ -32,6 +33,7 @@ from repro.errors import CheckpointError, MeasurementError
 from repro.eth.account import Wallet
 from repro.eth.network import Network
 from repro.eth.supernode import Supernode
+from repro.obs import NULL, Observability
 
 ProgressCallback = Callable[[int, int, ScheduleIteration, ParallelProbeReport], None]
 
@@ -140,11 +142,17 @@ class TopoShot:
         supernode: Supernode,
         config: Optional[MeasurementConfig] = None,
         wallet: Optional[Wallet] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.network = network
         self.supernode = supernode
         self.config = config or self._default_config(network)
         self.wallet = wallet or Wallet("toposhot")
+        # Observability: passing a live bundle wires the whole stack
+        # (network collectors + the campaign's own push instruments).
+        self.obs = obs if obs is not None else NULL
+        if self.obs.enabled:
+            network.install_observability(self.obs)
         self.last_preprocess: Optional[PreprocessReport] = None
         self.measurement_senders: List[str] = []
         # Per-target flood-size overrides discovered by calibration
@@ -182,10 +190,15 @@ class TopoShot:
         config: Optional[MeasurementConfig] = None,
         targets: Optional[Sequence[str]] = None,
         node_id: str = "supernode-M",
+        obs: Optional[Observability] = None,
     ) -> "TopoShot":
-        """Create and connect a measurement supernode, then wrap it."""
+        """Create and connect a measurement supernode, then wrap it.
+
+        Pass ``obs=Observability()`` to wire metrics/events through the
+        network, engine and the campaign loop in one step.
+        """
         supernode = Supernode.join(network, node_id=node_id, targets=targets)
-        return cls(network, supernode, config=config)
+        return cls(network, supernode, config=config, obs=obs)
 
     def _refresh_pools(self) -> None:
         """Compressed organic churn between iterations/repeats (see
@@ -344,10 +357,40 @@ class TopoShot:
             measurement.send_timeouts = checkpoint.send_timeouts
             measurement.failures = list(checkpoint.failures)
 
+        obs = self.obs
+        if obs.enabled:
+            from repro.obs import wiring
+
+            iterations_total = obs.metrics.counter(
+                wiring.CAMPAIGN_ITERATIONS, "Completed schedule iterations"
+            )
+            edges_gauge = obs.metrics.gauge(
+                wiring.CAMPAIGN_EDGES, "Distinct edges detected so far"
+            )
+            txs_total = obs.metrics.counter(
+                wiring.CAMPAIGN_TXS, "Measurement transactions injected"
+            )
+            setup_failures_total = obs.metrics.counter(
+                wiring.CAMPAIGN_SETUP_FAILURES, "Per-link setups that failed"
+            )
+            send_timeouts_total = obs.metrics.counter(
+                wiring.CAMPAIGN_SEND_TIMEOUTS, "Supernode injections timed out"
+            )
+            iter_sim_hist = obs.metrics.histogram(
+                wiring.CAMPAIGN_ITER_SIM_SECONDS,
+                "Simulated seconds consumed per iteration",
+            )
+            iter_wall_hist = obs.metrics.histogram(
+                wiring.CAMPAIGN_ITER_WALL_SECONDS,
+                "Wall-clock seconds spent per iteration",
+            )
+
         refresh = self._refresh_pools if churn_between_iterations else None
         for index, iteration in enumerate(schedule):
             if index < completed:
                 continue  # already covered by the checkpoint
+            sim_start = self.network.sim.now
+            wall_start = perf_counter()
             try:
                 report = measure_par_with_repeats(
                     self.network,
@@ -363,6 +406,18 @@ class TopoShot:
                 measurement.add_failure(
                     "iteration_error", iteration=index, detail=str(exc)
                 )
+                if obs.enabled:
+                    obs.emit(
+                        self.network.sim.now,
+                        "campaign.iteration_error",
+                        index,
+                        str(exc),
+                    )
+                    obs.metrics.counter(
+                        wiring.CAMPAIGN_FAILURES,
+                        "Campaign failures by kind",
+                        labels={"kind": "iteration_error"},
+                    ).inc()
                 self.supernode.clear_observations()
                 self.network.forget_known_transactions()
                 if churn_between_iterations and index + 1 < len(schedule):
@@ -386,6 +441,28 @@ class TopoShot:
                     detail=f"{report.send_timeouts} injection(s) timed out",
                 )
             self.measurement_senders.extend(report.seed_senders)
+            if obs.enabled:
+                iterations_total.inc()
+                edges_gauge.set(len(measurement.edges))
+                txs_total.inc(report.transactions_sent)
+                setup_failures_total.inc(report.setup_failures)
+                send_timeouts_total.inc(report.send_timeouts)
+                iter_sim_hist.observe(self.network.sim.now - sim_start)
+                iter_wall_hist.observe(perf_counter() - wall_start)
+                if report.unreachable:
+                    obs.metrics.counter(
+                        wiring.CAMPAIGN_FAILURES,
+                        "Campaign failures by kind",
+                        labels={"kind": "unreachable"},
+                    ).inc(len(report.unreachable))
+                obs.emit(
+                    self.network.sim.now,
+                    "campaign.iteration",
+                    index,
+                    len(schedule),
+                    len(report.detected),
+                    report.transactions_sent,
+                )
             if progress is not None:
                 progress(index, len(schedule), iteration, report)
             # Bound memory and keep iterations independent.

@@ -82,6 +82,39 @@ class TopologyMonitor:
             taken_at=self.shot.network.sim.now, measurement=measurement
         )
         self.snapshots.append(snapshot)
+        obs = self.shot.obs
+        if obs.enabled:
+            from repro.obs import wiring
+
+            obs.metrics.counter(
+                wiring.MONITOR_SNAPSHOTS, "Topology snapshots taken"
+            ).inc()
+            obs.metrics.gauge(
+                wiring.MONITOR_LAST_EDGES, "Edges in the latest snapshot"
+            ).set(len(snapshot.edges))
+            obs.emit(
+                snapshot.taken_at, "monitor.snapshot",
+                len(self.snapshots) - 1, len(snapshot.edges),
+            )
+            if len(self.snapshots) >= 2:
+                report = self.churn_between(-2, -1)
+                obs.metrics.gauge(
+                    wiring.MONITOR_LAST_CHURN,
+                    "Churn rate between the two latest snapshots",
+                ).set(report.churn_rate)
+                obs.metrics.counter(
+                    wiring.MONITOR_EDGES_ADDED,
+                    "Edges that appeared between consecutive snapshots",
+                ).inc(len(report.added))
+                obs.metrics.counter(
+                    wiring.MONITOR_EDGES_REMOVED,
+                    "Edges that vanished between consecutive snapshots",
+                ).inc(len(report.removed))
+                obs.emit(
+                    snapshot.taken_at, "monitor.churn",
+                    report.from_time, report.to_time,
+                    len(report.added), len(report.removed), len(report.stable),
+                )
         return snapshot
 
     def run_rounds(self, rounds: int, **measure_kwargs: object) -> List[TopologySnapshot]:

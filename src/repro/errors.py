@@ -57,6 +57,10 @@ class FaultPlanError(ReproError):
     """A fault-injection plan is malformed (negative rate, bad probability)."""
 
 
+class ObservabilityError(ReproError):
+    """Invalid metrics/trace usage (type conflict, negative counter step...)."""
+
+
 class TransactionError(ReproError):
     """Invalid transaction construction or signing."""
 

@@ -233,6 +233,20 @@ class Mempool:
         """Bid prices of all pending transactions (unsorted)."""
         return [self._by_hash[h].bid_price(self.base_fee) for h in self._pending]
 
+    def stats_snapshot(self) -> Dict[str, int]:
+        """Point-in-time copy of admission counters plus occupancy.
+
+        ``stats`` itself is live (and deliberately never reset by
+        :meth:`clear`); this copy adds the current ``size``/``pending``/
+        ``future`` occupancy so one dict answers both "what happened" and
+        "what is buffered now" for observability collectors and tests.
+        """
+        snapshot = dict(self.stats)
+        snapshot["size"] = len(self._by_hash)
+        snapshot["pending"] = len(self._pending)
+        snapshot["future"] = len(self._future)
+        return snapshot
+
     def median_pending_price(self) -> Optional[int]:
         """Median bid price over pending transactions (Y estimation, §5.2.1)."""
         prices = sorted(self.pending_prices())

@@ -17,6 +17,7 @@ from repro.errors import LinkExistsError, NetworkError, NotConnectedError, Unkno
 from repro.eth.chain import Chain
 from repro.eth.messages import Message
 from repro.eth.node import Node, NodeConfig
+from repro.obs import NULL, Observability
 from repro.sim.engine import Simulator
 from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.latency import LatencyModel, UniformLatency
@@ -77,6 +78,10 @@ class Network:
         self.messages_dropped = 0
         self.drops_by_reason: Dict[str, int] = {}
         self.faults: Optional[FaultInjector] = None
+        # Observability hook. NULL (the shared disabled bundle) makes every
+        # ``self.obs.emit(...)`` site free; install_observability swaps in a
+        # live bundle and registers the pull collectors.
+        self.obs: Observability = NULL
 
     # ------------------------------------------------------------------
     # Node management
@@ -195,6 +200,35 @@ class Network:
         return not self.node(node_id).crashed
 
     # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def install_observability(
+        self, obs: Optional[Observability] = None, per_node: bool = False
+    ) -> Observability:
+        """Attach (and return) an observability bundle for the whole stack.
+
+        Registers pull collectors for the engine, transport, mempools,
+        supernode observations and fault injector (see
+        :mod:`repro.obs.wiring` for the metric catalog), and arms the cold
+        push sites (message drops, fault events).  Installing the same
+        bundle twice is a no-op; installing a different one replaces the
+        hook but leaves the old bundle's collectors intact.
+        """
+        from repro.obs.wiring import instrument_network
+
+        if obs is None:
+            obs = Observability()
+        if obs is self.obs:
+            return obs
+        self.obs = obs
+        instrument_network(obs, self, per_node=per_node)
+        return obs
+
+    def clear_observability(self) -> None:
+        """Detach the bundle; push sites go back to the free NULL sink."""
+        self.obs = NULL
+
+    # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
     def send(self, from_id: str, to_id: str, msg: Message) -> None:
@@ -304,6 +338,9 @@ class Network:
             self.sim.tracer.record(
                 self.sim.now, "drop", f"{msg.kind}:{from_id}->{to_id} ({reason})"
             )
+        obs = self.obs
+        if obs.enabled:
+            obs.emit(self.sim.now, "drop", reason, from_id, to_id, msg.kind)
 
     # ------------------------------------------------------------------
     # Simulation control

@@ -270,6 +270,24 @@ class Node:
         self._announce_requested.clear()
 
     # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def observability_sample(self) -> Dict[str, object]:
+        """One JSON-friendly dict describing this node's current state.
+
+        Used by per-node debugging/export paths (``repro.obs``); pulls the
+        mempool's counter snapshot rather than keeping parallel counters
+        here.
+        """
+        return {
+            "id": self.id,
+            "crashed": self.crashed,
+            "peers": len(self.peers),
+            "max_peers": self.config.max_peers,
+            "mempool": self.mempool.stats_snapshot(),
+        }
+
+    # ------------------------------------------------------------------
     # Crash / restart (fault injection)
     # ------------------------------------------------------------------
     def crash(self) -> None:
@@ -319,7 +337,14 @@ class Node:
     # Message handling
     # ------------------------------------------------------------------
     def handle_message(self, from_id: str, msg: Message) -> None:
-        """Entry point for all network deliveries."""
+        """Generic delivery entry point (the guarded/slow path).
+
+        The transport's epoch fast path dispatches straight into
+        ``_dispatch`` and skips this frame entirely (see
+        ``Network._deliver``); direct callers and the guarded path land
+        here, so overriding this method alone does NOT intercept every
+        delivery — override the handler, or the dispatch table entry.
+        """
         handler = self._dispatch.get(msg.__class__)
         if handler is not None:
             handler(from_id, msg)

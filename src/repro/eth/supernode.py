@@ -70,6 +70,10 @@ class Supernode(Node):
         super().__init__(node_id, sim, config or supernode_config())
         self.observations: List[Observation] = []
         self._first_seen: Dict[Tuple[str, str], float] = {}
+        # Lifetime totals by evidence kind ("push"/"announce"). Unlike the
+        # per-iteration log, these survive clear_observations(), so the
+        # observability collectors can report campaign-wide counts.
+        self.observation_counts: Dict[str, int] = {}
         self.neighbor_responses: Dict[str, Tuple[str, ...]] = {}
         self.tx_observers.append(self._record_push)
 
@@ -92,6 +96,8 @@ class Supernode(Node):
             self.observations.append(
                 Observation(self.sim.now, peer, tx_hash, kind)
             )
+            counts = self.observation_counts
+            counts[kind] = counts.get(kind, 0) + 1
 
     def _handle_announcement(
         self, from_id: str, msg: NewPooledTransactionHashes

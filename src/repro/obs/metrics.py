@@ -1,0 +1,328 @@
+"""Typed metrics for the measurement stack.
+
+The paper's live deployment was driven by watching counters — replaced and
+evicted transactions per target, per-link probe latencies, RPC timeout
+rates (Sections 5.3 and 6.1).  This module provides the three instrument
+types those observations need:
+
+- :class:`Counter` — a monotonically increasing count (messages sent,
+  faults fired, probes completed);
+- :class:`Gauge` — a point-in-time value that can move both ways (pool
+  sizes, pending events, churn rate);
+- :class:`Histogram` — a bounded-reservoir distribution (per-iteration
+  latencies, batch sizes) exposing count/sum/min/max and quantiles.
+
+A :class:`MetricsRegistry` owns the instruments, keyed by (name, labels).
+Instrumentation is split into two disciplines so that hot paths stay hot:
+
+- **push**: cold call sites hold an instrument and call ``inc``/``observe``
+  directly (fault events, campaign iterations);
+- **pull**: collectors registered with :meth:`MetricsRegistry.add_collector`
+  copy counters the simulation already maintains (``Network.messages_sent``,
+  ``Mempool.stats``) into instruments at :meth:`MetricsRegistry.collect`
+  time — zero per-event cost, paid only at export.
+
+Nothing here consumes RNG streams or simulated time, so attaching metrics
+can never perturb a deterministic run (the golden fingerprints of
+``tests/integration/test_perf_determinism.py`` are unaffected).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.errors import ObservabilityError
+
+Number = Union[int, float]
+LabelKey = Tuple[Tuple[str, str], ...]
+
+DEFAULT_RESERVOIR = 1024
+
+
+def _label_key(labels: Optional[Mapping[str, str]]) -> LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "labels", "value")
+
+    def __init__(self, name: str, help: str = "", labels: LabelKey = ()) -> None:
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the count."""
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        self.value += amount
+
+    def set_total(self, value: Number) -> None:
+        """Adopt an externally maintained running total (pull wiring).
+
+        Collectors use this to mirror counters the simulation already keeps
+        (e.g. ``Network.messages_sent``) without double counting across
+        repeated ``collect()`` calls.
+        """
+        self.value = value
+
+    def sample(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Gauge:
+    """A point-in-time value that can go up and down."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "labels", "value")
+
+    def __init__(self, name: str, help: str = "", labels: LabelKey = ()) -> None:
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: Number = 1) -> None:
+        self.value -= amount
+
+    def sample(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Histogram:
+    """A distribution over observed values with a bounded reservoir.
+
+    ``count``/``sum``/``min``/``max`` are exact; quantiles come from a
+    reservoir capped at ``max_samples``.  The reservoir thins
+    *deterministically*: once full it is compacted to every other sample and
+    the keep-stride doubles, so two identical runs keep identical samples
+    (no RNG draw — randomized reservoir sampling would either perturb a
+    shared stream or need its own seed plumbing).
+    """
+
+    kind = "histogram"
+    __slots__ = (
+        "name",
+        "help",
+        "labels",
+        "max_samples",
+        "count",
+        "sum",
+        "min",
+        "max",
+        "_reservoir",
+        "_stride",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: LabelKey = (),
+        max_samples: int = DEFAULT_RESERVOIR,
+    ) -> None:
+        if max_samples < 2:
+            raise ObservabilityError(
+                f"histogram {name!r} needs max_samples >= 2, got {max_samples}"
+            )
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.max_samples = max_samples
+        self.count = 0
+        self.sum: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._reservoir: List[float] = []
+        self._stride = 1
+
+    def observe(self, value: Number) -> None:
+        """Record one observation."""
+        value = float(value)
+        index = self.count
+        self.count = index + 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if index % self._stride:
+            return
+        reservoir = self._reservoir
+        reservoir.append(value)
+        if len(reservoir) >= self.max_samples:
+            # Deterministic compaction: keep every other sample, double the
+            # stride. Future observations land at the coarser rate.
+            del reservoir[1::2]
+            self._stride *= 2
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Approximate ``q``-quantile (0..1) from the reservoir."""
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile must be in [0, 1], got {q}")
+        reservoir = sorted(self._reservoir)
+        if not reservoir:
+            return None
+        if len(reservoir) == 1:
+            return reservoir[0]
+        position = q * (len(reservoir) - 1)
+        low = int(position)
+        high = min(low + 1, len(reservoir) - 1)
+        fraction = position - low
+        return reservoir[low] * (1.0 - fraction) + reservoir[high] * fraction
+
+    @property
+    def reservoir_size(self) -> int:
+        return len(self._reservoir)
+
+    def sample(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "labels": dict(self.labels),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.5),
+            "p90": self.quantile(0.9),
+            "p99": self.quantile(0.99),
+        }
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Owner of every instrument, keyed by (name, sorted label items).
+
+    One metric *name* maps to one instrument type and one help string; the
+    same name with different labels yields distinct instruments of the same
+    family (how Prometheus models labeled series).
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, LabelKey], Instrument] = {}
+        self._kinds: Dict[str, str] = {}
+        self._help: Dict[str, str] = {}
+        self._collectors: List[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # Instrument creation (get-or-create)
+    # ------------------------------------------------------------------
+    def _get(
+        self,
+        factory: type,
+        name: str,
+        help: str,
+        labels: Optional[Mapping[str, str]],
+        **kwargs: object,
+    ) -> Instrument:
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is not None:
+            if not isinstance(instrument, factory):
+                raise ObservabilityError(
+                    f"metric {name!r} already registered as "
+                    f"{instrument.kind}, not {factory.kind}"  # type: ignore[attr-defined]
+                )
+            return instrument
+        registered_kind = self._kinds.get(name)
+        if registered_kind is not None and registered_kind != factory.kind:  # type: ignore[attr-defined]
+            raise ObservabilityError(
+                f"metric {name!r} already registered as {registered_kind}, "
+                f"not {factory.kind}"  # type: ignore[attr-defined]
+            )
+        instrument = factory(name, help=help, labels=key[1], **kwargs)
+        self._instruments[key] = instrument
+        self._kinds[name] = factory.kind  # type: ignore[attr-defined]
+        if help and name not in self._help:
+            self._help[name] = help
+        return instrument
+
+    def counter(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Counter:
+        return self._get(Counter, name, help, labels)  # type: ignore[return-value]
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Gauge:
+        return self._get(Gauge, name, help, labels)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+        max_samples: int = DEFAULT_RESERVOIR,
+    ) -> Histogram:
+        return self._get(  # type: ignore[return-value]
+            Histogram, name, help, labels, max_samples=max_samples
+        )
+
+    def help_for(self, name: str) -> str:
+        return self._help.get(name, "")
+
+    # ------------------------------------------------------------------
+    # Pull collectors
+    # ------------------------------------------------------------------
+    def add_collector(self, collector: Callable[[], None]) -> None:
+        """Register a callable run at every :meth:`collect`.
+
+        Collectors read state the simulation maintains anyway and write it
+        into instruments (``Counter.set_total`` / ``Gauge.set``), making
+        the instrumented hot paths literally zero-cost until export.
+        """
+        self._collectors.append(collector)
+
+    def collect(self) -> List[Instrument]:
+        """Run all collectors, then return instruments sorted by identity."""
+        for collector in self._collectors:
+            collector()
+        return [
+            self._instruments[key] for key in sorted(self._instruments.keys())
+        ]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._kinds
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """Collect and return every instrument as a JSON-friendly dict."""
+        return [instrument.sample() for instrument in self.collect()]

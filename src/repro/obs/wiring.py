@@ -1,0 +1,197 @@
+"""Pull-based instrumentation of the simulation stack (the metric catalog).
+
+This module is the single place where the stack's metric *names* are
+defined, so the catalog in ``docs/observability.md`` has one source of
+truth.  All wiring here is **pull**: collectors registered on the
+registry read counters the engine, transport, mempools and fault injector
+maintain anyway, and copy them into instruments at collect/export time.
+The instrumented hot paths therefore run the same machine code whether
+observability is attached or not — which is what keeps the golden
+determinism fingerprints and the engine-throughput bench untouched.
+
+Push-style instrumentation (events that deserve a log record the moment
+they happen: faults, message drops, campaign iterations, monitor
+snapshots) lives at the call sites in :mod:`repro.sim.faults`,
+:mod:`repro.eth.network`, :mod:`repro.core.campaign` and
+:mod:`repro.core.monitor`, guarded by ``obs.enabled``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.obs import Observability
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.eth.network import Network
+    from repro.sim.engine import Simulator
+
+# Metric names (the catalog; keep docs/observability.md in sync).
+SIM_TIME = "toposhot_sim_time_seconds"
+SIM_EVENTS_EXECUTED = "toposhot_sim_events_executed_total"
+SIM_EVENTS_PENDING = "toposhot_sim_events_pending"
+
+MESSAGES_SENT = "toposhot_messages_sent_total"
+MESSAGES_BY_KIND = "toposhot_messages_total"
+MESSAGES_DROPPED = "toposhot_messages_dropped_total"
+DROPS_BY_REASON = "toposhot_message_drops_total"
+NODES = "toposhot_nodes"
+NODES_CRASHED = "toposhot_nodes_crashed"
+LINKS = "toposhot_links"
+
+MEMPOOL_TRANSACTIONS = "toposhot_mempool_transactions"
+MEMPOOL_PENDING = "toposhot_mempool_pending_transactions"
+MEMPOOL_OUTCOMES = "toposhot_mempool_outcomes_total"
+MEMPOOL_EVICTIONS = "toposhot_mempool_evictions_total"
+MEMPOOL_REPLACEMENTS = "toposhot_mempool_replacements_total"
+
+SUPERNODE_OBSERVATIONS = "toposhot_supernode_observations_total"
+
+FAULTS_FIRED = "toposhot_faults_total"
+FAULT_MESSAGES_DROPPED = "toposhot_fault_messages_dropped_total"
+FAULT_SEND_TIMEOUTS = "toposhot_fault_send_timeouts_total"
+FAULT_CRASHES = "toposhot_fault_crashes_total"
+FAULT_CHURN = "toposhot_fault_churn_events_total"
+
+CAMPAIGN_ITERATIONS = "toposhot_campaign_iterations_total"
+CAMPAIGN_EDGES = "toposhot_campaign_edges_detected"
+CAMPAIGN_TXS = "toposhot_campaign_transactions_sent_total"
+CAMPAIGN_SETUP_FAILURES = "toposhot_campaign_setup_failures_total"
+CAMPAIGN_SEND_TIMEOUTS = "toposhot_campaign_send_timeouts_total"
+CAMPAIGN_FAILURES = "toposhot_campaign_failures_total"
+CAMPAIGN_ITER_SIM_SECONDS = "toposhot_campaign_iteration_sim_seconds"
+CAMPAIGN_ITER_WALL_SECONDS = "toposhot_campaign_iteration_wall_seconds"
+
+MONITOR_SNAPSHOTS = "toposhot_monitor_snapshots_total"
+MONITOR_LAST_EDGES = "toposhot_monitor_last_edges"
+MONITOR_LAST_CHURN = "toposhot_monitor_last_churn_rate"
+MONITOR_EDGES_ADDED = "toposhot_monitor_edges_added_total"
+MONITOR_EDGES_REMOVED = "toposhot_monitor_edges_removed_total"
+
+
+def instrument_simulator(obs: Observability, sim: "Simulator") -> None:
+    """Mirror the engine's own counters into the registry at collect time."""
+    if not obs.enabled:
+        return
+    registry = obs.metrics
+    time_gauge = registry.gauge(SIM_TIME, "Current simulated clock")
+    executed = registry.counter(
+        SIM_EVENTS_EXECUTED, "Events executed by the discrete-event engine"
+    )
+    pending = registry.gauge(
+        SIM_EVENTS_PENDING, "Events still queued (including cancelled)"
+    )
+
+    def collect() -> None:
+        time_gauge.set(sim.now)
+        executed.set_total(sim.executed_events)
+        pending.set(sim.pending_events)
+
+    registry.add_collector(collect)
+
+
+def instrument_network(
+    obs: Observability, network: "Network", per_node: bool = False
+) -> None:
+    """Wire transport, mempool, supernode and fault-injector counters.
+
+    ``per_node=True`` additionally exports per-node pool sizes and
+    replacement/eviction counts (the paper's per-target view) — bounded
+    label cardinality is the operator's responsibility at large N.
+    """
+    if not obs.enabled:
+        return
+    instrument_simulator(obs, network.sim)
+    registry = obs.metrics
+    sent = registry.counter(MESSAGES_SENT, "Messages handed to transport")
+    dropped = registry.counter(
+        MESSAGES_DROPPED, "Messages that never reached their target"
+    )
+    nodes_gauge = registry.gauge(NODES, "Nodes attached to the network")
+    crashed_gauge = registry.gauge(NODES_CRASHED, "Nodes currently down")
+    links_gauge = registry.gauge(LINKS, "Active overlay links")
+    pool_gauge = registry.gauge(
+        MEMPOOL_TRANSACTIONS, "Buffered transactions across all pools"
+    )
+    pool_pending_gauge = registry.gauge(
+        MEMPOOL_PENDING, "Executable transactions across all pools"
+    )
+
+    def collect() -> None:
+        sent.set_total(network.messages_sent)
+        dropped.set_total(network.messages_dropped)
+        nodes_gauge.set(len(network.nodes))
+        crashed_gauge.set(network._crashed_count)
+        links_gauge.set(network.link_count)
+        for kind, count in network.messages_by_kind.items():
+            registry.counter(
+                MESSAGES_BY_KIND, "Messages sent by message kind",
+                labels={"kind": kind},
+            ).set_total(count)
+        for reason, count in network.drops_by_reason.items():
+            registry.counter(
+                DROPS_BY_REASON, "Message drops by reason",
+                labels={"reason": reason},
+            ).set_total(count)
+
+        # Mempool admission/replacement/eviction, aggregated over nodes
+        # (the paper's replaced/evicted-per-target counters, §5.3).
+        totals: dict = {}
+        pool_size = 0
+        pool_pending = 0
+        observations: dict = {}
+        for node in network.nodes.values():
+            pool = node.mempool
+            pool_size += len(pool)
+            pool_pending += pool.pending_count
+            for key, value in pool.stats.items():
+                totals[key] = totals.get(key, 0) + value
+            counts = getattr(node, "observation_counts", None)
+            if counts:
+                for kind, value in counts.items():
+                    observations[kind] = observations.get(kind, 0) + value
+            if per_node:
+                registry.gauge(
+                    MEMPOOL_TRANSACTIONS, labels={"node": node.id}
+                ).set(len(pool))
+                registry.counter(
+                    MEMPOOL_REPLACEMENTS, labels={"node": node.id}
+                ).set_total(pool.stats.get("replaced", 0))
+                registry.counter(
+                    MEMPOOL_EVICTIONS, labels={"node": node.id}
+                ).set_total(pool.stats.get("evictions", 0))
+        pool_gauge.set(pool_size)
+        pool_pending_gauge.set(pool_pending)
+        for key, value in totals.items():
+            if key == "evictions":
+                registry.counter(
+                    MEMPOOL_EVICTIONS, "Transactions evicted from full pools"
+                ).set_total(value)
+            else:
+                registry.counter(
+                    MEMPOOL_OUTCOMES, "Mempool admission outcomes",
+                    labels={"outcome": key},
+                ).set_total(value)
+        for kind, value in observations.items():
+            registry.counter(
+                SUPERNODE_OBSERVATIONS,
+                "Supernode possession observations by evidence kind",
+                labels={"kind": kind},
+            ).set_total(value)
+
+        faults = network.faults
+        if faults is not None:
+            registry.counter(
+                FAULT_MESSAGES_DROPPED, "Deliveries dropped by injected loss"
+            ).set_total(faults.messages_dropped)
+            registry.counter(
+                FAULT_SEND_TIMEOUTS, "Supernode injections timed out"
+            ).set_total(faults.send_timeouts)
+            registry.counter(
+                FAULT_CRASHES, "Nodes crashed by fault injection"
+            ).set_total(faults.crashes)
+            registry.counter(
+                FAULT_CHURN, "Links churned by fault injection"
+            ).set_total(faults.churn_events)
+
+    registry.add_collector(collect)

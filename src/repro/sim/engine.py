@@ -14,6 +14,8 @@ Typical usage::
 
 For a breakdown of where callback time goes, attach an
 :class:`~repro.core.profiler.EngineProfiler` via :meth:`Simulator.attach_profiler`.
+For operator-facing metrics and a bounded structured event log, attach a
+:class:`~repro.obs.Observability` via :meth:`Simulator.attach_observability`.
 """
 
 from __future__ import annotations
@@ -29,6 +31,7 @@ from repro.sim.tracing import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.profiler import EngineProfiler
+    from repro.obs import EventLog, Observability
 
 
 class Event:
@@ -105,6 +108,7 @@ class Simulator:
         self.seed = seed
         self.tracer: Optional[Tracer] = Tracer() if trace else None
         self.profiler: Optional["EngineProfiler"] = None
+        self.event_log: Optional["EventLog"] = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -132,7 +136,11 @@ class Simulator:
         with ~1 message per event, the f-string per send is a measurable
         share of the un-traced hot path.
         """
-        return self.tracer is not None or self.profiler is not None
+        return (
+            self.tracer is not None
+            or self.profiler is not None
+            or self.event_log is not None
+        )
 
     # ------------------------------------------------------------------
     # Profiling
@@ -157,6 +165,35 @@ class Simulator:
 
     def detach_profiler(self) -> None:
         self.profiler = None
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def attach_observability(
+        self, obs: Optional["Observability"] = None, log_events: bool = False
+    ) -> "Observability":
+        """Attach (and return) an observability bundle for this simulator.
+
+        Registers a pull collector mirroring the engine's clock and event
+        counters into ``obs.metrics`` (read only at export time, zero
+        per-event cost).  With ``log_events=True`` the engine additionally
+        appends one ``(time, "event", label)`` tuple per executed event to
+        ``obs.events`` — the ring-buffered analogue of ``trace=True``,
+        bounded by the log's capacity instead of growing without limit.
+        """
+        from repro.obs import Observability
+        from repro.obs.wiring import instrument_simulator
+
+        if obs is None:
+            obs = Observability()
+        instrument_simulator(obs, self)
+        if log_events and obs.enabled:
+            self.event_log = obs.events
+        return obs
+
+    def detach_observability(self) -> None:
+        """Stop feeding the event log (registered collectors stay)."""
+        self.event_log = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -268,6 +305,8 @@ class Simulator:
         """Run one event's callback under tracing/profiling."""
         if self.tracer is not None:
             self.tracer.record(self._now, "event", event.label)
+        if self.event_log is not None:
+            self.event_log.append(self._now, "event", event.label)
         if self.profiler is not None:
             start = perf_counter()
             event.callback(*event.args)
@@ -280,6 +319,8 @@ class Simulator:
         """Run one fire-and-forget call entry under tracing/profiling."""
         if self.tracer is not None:
             self.tracer.record(self._now, "event", entry[4])
+        if self.event_log is not None:
+            self.event_log.append(self._now, "event", entry[4])
         if self.profiler is not None:
             start = perf_counter()
             entry[2](*entry[3])
@@ -309,6 +350,7 @@ class Simulator:
         heappop = heapq.heappop
         tracer = self.tracer
         profiler = self.profiler
+        event_log = self.event_log
         executed = 0
         try:
             while queue:
@@ -334,6 +376,8 @@ class Simulator:
                     self._now = when
                     if tracer is not None:
                         tracer.record(when, "event", head[4])
+                    if event_log is not None:
+                        event_log.append(when, "event", head[4])
                     if profiler is not None:
                         start = perf_counter()
                         head[2](*head[3])
@@ -382,6 +426,8 @@ class Simulator:
                 self._now = when
                 if tracer is not None:
                     tracer.record(when, "event", event.label)
+                if event_log is not None:
+                    event_log.append(when, "event", event.label)
                 if profiler is not None:
                     start = perf_counter()
                     event.callback(*event.args)

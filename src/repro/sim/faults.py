@@ -296,10 +296,19 @@ class FaultInjector:
         self._active = False
 
     def _log(self, kind: str, detail: str) -> None:
-        self.events.append(FaultEvent(self.network.sim.now, kind, detail))
+        now = self.network.sim.now
+        self.events.append(FaultEvent(now, kind, detail))
         tracer = self.network.sim.tracer
         if tracer is not None:
-            tracer.record(self.network.sim.now, f"fault:{kind}", detail)
+            tracer.record(now, f"fault:{kind}", detail)
+        obs = self.network.obs
+        if obs.enabled:
+            obs.emit(now, "fault", kind, detail)
+            from repro.obs.wiring import FAULTS_FIRED
+
+            obs.metrics.counter(
+                FAULTS_FIRED, "Fault events fired by kind", labels={"kind": kind}
+            ).inc()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

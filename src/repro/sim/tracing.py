@@ -3,6 +3,12 @@
 The tracer collects ``(time, kind, detail)`` records. Tests use it to assert
 fine-grained propagation behaviour (e.g. "node B never forwarded txO"), and
 the examples use it to narrate what the measurement did.
+
+The tracer's ``detail`` is a pre-formatted string and a bounded tracer
+drops the *newest* records once full — both right for deterministic tests
+that replay from t=0 and read the head of the story. For operator-facing
+telemetry (typed fields, keep the most *recent* window) use
+:class:`repro.obs.EventLog` instead; see ``docs/observability.md``.
 """
 
 from __future__ import annotations

@@ -66,6 +66,47 @@ class TestSnapshots:
         with pytest.raises(MeasurementError):
             TopologyMonitor(shot).run_rounds(0)
 
+    def test_persistent_edges_shrink_under_churn(self, monitored):
+        network, shot = monitored
+        monitor = TopologyMonitor(
+            shot, between_rounds=lambda: rewire_random_links(network, 0.3)
+        )
+        monitor.run_rounds(3)
+        persistent = monitor.persistent_edges()
+        for snapshot in monitor.snapshots:
+            assert persistent <= snapshot.edges
+        assert len(persistent) < len(monitor.snapshots[0].edges)
+
+
+class TestMonitorObservability:
+    def test_snapshot_and_churn_metrics(self):
+        from repro.obs import Observability
+        from repro.obs import wiring
+
+        network = quick_network(n_nodes=14, seed=57)
+        prefill_mempools(network)
+        obs = Observability()
+        shot = TopoShot.attach(network, obs=obs)
+        shot.config = shot.config.with_repeats(2)
+        monitor = TopologyMonitor(
+            shot, between_rounds=lambda: rewire_random_links(network, 0.1)
+        )
+        monitor.run_rounds(2)
+        samples = {s["name"]: s for s in obs.metrics.snapshot()}
+        assert samples[wiring.MONITOR_SNAPSHOTS]["value"] == 2
+        assert samples[wiring.MONITOR_LAST_EDGES]["value"] == len(
+            monitor.snapshots[-1].edges
+        )
+        report = monitor.churn_between(-2, -1)
+        assert samples[wiring.MONITOR_LAST_CHURN]["value"] == report.churn_rate
+        assert samples[wiring.MONITOR_EDGES_ADDED]["value"] == len(report.added)
+        assert samples[wiring.MONITOR_EDGES_REMOVED]["value"] == len(
+            report.removed
+        )
+        kinds = {record[1] for record in obs.events}
+        assert "monitor.snapshot" in kinds
+        assert "monitor.churn" in kinds
+
 
 class TestRewire:
     def test_rewire_preserves_link_count(self):

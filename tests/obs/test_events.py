@@ -1,0 +1,74 @@
+"""Tests for the ring-buffered structured event log."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.events import EventLog
+
+
+class TestEventLog:
+    def test_records_in_order_with_fields(self):
+        log = EventLog(capacity=8)
+        log.append(1.0, "drop", "loss", "a", "b")
+        log.append(2.0, "fault", "crash")
+        assert log.records() == [
+            (1.0, "drop", "loss", "a", "b"),
+            (2.0, "fault", "crash"),
+        ]
+        assert len(log) == 2
+        assert log.dropped == 0
+
+    def test_capacity_bounds_retention(self):
+        log = EventLog(capacity=4)
+        for i in range(10):
+            log.append(float(i), "e", i)
+        assert len(log) == 4
+        assert log.recorded == 10
+        assert log.dropped == 6
+
+    def test_ring_overwrites_oldest(self):
+        log = EventLog(capacity=3)
+        for i in range(5):
+            log.append(float(i), "e", i)
+        # The most recent window survives, oldest first.
+        assert [record[2] for record in log.records()] == [2, 3, 4]
+
+    def test_ring_wraps_repeatedly(self):
+        log = EventLog(capacity=2)
+        for i in range(101):
+            log.append(float(i), "e", i)
+        assert [record[2] for record in log] == [99, 100]
+        assert log.dropped == 99
+
+    def test_filter_by_kind(self):
+        log = EventLog(capacity=8)
+        log.append(1.0, "drop", "loss")
+        log.append(2.0, "fault", "crash")
+        log.append(3.0, "drop", "crashed")
+        assert len(log.filter("drop")) == 2
+        assert log.filter(None) == log.records()
+
+    def test_clear_resets_everything(self):
+        log = EventLog(capacity=2)
+        for i in range(5):
+            log.append(float(i), "e")
+        log.clear()
+        assert len(log) == 0
+        assert log.recorded == 0
+        assert log.dropped == 0
+        # Usable again after clear, from a clean start index.
+        log.append(9.0, "e", "fresh")
+        assert log.records() == [(9.0, "e", "fresh")]
+
+    def test_to_dicts_shape(self):
+        log = EventLog(capacity=4)
+        log.append(1.5, "drop", "loss", "a")
+        assert log.to_dicts() == [
+            {"time": 1.5, "kind": "drop", "fields": ["loss", "a"]}
+        ]
+
+    def test_non_positive_capacity_rejected(self):
+        with pytest.raises(ObservabilityError):
+            EventLog(capacity=0)
+        with pytest.raises(ObservabilityError):
+            EventLog(capacity=-1)

@@ -1,0 +1,153 @@
+"""Tests for the JSON-lines, Prometheus and CSV exporters."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.events import EventLog
+from repro.obs.export import (
+    events_to_jsonl,
+    metrics_to_csv,
+    metrics_to_jsonl,
+    metrics_to_prometheus,
+    resolve_format,
+    write_events,
+    write_metrics,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    reg = MetricsRegistry()
+    reg.counter("msgs_total", "messages sent", labels={"kind": "tx"}).inc(7)
+    reg.gauge("pool_size", "buffered txs").set(42)
+    hist = reg.histogram("latency_seconds", "probe latency")
+    for value in (0.1, 0.2, 0.3):
+        hist.observe(value)
+    return reg
+
+
+class TestJsonl:
+    def test_one_valid_object_per_line(self, registry):
+        lines = metrics_to_jsonl(registry).splitlines()
+        samples = [json.loads(line) for line in lines]
+        assert len(samples) == 3
+        by_name = {sample["name"]: sample for sample in samples}
+        assert by_name["msgs_total"]["value"] == 7
+        assert by_name["msgs_total"]["labels"] == {"kind": "tx"}
+        assert by_name["latency_seconds"]["count"] == 3
+
+    def test_empty_registry_renders_empty(self):
+        assert metrics_to_jsonl(MetricsRegistry()) == ""
+
+    def test_collectors_run_before_render(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("g")
+        reg.add_collector(lambda: gauge.set(99))
+        assert json.loads(metrics_to_jsonl(reg))["value"] == 99
+
+
+class TestPrometheus:
+    def test_help_type_and_samples(self, registry):
+        text = metrics_to_prometheus(registry)
+        assert "# HELP msgs_total messages sent" in text
+        assert "# TYPE msgs_total counter" in text
+        assert 'msgs_total{kind="tx"} 7' in text
+        assert "# TYPE pool_size gauge" in text
+        assert "pool_size 42" in text
+
+    def test_histogram_renders_as_summary(self, registry):
+        text = metrics_to_prometheus(registry)
+        assert "# TYPE latency_seconds summary" in text
+        assert 'latency_seconds{quantile="0.5"} 0.2' in text
+        assert 'latency_seconds{quantile="0.99"}' in text
+        assert "latency_seconds_count 3" in text
+        assert "latency_seconds_sum" in text
+
+    def test_header_emitted_once_per_family(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "help", labels={"kind": "a"}).inc()
+        reg.counter("c", "help", labels={"kind": "b"}).inc()
+        text = metrics_to_prometheus(reg)
+        assert text.count("# TYPE c counter") == 1
+        assert text.count("# HELP c help") == 1
+
+    def test_invalid_name_and_label_value_sanitized(self):
+        reg = MetricsRegistry()
+        reg.counter("bad-name.metric", labels={"detail": 'say "hi"\nbye'}).inc()
+        text = metrics_to_prometheus(reg)
+        assert "bad_name_metric" in text
+        assert '\\"hi\\"' in text
+        assert "\\n" in text
+
+
+class TestCsv:
+    def test_header_and_rows(self, registry):
+        rows = metrics_to_csv(registry).splitlines()
+        assert rows[0] == "name,type,labels,field,value"
+        # 1 counter row + 1 gauge row + 7 histogram field rows.
+        assert len(rows) == 1 + 1 + 1 + 7
+        assert "msgs_total,counter,kind=tx,value,7" in rows
+        histogram_fields = [
+            row.split(",")[3] for row in rows if row.startswith("latency")
+        ]
+        assert histogram_fields == [
+            "count", "sum", "min", "max", "p50", "p90", "p99",
+        ]
+
+    def test_cells_with_commas_are_quoted(self):
+        reg = MetricsRegistry()
+        reg.counter("c", labels={"pair": "a,b"}).inc()
+        text = metrics_to_csv(reg)
+        assert '"pair=a,b"' in text
+
+
+class TestResolveFormat:
+    @pytest.mark.parametrize(
+        ("path", "expected"),
+        [
+            ("m.jsonl", "jsonl"),
+            ("m.json", "jsonl"),
+            ("m.prom", "prometheus"),
+            ("m.txt", "prometheus"),
+            ("m.csv", "csv"),
+        ],
+    )
+    def test_suffix_inference(self, path, expected):
+        assert resolve_format(path) == expected
+
+    def test_explicit_fmt_wins_and_prom_aliases(self):
+        assert resolve_format("m.csv", fmt="jsonl") == "jsonl"
+        assert resolve_format("whatever", fmt="prom") == "prometheus"
+
+    def test_unknown_suffix_rejected(self):
+        with pytest.raises(ObservabilityError):
+            resolve_format("metrics.xml")
+
+    def test_unknown_fmt_rejected(self):
+        with pytest.raises(ObservabilityError):
+            resolve_format("m.jsonl", fmt="yaml")
+
+
+class TestWriters:
+    def test_write_metrics_infers_format(self, registry, tmp_path):
+        target = write_metrics(registry, tmp_path / "out.prom")
+        assert target.read_text().startswith("# HELP")
+        target = write_metrics(registry, tmp_path / "out.jsonl")
+        assert json.loads(target.read_text().splitlines()[0])
+
+    def test_write_events_jsonl(self, tmp_path):
+        log = EventLog(capacity=4)
+        log.append(1.0, "drop", "loss", "a", "b")
+        target = write_events(log, tmp_path / "trace.jsonl")
+        record = json.loads(target.read_text())
+        assert record == {"time": 1.0, "kind": "drop", "fields": ["loss", "a", "b"]}
+
+    def test_events_window_is_most_recent(self):
+        log = EventLog(capacity=2)
+        for i in range(4):
+            log.append(float(i), "e", i)
+        fields = [json.loads(line)["fields"] for line in events_to_jsonl(log).splitlines()]
+        assert fields == [[2], [3]]

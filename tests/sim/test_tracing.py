@@ -42,3 +42,26 @@ class TestTracer:
         tracer.record(1.2345, "kind", "detail")
         assert "kind" in str(tracer.records[0])
         assert "detail" in str(tracer.records[0])
+
+    def test_unbounded_by_default(self):
+        tracer = Tracer()
+        for i in range(10_000):
+            tracer.record(float(i), "x", str(i))
+        assert len(tracer) == 10_000
+        assert tracer.dropped == 0
+
+    def test_capacity_keeps_the_head_of_the_story(self):
+        # The tracer drops the *newest* records once full — the opposite of
+        # repro.obs.EventLog's overwrite-oldest ring (see module docstring).
+        tracer = Tracer(capacity=3)
+        for i in range(6):
+            tracer.record(float(i), "x", str(i))
+        assert [r.detail for r in tracer] == ["0", "1", "2"]
+        assert tracer.dropped == 3
+
+    def test_records_survive_after_drops_begin(self):
+        tracer = Tracer(capacity=1)
+        tracer.record(0.0, "x", "kept")
+        tracer.record(1.0, "x", "dropped")
+        assert tracer.filter(contains="kept")
+        assert not tracer.filter(contains="dropped")
