@@ -10,7 +10,7 @@ quadratically while time scales ~linearly in the iteration count.
 
 import pytest
 
-from benchmarks.harness import emit, run_once
+from benchmarks.harness import emit, parallel_map, run_once
 from repro.core.campaign import TopoShot
 from repro.netgen.ethereum import NetworkSpec, generate_network
 from repro.netgen.workloads import prefill_mempools
@@ -40,7 +40,7 @@ def measure_at(n: int):
 
 @pytest.mark.benchmark(group="ext-scaling")
 def test_extension_cost_scaling(benchmark):
-    rows = run_once(benchmark, lambda: [measure_at(n) for n in SIZES])
+    rows = run_once(benchmark, lambda: parallel_map(measure_at, SIZES))
     header = (
         f"{'N':>4} {'pairs':>6} {'iters':>6} {'txs injected':>13} "
         f"{'messages':>9} {'sim time':>9} {'prec':>6} {'recall':>7}"

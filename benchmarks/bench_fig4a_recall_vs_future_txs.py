@@ -12,7 +12,7 @@ Z values; recall must increase monotonically-ish with Z and plateau below
 
 import pytest
 
-from benchmarks.harness import emit, run_once
+from benchmarks.harness import emit, parallel_map, run_once
 from repro.core.campaign import TopoShot
 from repro.netgen.ethereum import NetworkSpec, generate_network
 from repro.netgen.workloads import prefill_mempools
@@ -29,16 +29,18 @@ SPEC = NetworkSpec(
 Z_SWEEP = (128, 192, 256, 384, 512, 640)
 
 
+def _measure_z(z: int):
+    # Module-level so parallel_map can ship it to worker processes; each
+    # sweep point builds its own seeded network, so points are independent.
+    network = generate_network(SPEC)
+    prefill_mempools(network)
+    shot = TopoShot.attach(network)
+    shot.config = shot.config.with_future_count(z).with_repeats(2)
+    return shot.measure_network().score
+
+
 def sweep():
-    results = []
-    for z in Z_SWEEP:
-        network = generate_network(SPEC)
-        prefill_mempools(network)
-        shot = TopoShot.attach(network)
-        shot.config = shot.config.with_future_count(z).with_repeats(2)
-        measurement = shot.measure_network()
-        results.append((z, measurement.score))
-    return results
+    return list(zip(Z_SWEEP, parallel_map(_measure_z, Z_SWEEP)))
 
 
 @pytest.mark.benchmark(group="fig4a")

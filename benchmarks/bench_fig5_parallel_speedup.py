@@ -11,7 +11,7 @@ the paper's wall-clock measurement time).
 
 import pytest
 
-from benchmarks.harness import emit, run_once
+from benchmarks.harness import emit, parallel_map, run_once
 from repro.core.campaign import TopoShot
 from repro.core.schedule import expected_iteration_count
 from repro.netgen.ethereum import NetworkSpec, generate_network
@@ -34,7 +34,9 @@ def measure_at(k: int):
 
 
 def sweep():
-    return [(k, measure_at(k)) for k in K_SWEEP]
+    # Each K builds its own network, so the sweep parallelises cleanly;
+    # parallel_map preserves input order (serial unless REPRO_BENCH_WORKERS).
+    return list(zip(K_SWEEP, parallel_map(measure_at, K_SWEEP)))
 
 
 @pytest.mark.benchmark(group="fig5")

@@ -15,10 +15,11 @@ Run a single fast smoke point (CI) with::
 
 import pytest
 
-from benchmarks.harness import emit, run_once
+from benchmarks.harness import emit, emit_metrics_sidecar, run_once
 from repro.core.campaign import TopoShot
 from repro.netgen.ethereum import quick_network
 from repro.netgen.workloads import prefill_mempools
+from repro.obs import Observability
 from repro.sim.faults import FaultPlan
 
 N_NODES = 24
@@ -27,12 +28,12 @@ LOSS_SWEEP = (0.0, 0.02, 0.05, 0.10)
 CHURN_SWEEP = (0.0, 0.01, 0.02)
 
 
-def run_point(plan, repeats=1, retries=0):
+def run_point(plan, repeats=1, retries=0, obs=None):
     network = quick_network(n_nodes=N_NODES, seed=SEED)
     prefill_mempools(network)
     if plan.enabled:
         network.install_faults(plan)
-    shot = TopoShot.attach(network)
+    shot = TopoShot.attach(network, obs=obs)
     shot.config = shot.config.with_repeats(repeats)
     if retries:
         shot.config = shot.config.with_retries(retries)
@@ -40,24 +41,28 @@ def run_point(plan, repeats=1, retries=0):
     return measurement
 
 
-def sweep():
+def sweep(obs=None):
     rows = []
     for loss in LOSS_SWEEP:
         plan = FaultPlan(loss_rate=loss)
         bare = run_point(plan)
-        hardened = run_point(plan, repeats=3, retries=2)
+        hardened = run_point(plan, repeats=3, retries=2, obs=obs)
         rows.append(("loss", loss, bare.score, hardened.score))
     for churn in CHURN_SWEEP[1:]:
         plan = FaultPlan(churn_rate=churn, churn_downtime=5.0)
         bare = run_point(plan)
-        hardened = run_point(plan, repeats=3, retries=2)
+        hardened = run_point(plan, repeats=3, retries=2, obs=obs)
         rows.append(("churn", churn, bare.score, hardened.score))
     return rows
 
 
 @pytest.mark.benchmark(group="robustness")
 def test_robustness_recall_degradation(benchmark):
-    rows = run_once(benchmark, sweep)
+    # One registry across all hardened points: the sidecar reports the
+    # sweep's cumulative campaign metrics (failures by kind, retries, ...).
+    obs = Observability()
+    rows = run_once(benchmark, lambda: sweep(obs=obs))
+    emit_metrics_sidecar("robustness_faults", obs)
     lines = [
         f"{'fault':>6} {'rate':>6} {'bare recall':>12} "
         f"{'hardened recall':>16} {'hardened precision':>19}"
@@ -90,12 +95,17 @@ def test_robustness_recall_degradation(benchmark):
 @pytest.mark.benchmark(group="robustness")
 def test_robustness_smoke(benchmark):
     """One fast fault point for CI: 5% loss, hardened loop, recall bar."""
+    obs = Observability()
     measurement = run_once(
-        benchmark, lambda: run_point(FaultPlan(loss_rate=0.05), repeats=3, retries=2)
+        benchmark,
+        lambda: run_point(
+            FaultPlan(loss_rate=0.05), repeats=3, retries=2, obs=obs
+        ),
     )
     emit(
         "robustness_smoke",
         f"loss=0.05 hardened: {measurement.score}\n"
         f"failures: {len(measurement.failures)}",
     )
+    emit_metrics_sidecar("robustness_smoke", obs)
     assert measurement.score.recall >= 0.9

@@ -1,9 +1,13 @@
-"""Helpers shared by the benchmark files (result emission, single runs)."""
+"""Helpers shared by the benchmark files (result emission, single runs,
+parallel sweep driving)."""
 
 from __future__ import annotations
 
 import json
+import os
+from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
+from typing import Callable, List, Optional, Sequence
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -30,6 +34,47 @@ def emit_metrics_sidecar(name: str, obs) -> Path:
         encoding="utf-8",
     )
     return path
+
+
+def default_bench_workers() -> int:
+    """Worker count for parallel sweeps: REPRO_BENCH_WORKERS, else 1.
+
+    Benches default to serial so their timings stay comparable across
+    machines; CI and impatient humans opt in via the environment.
+    """
+    try:
+        return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
+    except ValueError:
+        return 1
+
+
+def parallel_map(
+    fn: Callable, items: Sequence, workers: Optional[int] = None
+) -> List:
+    """Map ``fn`` over sweep points, optionally on a process pool.
+
+    Results come back in input order regardless of completion order, so a
+    sweep's output is identical for any worker count — each point must be
+    an independent build-and-measure (every repro sweep point builds its
+    own seeded network, so this holds by construction). ``fn`` must be a
+    module-level function (picklable). ``workers=None`` consults
+    :func:`default_bench_workers`; ``workers<=1`` runs serially in-process.
+    """
+    if workers is None:
+        workers = default_bench_workers()
+    items = list(items)
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    import multiprocessing
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform-dependent
+        context = multiprocessing.get_context("spawn")
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(items)), mp_context=context
+    ) as executor:
+        return list(executor.map(fn, items))
 
 
 def run_once(benchmark, fn):

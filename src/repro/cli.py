@@ -88,6 +88,21 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="write a resumable checkpoint after each iteration")
     faults.add_argument("--resume", action="store_true",
                         help="continue from --checkpoint instead of starting over")
+    parallel = measure.add_argument_group(
+        "parallel execution",
+        "deterministic sharded execution on a process pool "
+        "(see docs/parallelism.md)",
+    )
+    parallel.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="run the campaign sharded on N worker processes; output is "
+             "bit-identical for any N (use 1 for the in-process baseline)",
+    )
+    parallel.add_argument(
+        "--shards", type=int, default=None, metavar="S",
+        help="override the shard count (default: min(iterations, 8)); "
+             "part of the campaign identity, unlike --workers",
+    )
     observability = measure.add_argument_group(
         "observability", "export metrics and a structured event trace"
     )
@@ -140,6 +155,8 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint:
         print("--resume requires --checkpoint", file=sys.stderr)
         return 2
+    if args.workers is not None:
+        return _cmd_measure_sharded(args)
     if args.preset:
         network = generate_network(PRESETS[args.preset](seed=args.seed))
     else:
@@ -175,6 +192,63 @@ def _cmd_measure(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         resume=args.resume,
     )
+    return _report_measurement(args, measurement, obs)
+
+
+def _cmd_measure_sharded(args: argparse.Namespace) -> int:
+    """The ``--workers N`` path: deterministic process-pool sharding.
+
+    Output is bit-identical for every N (including ``--workers 1``), so
+    the worker count is purely a wall-clock knob; see docs/parallelism.md.
+    """
+    from repro.core.parallel_exec import CampaignSpec, run_campaign
+    from repro.netgen.ethereum import NetworkSpec
+
+    if args.preset:
+        network_spec = PRESETS[args.preset](seed=args.seed)
+    else:
+        network_spec = NetworkSpec(n_nodes=args.nodes, seed=args.seed)
+    plan = FaultPlan(
+        loss_rate=args.loss,
+        churn_rate=args.churn,
+        crash_rate=args.crash_rate,
+    )
+    if plan.enabled:
+        print(
+            f"fault plan: loss={plan.loss_rate:.1%} "
+            f"churn={plan.churn_rate}/s crash={plan.crash_rate}/s"
+        )
+    campaign = CampaignSpec(
+        network=network_spec,
+        preprocess=not args.no_preprocess,
+        group_size=args.group_size,
+        repeats=args.repeats,
+        max_retries=args.max_retries or None,
+        fault_plan=plan if plan.enabled else None,
+        n_shards=args.shards,
+    )
+    obs = None
+    if args.metrics_out or args.trace_out:
+        from repro.obs import Observability
+
+        obs = Observability()
+    print(
+        f"measuring {network_spec.n_nodes} nodes, sharded campaign "
+        f"(workers={args.workers}"
+        + (f", shards={args.shards}" if args.shards else "")
+        + ")"
+    )
+    measurement = run_campaign(
+        campaign,
+        workers=args.workers,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+        obs=obs,
+    )
+    return _report_measurement(args, measurement, obs)
+
+
+def _report_measurement(args, measurement, obs) -> int:
     print()
     print(measurement.summary())
     if obs is not None:

@@ -1,9 +1,26 @@
 """Whole-network measurement orchestration (Section 6).
 
 :class:`TopoShot` glues everything together: it attaches a supernode to a
-network, pre-processes targets, walks the parallel schedule, unions the
+network, pre-processes targets, runs the parallel schedule, unions the
 per-iteration detections, and scores the measured topology against the
 simulator's ground truth.
+
+Two execution modes share this machinery:
+
+* **serial** — :meth:`TopoShot.measure_network` walks the schedule
+  iterations in order inside one evolving simulated world (pools churn
+  between iterations, state carries over);
+* **sharded** — :func:`repro.core.parallel_exec.run_campaign` splits the
+  same schedule into shards, each replayed from a pristine post-setup
+  snapshot (optionally in worker processes), and deterministically merges
+  the per-shard results. :meth:`TopoShot.snapshot_state` /
+  :meth:`TopoShot.restore_state` provide the snapshot/reset layer the
+  sharded mode is built on.
+
+Both modes measure the same schedule; they differ in the background state
+each iteration sees, so their edge sets agree in the common case but are
+not defined to be bit-identical to each other. Within the sharded mode,
+output is bit-identical for any worker count.
 """
 
 from __future__ import annotations
@@ -86,12 +103,26 @@ class CampaignCheckpoint:
                 raise CheckpointError(
                     f"unsupported checkpoint format version {version}"
                 )
+            # to_dict serializes each edge as a sorted [a, b] pair; rebuild
+            # the canonical two-endpoint Edge explicitly instead of
+            # frozenset(e), which would silently accept (and collapse)
+            # malformed entries like ["a"] or ["a", "a", "b"].
+            edges: Set[Edge] = set()
+            for entry in payload["edges"]:
+                if len(entry) != 2 or not all(
+                    isinstance(endpoint, str) for endpoint in entry
+                ):
+                    raise ValueError(f"malformed edge entry {entry!r}")
+                a, b = entry
+                if a == b:
+                    raise ValueError(f"self-loop edge entry {entry!r}")
+                edges.add(edge(a, b))
             checkpoint = cls(
                 seed=int(payload["seed"]),
                 targets=list(payload["targets"]),
                 group_size=int(payload["group_size"]),
                 completed_iterations=int(payload["completed_iterations"]),
-                edges={frozenset(e) for e in payload["edges"]},
+                edges=edges,
                 transactions_sent=int(payload.get("transactions_sent", 0)),
                 setup_failures=int(payload.get("setup_failures", 0)),
                 send_timeouts=int(payload.get("send_timeouts", 0)),
@@ -231,6 +262,36 @@ class TopoShot:
             if median:
                 self.ambient_price = median
                 return
+
+    # ------------------------------------------------------------------
+    # Snapshot/reset (sharded execution support)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        """Freeze the session (network + measurement bookkeeping).
+
+        Taken after setup/pre-processing at a quiescent instant (see
+        :meth:`repro.eth.network.Network.snapshot` for the preconditions);
+        :meth:`restore_state` rewinds to it, which is how the sharded
+        executor resets the world between schedule slices instead of
+        rebuilding the network.
+        """
+        return {
+            "network": self.network.snapshot(),
+            "wallet": self.wallet.capture_state(),
+            "ambient_price": self.ambient_price,
+            "z_overrides": dict(self.z_overrides),
+            "measurement_senders": list(self.measurement_senders),
+            "last_preprocess": self.last_preprocess,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Rewind the session to a :meth:`snapshot_state` capture."""
+        self.network.restore(state["network"])
+        self.wallet.restore_state(state["wallet"])
+        self.ambient_price = state["ambient_price"]
+        self.z_overrides = dict(state["z_overrides"])
+        self.measurement_senders = list(state["measurement_senders"])
+        self.last_preprocess = state["last_preprocess"]
 
     # ------------------------------------------------------------------
     # Single links (serial primitive)

@@ -1,0 +1,897 @@
+"""Deterministic multi-core campaign execution (OS-process sharding).
+
+The paper's parallel TopoShot (Section 5, Figure 5) cuts *measurement* time
+by probing K-node groups concurrently inside one simulated clock. This
+module exploits the orthogonal axis: the reproduction's schedule iterations
+are independent given a pristine post-setup world, so they can be executed
+as **shards** — slices of the schedule replayed against a snapshot of that
+world — on a pool of worker processes.
+
+Determinism contract
+--------------------
+
+The shard plan is a function of the campaign alone (never of the worker
+count), each shard is a pure function of its :class:`ShardSpec` (the world
+is rebuilt or snapshot-restored to the same bits, then re-seeded under the
+shard's spawn seed), and the merge walks shards in index order. Hence the
+merged :class:`~repro.core.results.NetworkMeasurement` is **bit-identical
+for any worker count** — ``workers=4`` reproduces ``workers=1`` exactly,
+and a crashed worker's shard can be retried anywhere without changing the
+output.
+
+Two equivalent ways to reset the world before a shard:
+
+* **fresh build** (a new worker process): run the canonical setup sequence
+  from the :class:`CampaignSpec`, then re-seed under the shard seed;
+* **snapshot restore** (a warm worker or the in-process path): restore the
+  post-setup snapshot taken right after the canonical setup, then re-seed.
+
+:mod:`repro.sim.snapshot` guarantees the restored world is bit-identical
+to the freshly built one, which is what lets warm workers skip the
+O(network build) setup and pay only O(state restore) per shard.
+
+Relationship to the serial path: :meth:`TopoShot.measure_network` evolves
+one world across the whole schedule (pool churn carries over between
+iterations), while shards each start from the pristine snapshot. Both are
+deterministic; their edge sets agree in the common case but the two modes
+are distinct execution semantics, not byte-for-byte interchangeable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.campaign import TopoShot
+from repro.core.parallel import measure_par_with_repeats
+from repro.core.results import (
+    Edge,
+    MeasurementFailure,
+    NetworkMeasurement,
+    edge,
+)
+from repro.core.schedule import build_schedule
+from repro.errors import CheckpointError, MeasurementError
+from repro.netgen.ethereum import NetworkSpec, generate_network
+from repro.obs import Observability
+from repro.sim.faults import FaultPlan, LinkFaults
+from repro.sim.rng import spawn_seed
+
+PathLike = Union[str, Path]
+
+PARALLEL_CHECKPOINT_VERSION = 1
+
+# Default shard-plan granularity: enough slices to keep a typical pool busy
+# without shrinking slices below the per-shard reset cost. Deliberately NOT
+# derived from the worker count — the plan must be campaign-only so output
+# is invariant under N.
+DEFAULT_MAX_SHARDS = 8
+
+ShardProgress = Callable[[int, int, "ShardResult"], None]
+
+
+def _hash_blake2b(payload: str) -> str:
+    import hashlib
+
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=32).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Serializable specs
+# ----------------------------------------------------------------------
+def _fault_plan_to_dict(plan: FaultPlan) -> dict:
+    return {
+        "loss_rate": plan.loss_rate,
+        "extra_delay_mean": plan.extra_delay_mean,
+        "churn_rate": plan.churn_rate,
+        "churn_downtime": plan.churn_downtime,
+        "churn_supernode_links": plan.churn_supernode_links,
+        "crash_rate": plan.crash_rate,
+        "crash_downtime": plan.crash_downtime,
+        "send_timeout_rate": plan.send_timeout_rate,
+        "link_overrides": [
+            [
+                sorted(link),
+                {
+                    "loss_rate": faults.loss_rate,
+                    "extra_delay_mean": faults.extra_delay_mean,
+                },
+            ]
+            for link, faults in sorted(
+                plan.link_overrides.items(), key=lambda item: sorted(item[0])
+            )
+        ],
+    }
+
+
+def _fault_plan_from_dict(payload: dict) -> FaultPlan:
+    return FaultPlan(
+        loss_rate=payload["loss_rate"],
+        extra_delay_mean=payload["extra_delay_mean"],
+        churn_rate=payload["churn_rate"],
+        churn_downtime=payload["churn_downtime"],
+        churn_supernode_links=payload["churn_supernode_links"],
+        crash_rate=payload["crash_rate"],
+        crash_downtime=payload["crash_downtime"],
+        send_timeout_rate=payload["send_timeout_rate"],
+        link_overrides={
+            frozenset(pair): LinkFaults(**faults)
+            for pair, faults in payload["link_overrides"]
+        },
+    )
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything needed to rebuild a deterministic campaign replica.
+
+    A worker process receives (a serialized form of) this spec, rebuilds
+    the network from ``network``, applies the setup sequence below in a
+    fixed order, and is then bit-identical to every other replica of the
+    same spec:
+
+    1. ``generate_network(network)``
+    2. ``prefill_mempools`` (if ``prefill``)
+    3. ``TopoShot.attach`` + config overrides (``repeats``/``max_retries``/
+       ``future_count``)
+    4. pre-processing (if ``preprocess``) — fixes the target list
+    5. drain the event queue, snapshot
+
+    The fault plan is *not* part of setup: it is armed per shard, after the
+    snapshot point, so faults draw from the shard's seed universe.
+    """
+
+    network: NetworkSpec
+    prefill: bool = True
+    preprocess: bool = True
+    group_size: Optional[int] = None
+    repeats: Optional[int] = None
+    max_retries: Optional[int] = None
+    future_count: Optional[int] = None
+    fault_plan: Optional[FaultPlan] = None
+    validate: bool = True
+    n_shards: Optional[int] = None
+    supernode_id: str = "supernode-M"
+
+    @property
+    def seed(self) -> int:
+        return self.network.seed
+
+    def to_dict(self) -> dict:
+        if self.network.latency is not None:
+            raise MeasurementError(
+                "CampaignSpec requires NetworkSpec.latency=None (latency "
+                "models are not serializable); use region_mix or the default"
+            )
+        network = asdict(self.network)
+        network.pop("latency")
+        return {
+            "network": network,
+            "prefill": self.prefill,
+            "preprocess": self.preprocess,
+            "group_size": self.group_size,
+            "repeats": self.repeats,
+            "max_retries": self.max_retries,
+            "future_count": self.future_count,
+            "fault_plan": (
+                None
+                if self.fault_plan is None
+                else _fault_plan_to_dict(self.fault_plan)
+            ),
+            "validate": self.validate,
+            "n_shards": self.n_shards,
+            "supernode_id": self.supernode_id,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CampaignSpec":
+        return cls(
+            network=NetworkSpec(**payload["network"]),
+            prefill=payload["prefill"],
+            preprocess=payload["preprocess"],
+            group_size=payload["group_size"],
+            repeats=payload["repeats"],
+            max_retries=payload["max_retries"],
+            future_count=payload["future_count"],
+            fault_plan=(
+                None
+                if payload["fault_plan"] is None
+                else _fault_plan_from_dict(payload["fault_plan"])
+            ),
+            validate=payload["validate"],
+            n_shards=payload["n_shards"],
+            supernode_id=payload["supernode_id"],
+        )
+
+    def fingerprint(self) -> str:
+        """Stable digest of the canonical JSON form (checkpoint identity)."""
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return _hash_blake2b(canonical)
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One slice ``[start, stop)`` of the campaign's schedule iterations."""
+
+    campaign: CampaignSpec
+    index: int
+    n_shards: int
+    start: int
+    stop: int
+
+    @property
+    def seed(self) -> int:
+        """The shard's child master seed (a spawn key off the campaign seed)."""
+        return spawn_seed(self.campaign.seed, "shard", self.index)
+
+
+@dataclass
+class ShardResult:
+    """Structured outcome of one shard, mergeable in shard-index order."""
+
+    index: int
+    start: int
+    stop: int
+    edges: Set[Edge] = field(default_factory=set)
+    transactions_sent: int = 0
+    setup_failures: int = 0
+    send_timeouts: int = 0
+    failures: List[MeasurementFailure] = field(default_factory=list)
+    sim_time: float = 0.0
+    wall_time: float = 0.0
+    obs_snapshot: Optional[dict] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "start": self.start,
+            "stop": self.stop,
+            "edges": sorted(sorted(e) for e in self.edges),
+            "transactions_sent": self.transactions_sent,
+            "setup_failures": self.setup_failures,
+            "send_timeouts": self.send_timeouts,
+            "failures": [f.to_dict() for f in self.failures],
+            "sim_time": self.sim_time,
+            "wall_time": self.wall_time,
+            "obs_snapshot": self.obs_snapshot,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ShardResult":
+        return cls(
+            index=int(payload["index"]),
+            start=int(payload["start"]),
+            stop=int(payload["stop"]),
+            edges={edge(a, b) for a, b in payload["edges"]},
+            transactions_sent=int(payload["transactions_sent"]),
+            setup_failures=int(payload["setup_failures"]),
+            send_timeouts=int(payload["send_timeouts"]),
+            failures=[
+                MeasurementFailure.from_dict(item)
+                for item in payload["failures"]
+            ],
+            sim_time=float(payload["sim_time"]),
+            wall_time=float(payload["wall_time"]),
+            obs_snapshot=payload.get("obs_snapshot"),
+        )
+
+
+def build_shard_plan(
+    n_iterations: int, n_shards: Optional[int] = None
+) -> List[Tuple[int, int]]:
+    """Split ``n_iterations`` into contiguous ``[start, stop)`` slices.
+
+    The plan depends only on the iteration count and the requested shard
+    count (default: ``min(n_iterations, DEFAULT_MAX_SHARDS)``) — never on
+    how many workers will execute it. Earlier shards get the remainder, so
+    sizes differ by at most one.
+    """
+    if n_iterations <= 0:
+        return []
+    shards = n_shards if n_shards is not None else DEFAULT_MAX_SHARDS
+    shards = max(1, min(shards, n_iterations))
+    base, remainder = divmod(n_iterations, shards)
+    plan: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < remainder else 0)
+        plan.append((start, start + size))
+        start += size
+    return plan
+
+
+# ----------------------------------------------------------------------
+# Replica: canonical build + snapshot/reset between shards
+# ----------------------------------------------------------------------
+class CampaignReplica:
+    """A deterministic instantiation of a :class:`CampaignSpec`.
+
+    Runs the canonical setup sequence once, snapshots the quiescent
+    post-setup world, and then serves any number of shards by restoring the
+    snapshot (O(state restore)) instead of rebuilding (O(network build)).
+    """
+
+    def __init__(self, campaign: CampaignSpec) -> None:
+        self.campaign = campaign
+        self.network = generate_network(campaign.network)
+        if campaign.prefill:
+            from repro.netgen.workloads import prefill_mempools
+
+            prefill_mempools(self.network)
+        self.shot = TopoShot.attach(
+            self.network, node_id=campaign.supernode_id
+        )
+        config = self.shot.config
+        if campaign.repeats is not None:
+            config = config.with_repeats(campaign.repeats)
+        if campaign.max_retries is not None:
+            config = config.with_retries(campaign.max_retries)
+        if campaign.future_count is not None:
+            config = config.with_future_count(campaign.future_count)
+        self.shot.config = config
+
+        self.skipped: List[str] = []
+        if campaign.preprocess:
+            report = self.shot.preprocess()
+            self.targets: List[str] = list(report.accepted)
+            self.skipped = list(report.rejected)
+        else:
+            self.targets = self.network.measurable_node_ids()
+        if len(self.targets) < 2:
+            raise MeasurementError("need at least two targets to measure")
+        self.group_size = (
+            campaign.group_size
+            if campaign.group_size is not None
+            else config.group_size_for(len(self.targets))
+        )
+        self.schedule = build_schedule(self.targets, self.group_size)
+
+        self.network.settle()
+        # Pin the ambient fee level before any shard touches a pool, as
+        # the serial path does at the top of measure_network.
+        self.shot._capture_ambient()
+        # Ground truth is fixed at the snapshot point: per-shard churn
+        # faults move links afterwards, but each shard starts from (and is
+        # validated against) this pristine overlay.
+        target_set = set(self.targets)
+        self.truth_edges: Set[Edge] = {
+            link
+            for link in self.network.ground_truth_edges()
+            if set(link) <= target_set
+        }
+        self.base_sim_time = self.network.sim.now
+        self._snapshot = self.shot.snapshot_state()
+        self._pristine = True
+
+    def _reset(self, shard_seed: int) -> None:
+        """Put the world into the shard's universe: pristine state + seed.
+
+        Fresh-build and restore paths converge here: both end with every
+        existing RNG stream re-seeded under ``shard_seed`` (streams created
+        later derive from it lazily) and the fault plan — if any — armed
+        *after* the pristine state is in place.
+        """
+        if not self._pristine:
+            self.network.clear_faults()
+            self.shot.restore_state(self._snapshot)
+        self.network.sim.rng.reseed(shard_seed)
+        if self.campaign.fault_plan is not None:
+            self.network.install_faults(self.campaign.fault_plan)
+        self._pristine = False
+
+    def run_shard(
+        self, shard: ShardSpec, collect_obs: bool = False
+    ) -> ShardResult:
+        """Reset to the shard's universe and run its schedule slice.
+
+        With ``collect_obs`` a fresh :class:`~repro.obs.Observability`
+        bundle is installed for the shard and its snapshot rides along in
+        the result (see :func:`merge_obs_snapshots`). Counter values mirror
+        the replica's cumulative simulation counters, which restore to
+        their post-setup baseline at every reset — so per-shard counts
+        include that shared baseline by construction.
+        """
+        wall_start = perf_counter()
+        self._reset(shard.seed)
+        obs: Optional[Observability] = None
+        if collect_obs:
+            from repro.obs import wiring
+
+            obs = Observability()
+            self.network.install_observability(obs)
+        network = self.network
+        shot = self.shot
+        sim_start = network.sim.now
+        result = ShardResult(
+            index=shard.index, start=shard.start, stop=shard.stop
+        )
+        schedule = self.schedule
+        stop = min(shard.stop, len(schedule))
+        for index in range(shard.start, stop):
+            iteration = schedule[index]
+            iter_sim_start = network.sim.now
+            iter_wall_start = perf_counter()
+            try:
+                report = measure_par_with_repeats(
+                    network,
+                    shot.supernode,
+                    iteration.edges,
+                    shot._config_for_iteration(iteration),
+                    shot.wallet,
+                    refresh=shot._refresh_pools,
+                )
+            except MeasurementError as exc:
+                result.failures.append(
+                    MeasurementFailure(
+                        kind="iteration_error",
+                        iteration=index,
+                        detail=str(exc),
+                    )
+                )
+                if obs is not None:
+                    obs.metrics.counter(
+                        wiring.CAMPAIGN_FAILURES,
+                        "Campaign failures by kind",
+                        labels={"kind": "iteration_error"},
+                    ).inc()
+                shot.supernode.clear_observations()
+                network.forget_known_transactions()
+                if index + 1 < stop:
+                    shot._refresh_pools()
+                continue
+            result.edges |= report.detected
+            result.transactions_sent += report.transactions_sent
+            result.setup_failures += report.setup_failures
+            result.send_timeouts += report.send_timeouts
+            for node_id in report.unreachable:
+                result.failures.append(
+                    MeasurementFailure(
+                        kind="unreachable",
+                        node=node_id,
+                        iteration=index,
+                        detail=(
+                            "target was down; its pairs were skipped this "
+                            "iteration"
+                        ),
+                    )
+                )
+            if report.send_timeouts:
+                result.failures.append(
+                    MeasurementFailure(
+                        kind="send_timeout",
+                        iteration=index,
+                        detail=(
+                            f"{report.send_timeouts} injection(s) timed out"
+                        ),
+                    )
+                )
+            if obs is not None:
+                obs.metrics.counter(
+                    wiring.CAMPAIGN_ITERATIONS,
+                    "Completed schedule iterations",
+                ).inc()
+                obs.metrics.counter(
+                    wiring.CAMPAIGN_TXS,
+                    "Measurement transactions injected",
+                ).inc(report.transactions_sent)
+                obs.metrics.counter(
+                    wiring.CAMPAIGN_SETUP_FAILURES,
+                    "Per-link setups that failed",
+                ).inc(report.setup_failures)
+                obs.metrics.counter(
+                    wiring.CAMPAIGN_SEND_TIMEOUTS,
+                    "Supernode injections timed out",
+                ).inc(report.send_timeouts)
+                if report.unreachable:
+                    obs.metrics.counter(
+                        wiring.CAMPAIGN_FAILURES,
+                        "Campaign failures by kind",
+                        labels={"kind": "unreachable"},
+                    ).inc(len(report.unreachable))
+                obs.metrics.histogram(
+                    wiring.CAMPAIGN_ITER_SIM_SECONDS,
+                    "Simulated seconds consumed per iteration",
+                ).observe(network.sim.now - iter_sim_start)
+                obs.metrics.histogram(
+                    wiring.CAMPAIGN_ITER_WALL_SECONDS,
+                    "Wall-clock seconds spent per iteration",
+                ).observe(perf_counter() - iter_wall_start)
+            shot.supernode.clear_observations()
+            network.forget_known_transactions()
+            if index + 1 < stop:
+                shot._refresh_pools()
+        result.sim_time = network.sim.now - sim_start
+        result.wall_time = perf_counter() - wall_start
+        if obs is not None:
+            result.obs_snapshot = obs.snapshot()
+        return result
+
+
+# ----------------------------------------------------------------------
+# Worker entry point (module-level: must be picklable under spawn)
+# ----------------------------------------------------------------------
+# One replica per worker process, keyed by the campaign fingerprint: the
+# first shard a worker receives pays the canonical build, every later shard
+# of the same campaign pays only the snapshot restore.
+_REPLICA_CACHE: Dict[str, CampaignReplica] = {}
+
+
+def _worker_run_shard(
+    campaign_payload: dict,
+    fingerprint: str,
+    index: int,
+    n_shards: int,
+    start: int,
+    stop: int,
+    collect_obs: bool,
+) -> dict:
+    replica = _REPLICA_CACHE.get(fingerprint)
+    if replica is None:
+        campaign = CampaignSpec.from_dict(campaign_payload)
+        replica = CampaignReplica(campaign)
+        _REPLICA_CACHE.clear()  # one campaign at a time per worker
+        _REPLICA_CACHE[fingerprint] = replica
+    shard = ShardSpec(
+        campaign=replica.campaign,
+        index=index,
+        n_shards=n_shards,
+        start=start,
+        stop=stop,
+    )
+    return replica.run_shard(shard, collect_obs=collect_obs).to_dict()
+
+
+def _mp_context():
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform-dependent
+        return multiprocessing.get_context("spawn")
+
+
+# ----------------------------------------------------------------------
+# Checkpoint (shard-granular; boundaries ARE iteration boundaries)
+# ----------------------------------------------------------------------
+@dataclass
+class ParallelCheckpoint:
+    """Completed shards of a sharded campaign, written atomically.
+
+    Shard boundaries are schedule-iteration ranges, so this checkpoint is
+    aligned with the serial path's per-iteration checkpoints: a completed
+    shard covers exactly its ``[start, stop)`` iterations. Resume verifies
+    the campaign fingerprint and re-runs only the missing shards.
+    """
+
+    fingerprint: str
+    n_shards: int
+    completed: Dict[int, ShardResult] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "format_version": PARALLEL_CHECKPOINT_VERSION,
+            "fingerprint": self.fingerprint,
+            "n_shards": self.n_shards,
+            "completed": {
+                str(index): result.to_dict()
+                for index, result in sorted(self.completed.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ParallelCheckpoint":
+        try:
+            version = payload["format_version"]
+            if version != PARALLEL_CHECKPOINT_VERSION:
+                raise CheckpointError(
+                    f"unsupported parallel checkpoint version {version}"
+                )
+            return cls(
+                fingerprint=str(payload["fingerprint"]),
+                n_shards=int(payload["n_shards"]),
+                completed={
+                    int(index): ShardResult.from_dict(result)
+                    for index, result in payload["completed"].items()
+                },
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed parallel checkpoint: {exc}"
+            ) from exc
+
+    def save(self, path: PathLike) -> Path:
+        """Atomic write (tmp + rename), like the serial checkpoint."""
+        target = Path(path)
+        tmp = target.with_suffix(target.suffix + ".tmp")
+        tmp.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(tmp, target)
+        return target
+
+    @classmethod
+    def load(cls, path: PathLike) -> "ParallelCheckpoint":
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"cannot read parallel checkpoint {path}: {exc}"
+            ) from exc
+        return cls.from_dict(payload)
+
+
+# ----------------------------------------------------------------------
+# Observability merging
+# ----------------------------------------------------------------------
+def merge_obs_snapshots(snapshots: Sequence[dict]) -> dict:
+    """Merge per-shard ``Observability.snapshot()`` payloads into one.
+
+    Merge rules per metric family, keyed by (name, labels):
+
+    * **counter** — values sum (each shard's count includes the replica's
+      shared post-setup baseline, see :meth:`CampaignReplica.run_shard`);
+    * **gauge** — last shard (highest position in the input) wins;
+    * **histogram** — ``count``/``sum`` add, ``min``/``max`` combine;
+      quantiles are dropped (reservoirs are not mergeable).
+
+    Event-log payloads carry counts only; they sum.
+    """
+    merged_metrics: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], dict] = {}
+    events = {"recorded": 0, "retained": 0, "dropped": 0}
+    for snapshot in snapshots:
+        if not snapshot:
+            continue
+        for sample in snapshot.get("metrics", []):
+            key = (
+                sample["name"],
+                tuple(sorted(sample.get("labels", {}).items())),
+            )
+            existing = merged_metrics.get(key)
+            if existing is None:
+                merged_metrics[key] = dict(sample)
+                if sample["type"] == "histogram":
+                    for quantile in ("p50", "p90", "p99"):
+                        merged_metrics[key][quantile] = None
+                continue
+            kind = sample["type"]
+            if kind == "counter":
+                existing["value"] += sample["value"]
+            elif kind == "gauge":
+                existing["value"] = sample["value"]
+            else:  # histogram
+                existing["count"] += sample["count"]
+                existing["sum"] += sample["sum"]
+                for bound, pick in (("min", min), ("max", max)):
+                    values = [
+                        v for v in (existing[bound], sample[bound]) if v is not None
+                    ]
+                    existing[bound] = pick(values) if values else None
+        shard_events = snapshot.get("events", {})
+        for count_key in events:
+            events[count_key] += shard_events.get(count_key, 0)
+    return {
+        "metrics": [merged_metrics[key] for key in sorted(merged_metrics)],
+        "events": events,
+    }
+
+
+def load_metrics_into_registry(registry, samples: Sequence[dict]) -> None:
+    """Write merged metric samples into a live :class:`MetricsRegistry`.
+
+    Counters adopt the merged totals (``set_total``), gauges are set, and
+    histograms get their exact ``count``/``sum``/``min``/``max`` with an
+    empty reservoir (quantiles report ``None``). Used by
+    :func:`run_campaign` so ``--metrics-out`` exports work unchanged in
+    sharded mode.
+    """
+    for sample in samples:
+        name = sample["name"]
+        labels = sample.get("labels") or None
+        kind = sample["type"]
+        if kind == "counter":
+            registry.counter(name, labels=labels).set_total(sample["value"])
+        elif kind == "gauge":
+            registry.gauge(name, labels=labels).set(sample["value"])
+        else:
+            histogram = registry.histogram(name, labels=labels)
+            histogram.count = sample["count"]
+            histogram.sum = sample["sum"]
+            histogram.min = sample["min"]
+            histogram.max = sample["max"]
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def run_campaign(
+    campaign: CampaignSpec,
+    workers: int = 1,
+    checkpoint_path: Optional[PathLike] = None,
+    resume: bool = False,
+    obs: Optional[Observability] = None,
+    progress: Optional[ShardProgress] = None,
+) -> NetworkMeasurement:
+    """Execute a sharded campaign and deterministically merge the shards.
+
+    ``workers <= 1`` runs every shard in this process against one replica,
+    resetting via snapshot restore between shards. ``workers > 1`` fans the
+    shards out to a process pool; warm workers likewise reset via restore.
+    The merged measurement is bit-identical for every ``workers`` value.
+
+    Worker-pool failures reuse the measurement config's retry machinery:
+    a failed shard is retried up to ``max_retries`` times on a fresh pool
+    with geometric wall-clock backoff (``retry_backoff`` /
+    ``retry_backoff_factor``); shards that keep failing fall back to
+    in-process execution on the driver's replica, and only if that also
+    fails does the shard surface as a ``shard_error`` failure in the
+    merged result (the campaign never aborts).
+
+    With ``checkpoint_path`` set a :class:`ParallelCheckpoint` is written
+    atomically after every completed shard; ``resume=True`` verifies the
+    campaign fingerprint and skips completed shards.
+    """
+    collect_obs = obs is not None and obs.enabled
+    replica = CampaignReplica(campaign)
+    plan = build_shard_plan(len(replica.schedule), campaign.n_shards)
+    fingerprint = campaign.fingerprint()
+
+    completed: Dict[int, ShardResult] = {}
+    if resume:
+        if checkpoint_path is None:
+            raise CheckpointError("resume=True requires a checkpoint_path")
+        if Path(checkpoint_path).exists():
+            checkpoint = ParallelCheckpoint.load(checkpoint_path)
+            if checkpoint.fingerprint != fingerprint:
+                raise CheckpointError(
+                    "parallel checkpoint belongs to a different campaign "
+                    f"(fingerprint {checkpoint.fingerprint[:12]}... != "
+                    f"{fingerprint[:12]}...)"
+                )
+            if checkpoint.n_shards != len(plan):
+                raise CheckpointError(
+                    f"parallel checkpoint has {checkpoint.n_shards} shards, "
+                    f"this campaign plans {len(plan)}"
+                )
+            completed = dict(checkpoint.completed)
+
+    shards = [
+        ShardSpec(
+            campaign=campaign,
+            index=index,
+            n_shards=len(plan),
+            start=start,
+            stop=stop,
+        )
+        for index, (start, stop) in enumerate(plan)
+    ]
+    pending = [shard for shard in shards if shard.index not in completed]
+
+    def _record(shard: ShardSpec, result: ShardResult) -> None:
+        completed[shard.index] = result
+        if checkpoint_path is not None:
+            ParallelCheckpoint(
+                fingerprint=fingerprint,
+                n_shards=len(plan),
+                completed=completed,
+            ).save(checkpoint_path)
+        if progress is not None:
+            progress(shard.index, len(plan), result)
+
+    def _run_inprocess(shard: ShardSpec) -> ShardResult:
+        try:
+            return replica.run_shard(shard, collect_obs=collect_obs)
+        except MeasurementError as exc:
+            result = ShardResult(
+                index=shard.index, start=shard.start, stop=shard.stop
+            )
+            result.failures.append(
+                MeasurementFailure(
+                    kind="shard_error",
+                    iteration=shard.start,
+                    detail=str(exc),
+                )
+            )
+            return result
+
+    if workers <= 1 or len(pending) <= 1:
+        for shard in pending:
+            _record(shard, _run_inprocess(shard))
+    else:
+        config = replica.shot.config
+        payload = campaign.to_dict()
+        context = _mp_context()
+        remaining = list(pending)
+        attempt = 0
+        backoff = config.retry_backoff
+        while remaining:
+            executor = ProcessPoolExecutor(
+                max_workers=min(workers, len(remaining)),
+                mp_context=context,
+            )
+            failed: List[ShardSpec] = []
+            try:
+                futures: List[Tuple[ShardSpec, Future]] = [
+                    (
+                        shard,
+                        executor.submit(
+                            _worker_run_shard,
+                            payload,
+                            fingerprint,
+                            shard.index,
+                            shard.n_shards,
+                            shard.start,
+                            shard.stop,
+                            collect_obs,
+                        ),
+                    )
+                    for shard in remaining
+                ]
+                for shard, future in futures:
+                    try:
+                        result = ShardResult.from_dict(future.result())
+                    except Exception:
+                        # BrokenProcessPool, pickling trouble, a worker
+                        # OOM-kill — the shard is retried, the campaign
+                        # continues either way.
+                        failed.append(shard)
+                        continue
+                    _record(shard, result)
+            finally:
+                executor.shutdown(wait=False, cancel_futures=True)
+            if not failed:
+                break
+            if attempt >= config.max_retries:
+                for shard in failed:
+                    _record(shard, _run_inprocess(shard))
+                break
+            attempt += 1
+            time.sleep(backoff)
+            backoff *= config.retry_backoff_factor
+            remaining = failed
+
+    measurement = NetworkMeasurement(
+        node_ids=list(replica.targets),
+        iterations=len(replica.schedule),
+        sim_time_start=replica.base_sim_time,
+        skipped_nodes=list(replica.skipped),
+    )
+    sim_total = 0.0
+    obs_snapshots: List[dict] = []
+    for shard in shards:
+        result = completed[shard.index]
+        measurement.add_edges(result.edges)
+        measurement.transactions_sent += result.transactions_sent
+        measurement.setup_failures += result.setup_failures
+        measurement.send_timeouts += result.send_timeouts
+        measurement.failures.extend(result.failures)
+        sim_total += result.sim_time
+        if result.obs_snapshot:
+            obs_snapshots.append(result.obs_snapshot)
+    # Shards run in disjoint copies of the same simulated world, so the
+    # campaign's simulated duration is the sum of per-shard durations laid
+    # end to end after the shared setup.
+    measurement.sim_time_end = replica.base_sim_time + sim_total
+
+    if collect_obs and obs_snapshots:
+        from repro.obs import wiring
+
+        merged = merge_obs_snapshots(obs_snapshots)
+        load_metrics_into_registry(obs.metrics, merged["metrics"])
+        # Distinct-edge count is a cross-shard fact, so the driver sets it
+        # after the merge rather than trusting any shard's gauge.
+        obs.metrics.gauge(
+            wiring.CAMPAIGN_EDGES, "Distinct edges detected so far"
+        ).set(len(measurement.edges))
+
+    if campaign.validate:
+        measurement.validate_against(replica.truth_edges)
+    return measurement

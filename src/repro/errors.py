@@ -57,6 +57,16 @@ class FaultPlanError(ReproError):
     """A fault-injection plan is malformed (negative rate, bad probability)."""
 
 
+class SnapshotError(SimulationError):
+    """Network/simulator state cannot be snapshotted or restored.
+
+    Raised when a snapshot is requested at a non-quiescent instant (live
+    events still queued), while a fault plan is armed, or when a restore
+    targets a world that has structurally diverged from the snapshot
+    (nodes added or removed, chain advanced by a miner).
+    """
+
+
 class ObservabilityError(ReproError):
     """Invalid metrics/trace usage (type conflict, negative counter step...)."""
 

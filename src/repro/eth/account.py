@@ -83,6 +83,37 @@ class Wallet:
         """Create ``count`` fresh accounts."""
         return [self.fresh_account(prefix) for _ in range(count)]
 
+    def capture_state(self) -> Dict[str, object]:
+        """Capture nonce allocations for later :meth:`restore_state`.
+
+        The fresh-account counter is captured with the read-then-recreate
+        trick so the next `fresh_account` label after a restore matches the
+        one that followed the capture.
+        """
+        counter_value = next(self._fresh_counter)
+        self._fresh_counter = itertools.count(counter_value)
+        return {
+            "nonces": {
+                label: account.next_nonce
+                for label, account in self._accounts.items()
+            },
+            "fresh_counter": counter_value,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Rewind the wallet to a capture taken by :meth:`capture_state`.
+
+        Accounts created after the capture are dropped; surviving
+        ``Account`` objects are kept (their addresses are label-derived and
+        stable) with their nonce counters rewound in place.
+        """
+        nonces: Dict[str, int] = state["nonces"]
+        for label in [l for l in self._accounts if l not in nonces]:
+            del self._accounts[label]
+        for label, next_nonce in nonces.items():
+            self._accounts[label].next_nonce = next_nonce
+        self._fresh_counter = itertools.count(state["fresh_counter"])
+
     def __iter__(self) -> Iterator[Account]:
         return iter(self._accounts.values())
 

@@ -614,6 +614,57 @@ class Mempool:
         return doomed
 
     # ------------------------------------------------------------------
+    # Snapshot/reset (see repro.sim.snapshot)
+    # ------------------------------------------------------------------
+    def capture_state(self) -> Dict[str, object]:
+        """Capture full pool state for later :meth:`restore_state`.
+
+        Transactions are immutable, so shallow container copies suffice.
+        The tie-break sequence counter is captured with the read-then-
+        recreate trick (a net no-op for the live pool) so that eviction
+        order among equal-priced transactions replays identically.
+        """
+        seq_value = next(self._seq)
+        self._seq = itertools.count(seq_value)
+        return {
+            "base_fee": self.base_fee,
+            "by_hash": dict(self._by_hash),
+            "by_sender": {
+                sender: dict(nonces) for sender, nonces in self._by_sender.items()
+            },
+            "pending": set(self._pending),
+            "future": set(self._future),
+            "added_at": dict(self._added_at),
+            "seq": seq_value,
+            "pending_heap": list(self._pending_heap),
+            "future_heap": list(self._future_heap),
+            "stats": dict(self.stats),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Restore a capture taken by :meth:`capture_state`.
+
+        The captured containers are copied, never adopted: one snapshot is
+        restored many times (once per shard/sweep point), so handing the
+        stored objects to the live pool would let the next run corrupt the
+        snapshot. Insertion order of ``_by_hash`` is part of the capture
+        (dict copies preserve it) because ``_rebuild_price_heaps`` iterates
+        it to assign deterministic tie-breakers.
+        """
+        self.base_fee = state["base_fee"]
+        self._by_hash = dict(state["by_hash"])
+        self._by_sender = {
+            sender: dict(nonces) for sender, nonces in state["by_sender"].items()
+        }
+        self._pending = set(state["pending"])
+        self._future = set(state["future"])
+        self._added_at = dict(state["added_at"])
+        self._seq = itertools.count(state["seq"])
+        self._pending_heap = list(state["pending_heap"])
+        self._future_heap = list(state["future_heap"])
+        self.stats = dict(state["stats"])
+
+    # ------------------------------------------------------------------
     # Consistency check (used by property-based tests)
     # ------------------------------------------------------------------
     def check_invariants(self) -> None:

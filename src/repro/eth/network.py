@@ -13,7 +13,13 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set
 
 import networkx as nx
 
-from repro.errors import LinkExistsError, NetworkError, NotConnectedError, UnknownNodeError
+from repro.errors import (
+    LinkExistsError,
+    NetworkError,
+    NotConnectedError,
+    SnapshotError,
+    UnknownNodeError,
+)
 from repro.eth.chain import Chain
 from repro.eth.messages import Message
 from repro.eth.node import Node, NodeConfig
@@ -21,6 +27,7 @@ from repro.obs import NULL, Observability
 from repro.sim.engine import Simulator
 from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.latency import LatencyModel, UniformLatency
+from repro.sim.snapshot import capture_simulator, restore_simulator
 
 
 class Network:
@@ -352,6 +359,104 @@ class Network:
     def settle(self, max_events: Optional[int] = None) -> None:
         """Run until the event queue drains (network quiescent)."""
         self.sim.run(max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # Snapshot/reset
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Freeze the whole network at a quiescent instant.
+
+        Preconditions (each raises :class:`SnapshotError`):
+
+        * the event queue is drained — call :meth:`settle` first;
+        * no fault plan is armed — snapshots bound the *common* world, a
+          shard arms its own plan after restoring (an armed injector keeps
+          daemon events and RNG draws in flight that cannot be frozen).
+
+        Restoring the returned snapshot with :meth:`restore` puts every
+        behaviour-relevant bit back: simulator clock/sequence/RNG streams,
+        per-node mempools and caches, wallet-independent nonce views,
+        topology, epoch, and transport counters. The same snapshot object
+        can be restored any number of times.
+        """
+        if self.faults is not None:
+            raise SnapshotError(
+                "cannot snapshot with a fault plan armed; clear_faults() "
+                "first and install the plan after the snapshot"
+            )
+        sim_state = capture_simulator(self.sim)
+        # capture_simulator replaced sim._seq; re-bind the inlined-send
+        # reference or future sends would keep drawing from the *old*
+        # counter while step()/run() draws from the new one — duplicate
+        # sequence numbers, and heap ties falling through to comparing
+        # callables.
+        self._next_seq = self.sim._seq.__next__
+        return {
+            "sim": sim_state,
+            "chain_height": self.chain.height,
+            "nodes": {
+                node_id: node.capture_state()
+                for node_id, node in self.nodes.items()
+            },
+            "links": set(self._links),
+            "adjacency": {
+                node_id: set(peers) for node_id, peers in self._adjacency.items()
+            },
+            "epoch": self._epoch,
+            "supernode_ids": set(self.supernode_ids),
+            "messages_sent": self.messages_sent,
+            "messages_by_kind": dict(self.messages_by_kind),
+            "messages_dropped": self.messages_dropped,
+            "drops_by_reason": dict(self.drops_by_reason),
+        }
+
+    def restore(self, snapshot: Dict[str, object]) -> None:
+        """Rewind the network to a :meth:`snapshot`.
+
+        The restored world is bit-identical to the captured one for every
+        input that influences simulation behaviour, so "restore then run"
+        replays exactly what "first run after capture" did. Preconditions
+        (each raises :class:`SnapshotError`): no armed fault plan, the same
+        node set as at capture time, and an unchanged chain height (mined
+        blocks move confirmed nonces outside the snapshot's reach — rebuild
+        instead).
+
+        Links and peer sets are written directly rather than through
+        :meth:`connect`/:meth:`disconnect`, which would emit Status
+        handshakes into the freshly-cleared event queue.
+        """
+        if self.faults is not None:
+            raise SnapshotError(
+                "cannot restore with a fault plan armed; clear_faults() first"
+            )
+        if set(self.nodes) != set(snapshot["nodes"]):
+            raise SnapshotError(
+                "node set changed since the snapshot was taken; "
+                "rebuild the network instead of restoring"
+            )
+        if self.chain.height != snapshot["chain_height"]:
+            raise SnapshotError(
+                f"chain advanced since the snapshot (height {self.chain.height} "
+                f"!= {snapshot['chain_height']}); rebuild instead of restoring"
+            )
+        restore_simulator(self.sim, snapshot["sim"])
+        self._next_seq = self.sim._seq.__next__
+        for node_id, node_state in snapshot["nodes"].items():
+            self.nodes[node_id].restore_state(node_state)
+        self._links = set(snapshot["links"])
+        self._adjacency = {
+            node_id: set(peers)
+            for node_id, peers in snapshot["adjacency"].items()
+        }
+        self._epoch = snapshot["epoch"]
+        self._crashed_count = sum(
+            1 for node in self.nodes.values() if node.crashed
+        )
+        self.supernode_ids = set(snapshot["supernode_ids"])
+        self.messages_sent = snapshot["messages_sent"]
+        self.messages_by_kind = dict(snapshot["messages_by_kind"])
+        self.messages_dropped = snapshot["messages_dropped"]
+        self.drops_by_reason = dict(snapshot["drops_by_reason"])
 
     # ------------------------------------------------------------------
     # Ground truth & hygiene

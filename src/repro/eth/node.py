@@ -334,6 +334,72 @@ class Node:
         return self.confirmed_nonces.get(sender, 0)
 
     # ------------------------------------------------------------------
+    # Snapshot/reset (see repro.sim.snapshot)
+    # ------------------------------------------------------------------
+    def capture_state(self) -> Dict[str, object]:
+        """Capture this node's behavioural state for :meth:`restore_state`.
+
+        Per-peer entries are captured in peer-dict insertion order; that
+        order feeds ``_refresh_peer_caches`` and hence the broadcast
+        fan-out, so it is part of determinism, not cosmetics.
+        """
+        return {
+            "crashed": self.crashed,
+            "crash_count": self.crash_count,
+            "head_number": self.head_number,
+            "confirmed_nonces": dict(self.confirmed_nonces),
+            "mempool": self.mempool.capture_state(),
+            "peers": {
+                peer_id: (
+                    dict(state.known_txs),
+                    set(state.known_blocks),
+                    state.connected_at,
+                )
+                for peer_id, state in self.peers.items()
+            },
+            "peer_versions": dict(self.peer_versions),
+            "announce_requested": dict(self._announce_requested),
+            "seen_blocks": set(self._seen_blocks),
+            "routing_table": list(self.routing_table),
+            "flush_scheduled": self._flush_scheduled,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Rewind this node to a capture taken by :meth:`capture_state`.
+
+        Captured containers are copied in (one snapshot serves many
+        restores). ``confirmed_nonces`` is cleared and refilled *in place*
+        because the mempool holds its bound ``.get``. Queued-but-unflushed
+        gossip is dropped: snapshots are only taken at quiescent instants,
+        so there legitimately is none.
+        """
+        self.crashed = state["crashed"]
+        self.crash_count = state["crash_count"]
+        self.head_number = state["head_number"]
+        self.confirmed_nonces.clear()
+        self.confirmed_nonces.update(state["confirmed_nonces"])
+        self.mempool.restore_state(state["mempool"])
+        self.peers = {
+            peer_id: PeerState(
+                peer_id=peer_id,
+                known_txs=KnownTxCache(known_txs),
+                known_blocks=set(known_blocks),
+                connected_at=connected_at,
+            )
+            for peer_id, (known_txs, known_blocks, connected_at) in state[
+                "peers"
+            ].items()
+        }
+        self.peer_versions = dict(state["peer_versions"])
+        self._announce_requested = dict(state["announce_requested"])
+        self._seen_blocks = set(state["seen_blocks"])
+        self.routing_table = list(state["routing_table"])
+        self._push_queue = {}
+        self._announce_queue = {}
+        self._flush_scheduled = state["flush_scheduled"]
+        self._refresh_peer_caches()
+
+    # ------------------------------------------------------------------
     # Message handling
     # ------------------------------------------------------------------
     def handle_message(self, from_id: str, msg: Message) -> None:

@@ -130,6 +130,24 @@ class Supernode(Node):
         self._first_seen.clear()
 
     # ------------------------------------------------------------------
+    # Snapshot/reset (see repro.sim.snapshot)
+    # ------------------------------------------------------------------
+    def capture_state(self) -> Dict[str, object]:
+        state = super().capture_state()
+        state["observations"] = list(self.observations)
+        state["first_seen"] = dict(self._first_seen)
+        state["observation_counts"] = dict(self.observation_counts)
+        state["neighbor_responses"] = dict(self.neighbor_responses)
+        return state
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        super().restore_state(state)
+        self.observations = list(state["observations"])
+        self._first_seen = dict(state["first_seen"])
+        self.observation_counts = dict(state["observation_counts"])
+        self.neighbor_responses = dict(state["neighbor_responses"])
+
+    # ------------------------------------------------------------------
     # Injection
     # ------------------------------------------------------------------
     def send_transactions(self, peer_id: str, txs: Sequence[Transaction]) -> None:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict
+from typing import Dict, Tuple
 
 
 def derive_seed(master_seed: int, name: str) -> int:
@@ -24,6 +24,17 @@ def derive_seed(master_seed: int, name: str) -> int:
         f"{master_seed}:{name}".encode("utf-8"), digest_size=8
     ).digest()
     return int.from_bytes(digest, "big")
+
+
+def spawn_seed(master_seed: int, *key: object) -> int:
+    """Derive a child master seed for a spawned execution unit (e.g. a shard).
+
+    ``key`` parts are joined with ``/`` under a ``spawn:`` prefix, so the
+    child-seed universe is disjoint from ordinary stream names and stable
+    across processes: ``spawn_seed(s, "shard", 3)`` is the same integer in
+    every worker.
+    """
+    return derive_seed(master_seed, "spawn:" + "/".join(str(part) for part in key))
 
 
 class RngRegistry:
@@ -46,6 +57,53 @@ class RngRegistry:
         independent seed universe.
         """
         return RngRegistry(derive_seed(self.master_seed, name))
+
+    def spawn(self, *key: object) -> int:
+        """Return the child master seed for spawn ``key`` (see :func:`spawn_seed`)."""
+        return spawn_seed(self.master_seed, *key)
+
+    def capture(self) -> Tuple[int, Dict[str, object]]:
+        """Capture the master seed and the exact state of every live stream.
+
+        The returned value is opaque; pass it back to :meth:`restore`.
+        """
+        return (
+            self.master_seed,
+            {name: stream.getstate() for name, stream in self._streams.items()},
+        )
+
+    def restore(self, captured: Tuple[int, Dict[str, object]]) -> None:
+        """Restore the registry to a previously captured state, in place.
+
+        Streams present in the capture get their exact saved state back via
+        ``setstate``. Streams created *after* the capture are re-seeded from
+        the captured master seed, which is what a fresh registry would have
+        handed out on their first use — so "restore then run" draws the same
+        numbers as "fresh build then run".
+
+        All updates mutate the existing ``random.Random`` objects: consumers
+        hold bound references to them (``stream.random`` etc.), so the
+        objects themselves must never be replaced.
+        """
+        master_seed, states = captured
+        self.master_seed = master_seed
+        for name, stream in self._streams.items():
+            if name in states:
+                stream.setstate(states[name])
+            else:
+                stream.seed(derive_seed(master_seed, name))
+
+    def reseed(self, child_seed: int) -> None:
+        """Re-seed every live stream under a new master seed, in place.
+
+        Used to put a replica into a shard's seed universe: after
+        ``reseed(spawn_seed(master, "shard", i))`` every existing stream —
+        and every stream lazily created later — derives from the shard seed,
+        regardless of whether the replica was freshly built or restored.
+        """
+        self.master_seed = child_seed
+        for name, stream in self._streams.items():
+            stream.seed(derive_seed(child_seed, name))
 
     def __contains__(self, name: str) -> bool:
         return name in self._streams

@@ -137,3 +137,65 @@ class TestMeasurePairs:
         false_pairs = pairs_of(truth, connected=False, limit=3)
         detected = shot.measure_pairs(true_pairs + false_pairs)
         assert detected == {edge(a, b) for a, b in true_pairs}
+
+
+class TestCheckpointRoundTrip:
+    """Regression: ``from_dict(to_dict(cp))`` must reproduce the checkpoint
+    exactly — edges, failures and skipped nodes included — and reject
+    malformed edge entries instead of silently collapsing them."""
+
+    def _checkpoint(self):
+        from repro.core.campaign import CampaignCheckpoint
+        from repro.core.results import MeasurementFailure
+
+        return CampaignCheckpoint(
+            seed=42,
+            targets=["node-0", "node-1", "node-2", "node-3"],
+            group_size=2,
+            completed_iterations=3,
+            edges={edge("node-0", "node-1"), edge("node-2", "node-3")},
+            transactions_sent=1234,
+            setup_failures=2,
+            send_timeouts=1,
+            skipped_nodes=["node-9"],
+            failures=[
+                MeasurementFailure(
+                    kind="unreachable", node="node-3", iteration=1,
+                    detail="target was down",
+                ),
+                MeasurementFailure(
+                    kind="iteration_error", iteration=2, detail="boom",
+                ),
+            ],
+        )
+
+    def test_round_trip_is_lossless(self):
+        from repro.core.campaign import CampaignCheckpoint
+
+        original = self._checkpoint()
+        restored = CampaignCheckpoint.from_dict(original.to_dict())
+        assert restored.seed == original.seed
+        assert restored.targets == original.targets
+        assert restored.group_size == original.group_size
+        assert restored.completed_iterations == original.completed_iterations
+        assert restored.edges == original.edges
+        assert restored.transactions_sent == original.transactions_sent
+        assert restored.setup_failures == original.setup_failures
+        assert restored.send_timeouts == original.send_timeouts
+        assert restored.skipped_nodes == original.skipped_nodes
+        assert restored.failures == original.failures
+        # A second hop must be a fixed point.
+        assert restored.to_dict() == original.to_dict()
+
+    @pytest.mark.parametrize(
+        "bad_entry",
+        [["node-0"], ["node-0", "node-0"], ["node-0", 7], [], ["a", "b", "c"]],
+    )
+    def test_malformed_edge_entries_rejected(self, bad_entry):
+        from repro.core.campaign import CampaignCheckpoint
+        from repro.errors import CheckpointError
+
+        payload = self._checkpoint().to_dict()
+        payload["edges"] = [bad_entry]
+        with pytest.raises(CheckpointError):
+            CampaignCheckpoint.from_dict(payload)

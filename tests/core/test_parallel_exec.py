@@ -1,0 +1,181 @@
+"""Sharded campaign execution: determinism, serialization, resume."""
+
+import json
+
+import pytest
+
+from repro.core.parallel_exec import (
+    CampaignSpec,
+    ParallelCheckpoint,
+    ShardResult,
+    ShardSpec,
+    merge_obs_snapshots,
+    run_campaign,
+)
+from repro.core.results import MeasurementFailure, edge
+from repro.errors import CheckpointError, MeasurementError
+from repro.netgen.ethereum import NetworkSpec
+from repro.sim.faults import FaultPlan, LinkFaults
+from repro.sim.rng import spawn_seed
+
+
+def _spec(**overrides):
+    defaults = dict(
+        network=NetworkSpec(n_nodes=10, seed=7),
+        prefill=False,
+        n_shards=4,
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+class TestDeterminism:
+    def test_pool_reproduces_serial_exactly(self):
+        serial = run_campaign(_spec(), workers=1)
+        pooled = run_campaign(_spec(), workers=2)
+        assert pooled.edges == serial.edges
+        assert str(pooled.score) == str(serial.score)
+        assert pooled.duration == serial.duration
+        assert pooled.transactions_sent == serial.transactions_sent
+        assert pooled.failures == serial.failures
+
+    def test_deterministic_under_faults(self):
+        spec = _spec(
+            network=NetworkSpec(n_nodes=10, seed=5),
+            fault_plan=FaultPlan(loss_rate=0.05, churn_rate=0.02),
+        )
+        serial = run_campaign(spec, workers=1)
+        pooled = run_campaign(spec, workers=2)
+        assert pooled.edges == serial.edges
+        assert pooled.duration == serial.duration
+
+    def test_shard_seeds_are_spawn_keys(self):
+        spec = _spec()
+        shard = ShardSpec(campaign=spec, index=3, n_shards=4, start=0, stop=1)
+        assert shard.seed == spawn_seed(spec.seed, "shard", 3)
+
+
+class TestSpecSerialization:
+    def test_round_trip_and_stable_fingerprint(self):
+        spec = _spec(
+            fault_plan=FaultPlan(
+                loss_rate=0.1,
+                link_overrides={
+                    frozenset(("a", "b")): LinkFaults(loss_rate=0.5)
+                },
+            ),
+            repeats=2,
+            group_size=3,
+        )
+        payload = json.loads(json.dumps(spec.to_dict()))  # through JSON
+        restored = CampaignSpec.from_dict(payload)
+        assert restored == spec
+        assert restored.fingerprint() == spec.fingerprint()
+
+    def test_different_campaigns_differ_in_fingerprint(self):
+        assert _spec().fingerprint() != _spec(repeats=2).fingerprint()
+        assert (
+            _spec().fingerprint()
+            != _spec(network=NetworkSpec(n_nodes=10, seed=8)).fingerprint()
+        )
+
+    def test_latency_model_rejected(self):
+        from repro.sim.latency import ConstantLatency
+
+        spec = _spec(
+            network=NetworkSpec(
+                n_nodes=10, seed=7, latency=ConstantLatency(0.05)
+            )
+        )
+        with pytest.raises(MeasurementError):
+            spec.to_dict()
+
+
+class TestCheckpointResume:
+    def test_resume_skips_completed_shards(self, tmp_path):
+        path = tmp_path / "parallel.ckpt.json"
+        spec = _spec()
+        reference = run_campaign(spec, workers=1, checkpoint_path=path)
+
+        checkpoint = ParallelCheckpoint.load(path)
+        assert len(checkpoint.completed) == checkpoint.n_shards
+        # Simulate a crash that lost the last two shards.
+        for index in sorted(checkpoint.completed)[-2:]:
+            del checkpoint.completed[index]
+        checkpoint.save(path)
+
+        resumed = run_campaign(
+            spec, workers=1, checkpoint_path=path, resume=True
+        )
+        assert resumed.edges == reference.edges
+        assert str(resumed.score) == str(reference.score)
+        assert resumed.duration == reference.duration
+
+    def test_resume_rejects_foreign_campaign(self, tmp_path):
+        path = tmp_path / "parallel.ckpt.json"
+        run_campaign(_spec(), workers=1, checkpoint_path=path)
+        other = _spec(network=NetworkSpec(n_nodes=10, seed=99))
+        with pytest.raises(CheckpointError):
+            run_campaign(other, workers=1, checkpoint_path=path, resume=True)
+
+    def test_resume_requires_checkpoint_path(self):
+        with pytest.raises(CheckpointError):
+            run_campaign(_spec(), workers=1, resume=True)
+
+    def test_shard_result_round_trip(self):
+        result = ShardResult(
+            index=1,
+            start=2,
+            stop=4,
+            edges={edge("a", "b")},
+            transactions_sent=10,
+            setup_failures=1,
+            send_timeouts=2,
+            failures=[MeasurementFailure(kind="unreachable", node="x")],
+            sim_time=1.5,
+            wall_time=0.1,
+        )
+        restored = ShardResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert restored == result
+
+
+class TestObsMerge:
+    def test_counters_sum_gauges_last_histograms_combine(self):
+        a = {
+            "metrics": [
+                {"name": "c", "type": "counter", "labels": {}, "value": 2},
+                {"name": "g", "type": "gauge", "labels": {}, "value": 5},
+                {
+                    "name": "h", "type": "histogram", "labels": {},
+                    "count": 2, "sum": 3.0, "min": 1.0, "max": 2.0,
+                    "p50": 1.5, "p90": 2.0, "p99": 2.0,
+                },
+            ],
+            "events": {"recorded": 3, "retained": 3, "dropped": 0},
+        }
+        b = {
+            "metrics": [
+                {"name": "c", "type": "counter", "labels": {}, "value": 5},
+                {"name": "g", "type": "gauge", "labels": {}, "value": 7},
+                {
+                    "name": "h", "type": "histogram", "labels": {},
+                    "count": 1, "sum": 4.0, "min": 4.0, "max": 4.0,
+                    "p50": 4.0, "p90": 4.0, "p99": 4.0,
+                },
+            ],
+            "events": {"recorded": 1, "retained": 1, "dropped": 2},
+        }
+        merged = merge_obs_snapshots([a, b])
+        by_name = {s["name"]: s for s in merged["metrics"]}
+        assert by_name["c"]["value"] == 7
+        assert by_name["g"]["value"] == 7
+        assert by_name["h"]["count"] == 3
+        assert by_name["h"]["sum"] == 7.0
+        assert by_name["h"]["min"] == 1.0
+        assert by_name["h"]["max"] == 4.0
+        assert by_name["h"]["p50"] is None  # reservoirs are not mergeable
+        assert merged["events"] == {
+            "recorded": 4, "retained": 4, "dropped": 2,
+        }

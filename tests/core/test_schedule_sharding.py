@@ -1,0 +1,65 @@
+"""Property test: slicing a schedule into shards loses and reorders nothing.
+
+The sharded executor runs ``build_schedule``'s iterations in ``[start,
+stop)`` slices from :func:`build_shard_plan`. For the merged measurement to
+equal the unsharded one, the concatenation of the slices must be exactly
+the original schedule — every iteration once, in order, for any shard
+count.
+"""
+
+import pytest
+
+from repro.core.parallel_exec import build_shard_plan
+from repro.core.schedule import build_schedule
+
+
+def _nodes(n):
+    return [f"node-{i}" for i in range(n)]
+
+
+@pytest.mark.parametrize("n", [4, 7, 12, 25, 40])
+@pytest.mark.parametrize("k", [1, 2, 3, 5, 10])
+@pytest.mark.parametrize("s", [1, 2, 3, 5, 8, 64])
+def test_sliced_schedule_remerges_to_unsharded(n, k, s):
+    schedule = build_schedule(_nodes(n), k)
+    plan = build_shard_plan(len(schedule), s)
+    merged = [
+        iteration
+        for start, stop in plan
+        for iteration in schedule[start:stop]
+    ]
+    assert merged == schedule
+
+
+@pytest.mark.parametrize("n_iterations", [0, 1, 5, 8, 17])
+@pytest.mark.parametrize("s", [None, 1, 3, 8, 100])
+def test_shard_plan_partitions_the_iteration_range(n_iterations, s):
+    plan = build_shard_plan(n_iterations, s)
+    if n_iterations == 0:
+        assert plan == []
+        return
+    # Contiguous, complete, non-overlapping, and never an empty shard.
+    assert plan[0][0] == 0
+    assert plan[-1][1] == n_iterations
+    for (_, stop), (start, _) in zip(plan, plan[1:]):
+        assert stop == start
+    assert all(stop > start for start, stop in plan)
+    # Balanced: sizes differ by at most one.
+    sizes = [stop - start for start, stop in plan]
+    assert max(sizes) - min(sizes) <= 1
+    # Never more shards than iterations; default is capped at 8.
+    assert len(plan) <= n_iterations
+    if s is None:
+        assert len(plan) == min(n_iterations, 8)
+
+
+def test_shard_plan_is_independent_of_worker_count():
+    # The plan is a function of the campaign alone; there is no worker
+    # parameter to vary, which is itself the property — this guards
+    # against someone adding one.
+    import inspect
+
+    from repro.core import parallel_exec
+
+    signature = inspect.signature(parallel_exec.build_shard_plan)
+    assert list(signature.parameters) == ["n_iterations", "n_shards"]
