@@ -88,6 +88,29 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="write a resumable checkpoint after each iteration")
     faults.add_argument("--resume", action="store_true",
                         help="continue from --checkpoint instead of starting over")
+    adversarial = measure.add_argument_group(
+        "adversarial robustness",
+        "Byzantine peers, runtime invariants and precision hardening "
+        "(see docs/adversarial.md)",
+    )
+    adversarial.add_argument(
+        "--byzantine-mix", type=str, default=None, metavar="SPEC",
+        help="install misbehaving peers, e.g. 'spoof_relay:0.05,censor:0.05' "
+             "(kinds: censor, lazy_relay, spoof_relay, nonconforming_replacer, "
+             "duplicate_spammer, stale_client)",
+    )
+    adversarial.add_argument(
+        "--byzantine-frac", type=float, default=None, metavar="FRAC",
+        help="shorthand: spread FRAC of nodes evenly over all behavior kinds",
+    )
+    adversarial.add_argument(
+        "--invariants", action="store_true",
+        help="install the runtime invariant checker and report violations",
+    )
+    adversarial.add_argument(
+        "--cross-validate", type=int, default=None, metavar="N",
+        help="re-probe suspect edges up to N times; quarantine unconfirmed ones",
+    )
     parallel = measure.add_argument_group(
         "parallel execution",
         "deterministic sharded execution on a process pool "
@@ -151,12 +174,32 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_behavior_mix(args: argparse.Namespace):
+    """Resolve the --byzantine-* flags to a BehaviorMix (or None)."""
+    from repro.eth.behaviors import BehaviorMix
+
+    if args.byzantine_mix and args.byzantine_frac is not None:
+        raise ValueError("--byzantine-mix and --byzantine-frac are mutually exclusive")
+    if args.byzantine_mix:
+        return BehaviorMix.from_spec(args.byzantine_mix)
+    if args.byzantine_frac is not None:
+        return BehaviorMix.uniform(args.byzantine_frac)
+    return None
+
+
 def _cmd_measure(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint:
         print("--resume requires --checkpoint", file=sys.stderr)
         return 2
     if args.workers is not None:
         return _cmd_measure_sharded(args)
+    from repro.errors import BehaviorPlanError
+
+    try:
+        mix = _parse_behavior_mix(args)
+    except (ValueError, BehaviorPlanError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     if args.preset:
         network = generate_network(PRESETS[args.preset](seed=args.seed))
     else:
@@ -173,6 +216,16 @@ def _cmd_measure(args: argparse.Namespace) -> int:
             f"fault plan: loss={plan.loss_rate:.1%} "
             f"churn={plan.churn_rate}/s crash={plan.crash_rate}/s"
         )
+    if mix is not None and mix.enabled:
+        behaviors = network.install_behaviors(mix)
+        counts = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(behaviors.kind_counts().items())
+        )
+        print(f"byzantine mix: {counts or 'none drawn'}")
+    checker = None
+    if args.invariants:
+        checker = network.install_invariants()
     obs = None
     if args.metrics_out or args.trace_out:
         from repro.obs import Observability
@@ -182,6 +235,8 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     shot.config = shot.config.with_repeats(args.repeats)
     if args.max_retries:
         shot.config = shot.config.with_retries(args.max_retries)
+    if args.cross_validate is not None:
+        shot.config = shot.config.with_cross_validation(args.cross_validate)
     print(
         f"measuring {len(network.measurable_node_ids())} nodes "
         f"(Z={shot.config.future_count}, R={shot.config.replace_bump:.1%})"
@@ -192,6 +247,9 @@ def _cmd_measure(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         resume=args.resume,
     )
+    if checker is not None:
+        print()
+        print(checker.summary())
     return _report_measurement(args, measurement, obs)
 
 
@@ -204,6 +262,20 @@ def _cmd_measure_sharded(args: argparse.Namespace) -> int:
     from repro.core.parallel_exec import CampaignSpec, run_campaign
     from repro.netgen.ethereum import NetworkSpec
 
+    if (
+        args.byzantine_mix
+        or args.byzantine_frac is not None
+        or args.invariants
+        or args.cross_validate is not None
+    ):
+        print(
+            "--byzantine-mix/--byzantine-frac/--invariants/--cross-validate "
+            "are not supported with --workers: the sharded executor resets "
+            "shards from snapshots, which the invariant checker refuses and "
+            "cross-validation would invalidate. Run without --workers.",
+            file=sys.stderr,
+        )
+        return 2
     if args.preset:
         network_spec = PRESETS[args.preset](seed=args.seed)
     else:

@@ -28,7 +28,7 @@ from __future__ import annotations
 import json
 import os
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
@@ -36,8 +36,16 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 from repro.core.config import MeasurementConfig
 from repro.core.parallel import ParallelProbeReport, measure_par_with_repeats
 from repro.core.preprocess import PreprocessReport, preprocess_targets
-from repro.core.primitive import ProbeReport, measure_link_with_repeats
+from repro.core.primitive import (
+    ProbeReport,
+    measure_link_with_repeats,
+    measure_one_link,
+)
 from repro.core.results import (
+    CONFIDENCE_CROSS_VALIDATED,
+    CONFIDENCE_HIGH,
+    CONFIDENCE_QUARANTINED,
+    CONFIDENCE_SUSPECT,
     Edge,
     LinkResult,
     MeasurementFailure,
@@ -488,6 +496,10 @@ class TopoShot:
                 )
                 continue
             measurement.add_edges(report.detected)
+            for pair_edge, item in report.evidence.items():
+                if pair_edge not in measurement.evidence:
+                    measurement.evidence[pair_edge] = replace(item, iteration=index)
+            measurement.suspect_nodes.update(report.suspect_nodes)
             measurement.transactions_sent += report.transactions_sent
             measurement.setup_failures += report.setup_failures
             measurement.send_timeouts += report.send_timeouts
@@ -534,12 +546,111 @@ class TopoShot:
             self._save_checkpoint(
                 checkpoint_path, targets, group_size, index + 1, measurement
             )
+        self._harden_measurement(measurement)
         measurement.sim_time_end = self.network.sim.now
 
         if validate:
             truth = self._truth_edges_among(targets)
             measurement.validate_against(truth)
         return measurement
+
+    # ------------------------------------------------------------------
+    # Precision hardening (Byzantine-aware post-pass)
+    # ------------------------------------------------------------------
+    def _harden_measurement(self, measurement: NetworkMeasurement) -> None:
+        """Label per-edge confidence, cross-validate suspects, quarantine.
+
+        A detected edge is *suspect* when its evidence shows a broken
+        isolation envelope (third parties observed with ``txA``) or when
+        either endpoint was caught behaving nonconformingly elsewhere in
+        the campaign. With ``config.cross_validate > 0`` each suspect is
+        re-probed serially up to that many times and confirmed iff at
+        least ``config.cross_validate_k`` probes confirm direct
+        adjacency (positive, RPC-confirmed, and the sink won the timing
+        race against every third-party observer — see
+        :attr:`repro.core.primitive.ProbeReport.confirmed_direct`).
+        Unconfirmed suspects are removed from ``edges`` and recorded in
+        ``quarantined``; without a cross-validation budget they stay but
+        are labelled ``suspect``. All other edges are ``high``.
+
+        On an all-honest run every positive is clean, so this pass only
+        assigns ``high`` labels and changes nothing else — hardening is
+        behavior-neutral unless the network actually misbehaves.
+        """
+        if not self.config.hardened:
+            return
+        suspects: List[Edge] = []
+        for pair_edge in sorted(measurement.edges, key=sorted):
+            item = measurement.evidence.get(pair_edge)
+            if (item is not None and not item.clean) or (
+                measurement.suspect_nodes & pair_edge
+            ):
+                suspects.append(pair_edge)
+            else:
+                measurement.edge_confidence[pair_edge] = CONFIDENCE_HIGH
+        if not suspects:
+            return
+        budget = self.config.cross_validate
+        cross_validated = 0
+        for pair_edge in suspects:
+            if budget <= 0:
+                measurement.edge_confidence[pair_edge] = CONFIDENCE_SUSPECT
+                continue
+            a, b = sorted(pair_edge)
+            cross_validated += 1
+            if self._cross_validate_edge(a, b):
+                measurement.edge_confidence[pair_edge] = CONFIDENCE_CROSS_VALIDATED
+            else:
+                measurement.edges.discard(pair_edge)
+                measurement.quarantined.add(pair_edge)
+                measurement.edge_confidence[pair_edge] = CONFIDENCE_QUARANTINED
+        if self.obs.enabled:
+            from repro.obs import wiring
+
+            if cross_validated:
+                self.obs.metrics.counter(
+                    wiring.CAMPAIGN_CROSS_VALIDATIONS,
+                    "Suspect edges re-probed by cross-validation",
+                ).inc(cross_validated)
+            if measurement.quarantined:
+                self.obs.metrics.counter(
+                    wiring.CAMPAIGN_QUARANTINED,
+                    "Edges quarantined after failed cross-validation",
+                ).inc(len(measurement.quarantined))
+            self.obs.emit(
+                self.network.sim.now,
+                "campaign.hardening",
+                len(suspects),
+                cross_validated,
+                len(measurement.quarantined),
+            )
+
+    def _cross_validate_edge(self, a: str, b: str) -> bool:
+        """Serially re-probe one suspect edge: true iff at least
+        ``config.cross_validate_k`` of up to ``config.cross_validate``
+        probes confirm direct adjacency. Probes that error count as
+        failed."""
+        needed = self.config.cross_validate_k
+        clean_positives = 0
+        for attempt in range(self.config.cross_validate):
+            remaining = self.config.cross_validate - attempt
+            if clean_positives + remaining < needed:
+                break  # can no longer reach k
+            self.supernode.clear_observations()
+            self.network.forget_known_transactions()
+            self._refresh_pools()
+            try:
+                report = measure_one_link(
+                    self.network, self.supernode, a, b, self.config, self.wallet
+                )
+            except MeasurementError:
+                continue
+            self.measurement_senders.extend(report.measurement_senders)
+            if report.confirmed_direct:
+                clean_positives += 1
+                if clean_positives >= needed:
+                    return True
+        return clean_positives >= needed
 
     def _save_checkpoint(
         self,

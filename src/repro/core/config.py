@@ -76,6 +76,29 @@ class MeasurementConfig:
         size ``K = budget / N`` from it (§5.3.2).
     future_nonce_gap:
         Nonce distance guaranteeing flood transactions stay future.
+    hardened:
+        Byzantine-aware verdicts (default on): a positive additionally
+        requires the RPC cross-check (``txA`` actually present in the
+        sink's pool, Section 6.1), and per-edge evidence — including
+        third-party observers of ``txA``, impossible on a conforming
+        network — is collected for confidence labelling. On an
+        all-honest network this never changes a verdict, so results are
+        bit-identical to the unhardened pipeline; disable only to
+        demonstrate the degradation (``bench_robustness_adversarial``).
+    cross_validate:
+        ``n`` of the k-of-n cross-validation for *suspect* edges (those
+        whose evidence shows a broken isolation envelope): each suspect
+        is re-probed serially up to ``n`` times and kept only if at
+        least ``cross_validate_k`` probes confirm direct adjacency
+        (RPC-confirmed positive whose sink demonstrated possession to
+        the supernode no later than any third party — see
+        ``ProbeReport.confirmed_direct``); edges failing the bar move
+        to the measurement's quarantine set. 0 (default) disables the
+        extra probes — suspects are kept but downgraded to ``suspect``
+        confidence.
+    cross_validate_k:
+        Confirming probes required to keep a suspect edge (``k``,
+        default 1 — see ``with_cross_validation``).
     """
 
     flood_wait: float = 10.0
@@ -95,6 +118,9 @@ class MeasurementConfig:
     send_timeout: float = 2.0
     mempool_slots_budget: int = 2000
     future_nonce_gap: int = 1_000_000
+    hardened: bool = True
+    cross_validate: int = 0
+    cross_validate_k: int = 1
 
     def __post_init__(self) -> None:
         if self.replace_bump <= 0:
@@ -116,6 +142,18 @@ class MeasurementConfig:
             raise MeasurementError(
                 f"retry_backoff must be a non-negative wait in seconds, got "
                 f"{self.retry_backoff}"
+            )
+        if self.cross_validate < 0:
+            raise MeasurementError(
+                f"cross_validate must be >= 0 (0 disables), got "
+                f"{self.cross_validate}"
+            )
+        if self.cross_validate_k < 1 or (
+            self.cross_validate and self.cross_validate_k > self.cross_validate
+        ):
+            raise MeasurementError(
+                f"cross_validate_k must satisfy 1 <= k <= n, got "
+                f"k={self.cross_validate_k} n={self.cross_validate}"
             )
         if self.retry_backoff_factor < 1.0:
             raise MeasurementError(
@@ -213,6 +251,26 @@ class MeasurementConfig:
         if factor is not None:
             updates["retry_backoff_factor"] = factor
         return replace(self, **updates)
+
+    def with_hardening(self, enabled: bool) -> "MeasurementConfig":
+        return replace(self, hardened=enabled)
+
+    def with_cross_validation(
+        self, n: int, k: Optional[int] = None
+    ) -> "MeasurementConfig":
+        """Copy with k-of-n cross-validation of suspect edges enabled.
+
+        ``k`` defaults to 1: a genuine edge only has to win the timing
+        race once in ``n`` probes (the race is biased against it — the
+        sink must beat *every* third-party observer, and each probe
+        redraws per-message latencies), while a relay-chain false
+        positive must get lucky at least once against strictly positive
+        one-way delays. Raising ``k`` buys more precision at a steep
+        recall cost under heavy Byzantine presence.
+        """
+        if k is None:
+            k = 1
+        return replace(self, cross_validate=n, cross_validate_k=k)
 
     def with_gas_price(self, y: Optional[int]) -> "MeasurementConfig":
         return replace(self, gas_price_y=y)

@@ -32,7 +32,16 @@ class TopologySnapshot:
 
 @dataclass(frozen=True)
 class ChurnReport:
-    """Difference between two snapshots."""
+    """Difference between two snapshots.
+
+    Convention for the degenerate empty-vs-empty diff (both snapshots
+    measured zero edges, so the union is empty): the two topologies are
+    *identical*, hence ``jaccard_similarity`` is 1.0 and ``churn_rate``
+    is 0.0 — nothing changed, even though nothing was there. This keeps
+    churn monotone: an edge appearing in the second snapshot strictly
+    raises churn above the empty baseline rather than jumping from an
+    arbitrary 0/0.
+    """
 
     from_time: float
     to_time: float
@@ -42,12 +51,14 @@ class ChurnReport:
 
     @property
     def jaccard_similarity(self) -> float:
+        """|stable| / |union|; 1.0 when both snapshots are empty."""
         union = len(self.added) + len(self.removed) + len(self.stable)
         return 1.0 if union == 0 else len(self.stable) / union
 
     @property
     def churn_rate(self) -> float:
-        """Changed edges relative to the union of both snapshots."""
+        """Changed edges relative to the union of both snapshots
+        (0.0 for the empty-vs-empty diff: identical topologies)."""
         return 1.0 - self.jaccard_similarity
 
     def summary(self) -> str:

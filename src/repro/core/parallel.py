@@ -34,7 +34,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from repro.core.config import MeasurementConfig
 from repro.core.gas_estimator import estimate_y
 from repro.core.primitive import build_future_flood, rebid
-from repro.core.results import Edge, PairOutcome, edge
+from repro.core.results import Edge, EdgeEvidence, PairOutcome, edge
 from repro.errors import MeasurementError, NotConnectedError, SendTimeoutError
 from repro.eth.account import Wallet
 from repro.eth.network import Network
@@ -55,6 +55,10 @@ class ParallelProbeReport:
     transactions_sent: int = 0
     send_timeouts: int = 0
     unreachable: List[str] = field(default_factory=list)
+    # Hardened-pipeline evidence: per detected edge, and the nodes whose
+    # observed behavior was provably nonconforming during this round.
+    evidence: Dict[Edge, EdgeEvidence] = field(default_factory=dict)
+    suspect_nodes: Set[str] = field(default_factory=set)
 
     @property
     def setup_failures(self) -> int:
@@ -153,6 +157,10 @@ def measure_par(
         tx_c[pair] = seed
         tx_a[pair] = rebid(factory, seed, config.price_a(y))
         tx_b[pair] = rebid(factory, seed, config.price_b(y))
+        if network.invariants is not None:
+            # TopoShot's isolation invariant: this edge's txC may only
+            # ever be replaced on its own (source, sink) pair.
+            network.invariants.guard_isolation(seed.hash, frozenset(pair))
 
     # p1: inject every txC at a few entry peers and let the overlay flood
     # them ("propagates them to the Ethereum network"). Deliberately NOT
@@ -231,10 +239,34 @@ def measure_par(
     network.run((offset + len(sinks)) * gap + config.propagation_wait)
 
     # p4: detection.
+    hardened = config.hardened
     for pair in active:
         source, sink = pair
         a_hash = tx_a[pair].hash
-        detected = supernode.observed_from(sink, a_hash)
+        observed = supernode.observed_from(sink, a_hash)
+        if hardened:
+            # Byzantine-aware verdict (see measure_one_link): gossip
+            # possession must survive the RPC cross-check, and any third
+            # party observed with txA breaks the isolation envelope.
+            rpc_confirmed = a_hash in network.node(sink).mempool
+            extra_observers = tuple(
+                sorted(supernode.observers_of(a_hash) - {source, sink})
+            )
+            detected = observed and rpc_confirmed
+            # Suspects: nodes whose demonstrated possession of txA is not
+            # backed by their pool over RPC — a spoofing relay's
+            # fingerprint. Honest third parties that genuinely pooled
+            # txA (eviction fallout) pass this check and are not
+            # accused; their presence still dirties the evidence.
+            if observed and not rpc_confirmed:
+                report.suspect_nodes.add(sink)
+            for observer_id in extra_observers:
+                if a_hash not in network.node(observer_id).mempool:
+                    report.suspect_nodes.add(observer_id)
+        else:
+            rpc_confirmed = True
+            extra_observers = ()
+            detected = observed
         outcome = PairOutcome(
             source=source,
             sink=sink,
@@ -244,10 +276,23 @@ def measure_par(
             setup_ok=a_hash in network.node(source).mempool,
             tx_a_hash=a_hash,
             observed_at=supernode.first_observation_time(sink, a_hash),
+            rpc_confirmed=rpc_confirmed,
+            extra_observers=extra_observers,
         )
         report.outcomes.append(outcome)
         if detected:
-            report.detected.add(edge(source, sink))
+            pair_edge = edge(source, sink)
+            report.detected.add(pair_edge)
+            if hardened:
+                report.evidence[pair_edge] = EdgeEvidence(
+                    source=source,
+                    sink=sink,
+                    tx_hash=a_hash,
+                    observed_at=supernode.first_observation_time(sink, a_hash),
+                    kind=supernode.observation_kind(sink, a_hash) or "",
+                    rpc_confirmed=rpc_confirmed,
+                    extra_observers=extra_observers,
+                )
     return report
 
 
@@ -283,6 +328,9 @@ def measure_par_with_repeats(
             source_order_rng=shuffler if attempt > 0 else None,
         )
         merged.detected |= report.detected
+        for pair_edge, item in report.evidence.items():
+            merged.evidence.setdefault(pair_edge, item)
+        merged.suspect_nodes |= report.suspect_nodes
         merged.transactions_sent += report.transactions_sent
         merged.seed_senders.extend(report.seed_senders)
         merged.flood_senders.extend(report.flood_senders)

@@ -21,7 +21,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.core.config import MeasurementConfig
 from repro.core.gas_estimator import estimate_y
@@ -81,6 +81,14 @@ class ProbeReport:
     observed_at: Optional[float] = None
     measurement_senders: List[str] = field(default_factory=list)
     confidence: ProbeConfidence = ProbeConfidence.HIGH
+    # Hardened-verdict evidence (meaningful when config.hardened):
+    # rpc_confirmed is the Section 6.1 cross-check (txA in the sink's
+    # pool); extra_observers are third parties that demonstrated
+    # possession of txA — empty on any conforming network — and
+    # extra_observed_at is the earliest time any of them did.
+    rpc_confirmed: bool = True
+    extra_observers: Tuple[str, ...] = ()
+    extra_observed_at: Optional[float] = None
 
     @property
     def connected(self) -> bool:
@@ -94,6 +102,36 @@ class ProbeReport:
     def ambiguous(self) -> bool:
         """A verdict weak enough to warrant an automatic re-probe."""
         return self.confidence is ProbeConfidence.LOW
+
+    @property
+    def clean(self) -> bool:
+        """A positive with an intact isolation envelope: RPC-confirmed
+        and nobody but the sink ever showed ``txA``."""
+        return self.connected and self.rpc_confirmed and not self.extra_observers
+
+    @property
+    def confirmed_direct(self) -> bool:
+        """The cross-validation verdict for one probe.
+
+        A clean positive proves direct adjacency outright. With the
+        envelope broken (third parties also showed ``txA``), the timing
+        race decides: one-way delays are strictly positive, so a sink
+        that received ``txA`` *through* a third party demonstrates
+        possession to the supernode only after that party does. A sink
+        whose possession arrives no later than every third party's
+        therefore cannot sit behind a relay chain. Per-message latency
+        noise makes one race fallible both ways; the campaign amplifies
+        it k-of-n (see ``MeasurementConfig.cross_validate``).
+        """
+        if not (self.connected and self.rpc_confirmed):
+            return False
+        if not self.extra_observers:
+            return True
+        return (
+            self.observed_at is not None
+            and self.extra_observed_at is not None
+            and self.observed_at <= self.extra_observed_at
+        )
 
 
 def build_future_flood(
@@ -185,6 +223,11 @@ def measure_one_link(
     seed_account = wallet.fresh_account(prefix="seed")
     senders.append(seed_account.address)
     tx_c = factory.transfer(seed_account, gas_price=config.price_c(y))
+    if network.invariants is not None:
+        # Arm the TopoShot isolation invariant: this txC may only ever be
+        # replaced on the probed pair. The guard stays registered (the
+        # property must hold for the rest of the run, not just the probe).
+        network.invariants.guard_isolation(tx_c.hash, frozenset((a_id, b_id)))
     try:
         supernode.send_transactions(a_id, [tx_c])
     except (SendTimeoutError, NotConnectedError):
@@ -222,7 +265,32 @@ def measure_one_link(
         tx_b.hash in network.node(b_id).mempool
         or tx_a.hash in network.node(b_id).mempool
     )
-    detected = supernode.observed_from(b_id, tx_a.hash)
+    observed = supernode.observed_from(b_id, tx_a.hash)
+    if config.hardened:
+        # Byzantine-aware verdict: possession claimed via gossip must be
+        # backed by the RPC cross-check (a spoofing relay can forward txA
+        # without ever pooling it), and third-party observers of txA are
+        # recorded — on a conforming network the price band keeps that
+        # set empty, so any entry marks a broken isolation envelope.
+        rpc_confirmed = tx_a.hash in network.node(b_id).mempool
+        extra_observers = tuple(
+            sorted(supernode.observers_of(tx_a.hash) - {a_id, b_id})
+        )
+        extra_times = [
+            t
+            for t in (
+                supernode.first_observation_time(x, tx_a.hash)
+                for x in extra_observers
+            )
+            if t is not None
+        ]
+        extra_observed_at = min(extra_times) if extra_times else None
+        detected = observed and rpc_confirmed
+    else:
+        rpc_confirmed = True
+        extra_observers = ()
+        extra_observed_at = None
+        detected = observed
 
     if detected:
         outcome = LinkProbeOutcome.CONNECTED
@@ -233,9 +301,11 @@ def measure_one_link(
     else:
         outcome = LinkProbeOutcome.NOT_CONNECTED
 
-    # A positive is always trustworthy (the price band forbids false
-    # positives); a negative is only trustworthy when the whole setup
-    # demonstrably worked end to end.
+    # On a *conforming* network a positive is always trustworthy (the
+    # price band forbids false positives); against Byzantine relays the
+    # hardened verdict above adds the RPC cross-check, and the evidence
+    # fields let the campaign quarantine what remains. A negative is only
+    # trustworthy when the whole setup demonstrably worked end to end.
     if outcome is LinkProbeOutcome.CONNECTED:
         confidence = ProbeConfidence.HIGH
     elif outcome is LinkProbeOutcome.NOT_CONNECTED and flood_confirmed:
@@ -257,6 +327,9 @@ def measure_one_link(
         observed_at=supernode.first_observation_time(b_id, tx_a.hash),
         measurement_senders=senders,
         confidence=confidence,
+        rpc_confirmed=rpc_confirmed,
+        extra_observers=extra_observers,
+        extra_observed_at=extra_observed_at,
     )
 
 

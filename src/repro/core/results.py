@@ -8,7 +8,7 @@ truth is the network's true link set, so every measurement can be scored.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 import networkx as nx
 
@@ -20,13 +20,95 @@ def edge(a: str, b: str) -> Edge:
     return frozenset((a, b))
 
 
+def _sorted_pairs(edges: Iterable[Edge]) -> Tuple[Tuple[str, str], ...]:
+    """Edges as sorted (a, b) tuples, deterministically ordered."""
+    return tuple(sorted(tuple(sorted(e)) for e in edges))
+
+
+# Per-edge confidence labels assigned by the hardened pipeline
+# (see docs/adversarial.md). Plain strings so they serialize as-is.
+CONFIDENCE_HIGH = "high"
+CONFIDENCE_CROSS_VALIDATED = "cross_validated"
+CONFIDENCE_SUSPECT = "suspect"
+CONFIDENCE_QUARANTINED = "quarantined"
+
+
+@dataclass(frozen=True)
+class EdgeEvidence:
+    """Why one edge was claimed: which tx returned, from whom, when, how.
+
+    The paper's positives rest on the supernode observing ``txA`` back
+    from the probed target; this record pins that observation down so an
+    adversarial false positive can be diagnosed after the fact.
+    ``rpc_confirmed`` is the Section 6.1 cross-check (``txA`` present in
+    the sink's pool when queried); ``extra_observers`` are third-party
+    nodes that also demonstrated possession of ``txA`` — on a conforming
+    network the price band makes that set empty, so any entry marks a
+    broken isolation envelope (and a Byzantine suspect).
+    """
+
+    source: str
+    sink: str
+    tx_hash: str
+    observed_at: Optional[float] = None
+    kind: str = ""  # "push" / "announce" / "" (not observed)
+    rpc_confirmed: bool = True
+    extra_observers: Tuple[str, ...] = ()
+    iteration: int = -1
+
+    @property
+    def edge(self) -> Edge:
+        return edge(self.source, self.sink)
+
+    @property
+    def clean(self) -> bool:
+        """RPC-confirmed with an intact isolation envelope."""
+        return self.rpc_confirmed and not self.extra_observers
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "source": self.source,
+            "sink": self.sink,
+            "tx_hash": self.tx_hash,
+            "observed_at": self.observed_at,
+            "kind": self.kind,
+            "rpc_confirmed": self.rpc_confirmed,
+            "extra_observers": list(self.extra_observers),
+            "iteration": self.iteration,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "EdgeEvidence":
+        observed_at = payload.get("observed_at")
+        return cls(
+            source=str(payload["source"]),
+            sink=str(payload["sink"]),
+            tx_hash=str(payload.get("tx_hash", "")),
+            observed_at=None if observed_at is None else float(observed_at),  # type: ignore[arg-type]
+            kind=str(payload.get("kind", "")),
+            rpc_confirmed=bool(payload.get("rpc_confirmed", True)),
+            extra_observers=tuple(
+                str(x) for x in payload.get("extra_observers", ())  # type: ignore[union-attr]
+            ),
+            iteration=int(payload.get("iteration", -1)),  # type: ignore[arg-type]
+        )
+
+
 @dataclass(frozen=True)
 class ValidationScore:
-    """Precision/recall of a measured edge set against ground truth."""
+    """Precision/recall of a measured edge set against ground truth.
+
+    ``false_positive_edges``/``false_negative_edges`` list the actual
+    offending edges (sorted (a, b) tuples) so adversarial false-positive
+    diagnosis is possible from bench output; ``__str__`` reports counts
+    only, unchanged.
+    """
 
     true_positives: int
     false_positives: int
     false_negatives: int
+    false_positive_edges: Tuple[Tuple[str, str], ...] = ()
+    false_negative_edges: Tuple[Tuple[str, str], ...] = ()
 
     @property
     def precision(self) -> float:
@@ -58,10 +140,14 @@ def score_edges(measured: Iterable[Edge], truth: Iterable[Edge]) -> ValidationSc
     measured_set = set(measured)
     truth_set = set(truth)
     tp = len(measured_set & truth_set)
+    fp_edges = _sorted_pairs(measured_set - truth_set)
+    fn_edges = _sorted_pairs(truth_set - measured_set)
     return ValidationScore(
         true_positives=tp,
-        false_positives=len(measured_set - truth_set),
-        false_negatives=len(truth_set - measured_set),
+        false_positives=len(fp_edges),
+        false_negatives=len(fn_edges),
+        false_positive_edges=fp_edges,
+        false_negative_edges=fn_edges,
     )
 
 
@@ -128,6 +214,14 @@ class NetworkMeasurement:
     send_timeouts: int = 0
     skipped_nodes: List[str] = field(default_factory=list)
     failures: List[MeasurementFailure] = field(default_factory=list)
+    # Precision-hardening state (see docs/adversarial.md): per-edge
+    # evidence and confidence labels, edges quarantined by cross-
+    # validation (claimed once but excluded from ``edges``), and nodes
+    # whose observed behavior was provably nonconforming.
+    evidence: Dict[Edge, EdgeEvidence] = field(default_factory=dict)
+    edge_confidence: Dict[Edge, str] = field(default_factory=dict)
+    quarantined: Set[Edge] = field(default_factory=set)
+    suspect_nodes: Set[str] = field(default_factory=set)
 
     @property
     def duration(self) -> float:
@@ -186,6 +280,12 @@ class NetworkMeasurement:
                 kinds[failure.kind] = kinds.get(failure.kind, 0) + 1
             detail = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
             lines.append(f"failures       : {len(self.failures)} ({detail})")
+        if self.quarantined:
+            lines.append(f"quarantined    : {len(self.quarantined)} edges")
+        if self.suspect_nodes:
+            lines.append(
+                f"suspect nodes  : {', '.join(sorted(self.suspect_nodes))}"
+            )
         return "\n".join(lines)
 
 
@@ -199,6 +299,9 @@ class PairOutcome:
     setup_ok: bool
     tx_a_hash: str = ""
     observed_at: Optional[float] = None
+    # Hardened-pipeline fields (defaults match an honest positive).
+    rpc_confirmed: bool = True
+    extra_observers: Tuple[str, ...] = ()
 
     @property
     def edge(self) -> Edge:

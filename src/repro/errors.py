@@ -57,6 +57,20 @@ class FaultPlanError(ReproError):
     """A fault-injection plan is malformed (negative rate, bad probability)."""
 
 
+class BehaviorPlanError(ReproError):
+    """A Byzantine behavior mix is malformed (bad fraction, unknown kind)."""
+
+
+class InvariantViolationError(SimulationError):
+    """A runtime invariant failed on a node with no installed misbehavior.
+
+    Only raised in the checker's strict mode, and only for violations by
+    *honest* nodes: a Byzantine node breaking protocol invariants is the
+    behavior model working as intended, so those are recorded and counted
+    but never fatal.
+    """
+
+
 class SnapshotError(SimulationError):
     """Network/simulator state cannot be snapshotted or restored.
 

@@ -173,6 +173,20 @@ class Mempool:
         self.stats: Dict[str, int] = {outcome.value: 0 for outcome in AddOutcome}
         self.stats["evictions"] = 0
 
+    def set_policy(self, policy: MempoolPolicy) -> None:
+        """Swap the governing policy and refresh the hot-path caches.
+
+        The supported way to change a live pool's policy (the Byzantine
+        behavior layer swaps in R=0 tables): assigning ``self.policy``
+        directly would leave ``_capacity``/``_enforce_base_fee``/
+        ``_future_limit`` caching the old table. No transactions are
+        re-validated; the new policy governs from the next offer on.
+        """
+        self.policy = policy
+        self._capacity = policy.capacity
+        self._enforce_base_fee = policy.enforce_base_fee
+        self._future_limit = policy.future_limit_per_account
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

@@ -9,7 +9,7 @@ scored (the simulator-equivalent of the paper's local-node validation).
 from __future__ import annotations
 
 from heapq import heappush
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Set
 
 import networkx as nx
 
@@ -28,6 +28,11 @@ from repro.sim.engine import Simulator
 from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.latency import LatencyModel, UniformLatency
 from repro.sim.snapshot import capture_simulator, restore_simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.eth.behaviors import BehaviorMix, BehaviorSet
+    from repro.eth.policies import MempoolPolicy
+    from repro.sim.invariants import InvariantChecker
 
 
 class Network:
@@ -85,6 +90,13 @@ class Network:
         self.messages_dropped = 0
         self.drops_by_reason: Dict[str, int] = {}
         self.faults: Optional[FaultInjector] = None
+        # Byzantine behavior registry (repro.eth.behaviors) and runtime
+        # invariant checker (repro.sim.invariants). Both None by default:
+        # behaviors patch node instances at install time and the checker
+        # replaces _deliver_cb, so an uninstalled network runs the exact
+        # hot-path code either way (the repro.obs zero-cost argument).
+        self.behaviors: Optional["BehaviorSet"] = None
+        self.invariants: Optional["InvariantChecker"] = None
         # Observability hook. NULL (the shared disabled bundle) makes every
         # ``self.obs.emit(...)`` site free; install_observability swaps in a
         # live bundle and registers the pull collectors.
@@ -205,6 +217,87 @@ class Network:
     def node_is_up(self, node_id: str) -> bool:
         """False while ``node_id`` is crashed (fault injection)."""
         return not self.node(node_id).crashed
+
+    # ------------------------------------------------------------------
+    # Byzantine behaviors (repro.eth.behaviors)
+    # ------------------------------------------------------------------
+    def install_behaviors(self, mix: "BehaviorMix") -> "BehaviorSet":
+        """Install a seed-determined Byzantine behavior assignment.
+
+        Draws the node->kind map from the ``"behaviors"`` RNG stream and
+        patches the drawn node instances. Composes with an armed
+        :class:`~repro.sim.faults.FaultPlan`; composes with
+        :meth:`snapshot`/:meth:`restore` as long as the same behavior set
+        stays installed (the snapshot records its signature).
+        """
+        from repro.eth.behaviors import BehaviorSet, assign_behaviors
+
+        if self.behaviors is not None:
+            self.behaviors.uninstall_all()
+        behavior_set = BehaviorSet(self, mix)
+        for node_id, kind in assign_behaviors(self, mix).items():
+            behavior_set.install_on(self.nodes[node_id], kind)
+        self.behaviors = behavior_set
+        obs = self.obs
+        if obs.enabled:
+            obs.emit(
+                self.sim.now,
+                "behaviors",
+                "installed",
+                f"{len(behavior_set.assignments)} nodes ({mix.describe()})",
+            )
+        return behavior_set
+
+    def clear_behaviors(self) -> None:
+        """Restore every patched node; the network is all-honest again."""
+        if self.behaviors is not None:
+            self.behaviors.uninstall_all()
+            self.behaviors = None
+
+    def conforming_policy(self, node_id: str) -> "MempoolPolicy":
+        """The policy ``node_id`` *claims* to run.
+
+        For a node with an installed misbehavior this is its pre-install
+        original (the invariant checker's conformance reference); for an
+        honest node, its live policy.
+        """
+        if self.behaviors is not None:
+            original = self.behaviors.conforming_policy(node_id)
+            if original is not None:
+                return original
+        return self.node(node_id).mempool.policy
+
+    # ------------------------------------------------------------------
+    # Runtime invariants (repro.sim.invariants)
+    # ------------------------------------------------------------------
+    def install_invariants(
+        self, checker: Optional["InvariantChecker"] = None, strict: bool = False
+    ) -> "InvariantChecker":
+        """Arm a runtime invariant checker on this network's transport.
+
+        Replaces the pre-bound delivery callback with the checker's
+        wrapper and registers per-node transaction observers — the
+        ``repro.obs`` zero-cost pattern: an uninstalled network executes
+        byte-identical hot-path code. Install at a quiescent instant
+        (in-flight deliveries keep the previously bound callback).
+        """
+        from repro.sim.invariants import InvariantChecker
+
+        if self.invariants is not None:
+            self.clear_invariants()
+        if checker is None:
+            checker = InvariantChecker(strict=strict)
+        checker.attach(self)
+        self._deliver_cb = checker.make_delivery_wrapper(self._deliver)
+        self.invariants = checker
+        return checker
+
+    def clear_invariants(self) -> None:
+        """Disarm the checker; delivery goes back to the direct callback."""
+        if self.invariants is not None:
+            self.invariants.detach(self)
+            self._deliver_cb = self._deliver
+            self.invariants = None
 
     # ------------------------------------------------------------------
     # Observability
@@ -384,6 +477,11 @@ class Network:
                 "cannot snapshot with a fault plan armed; clear_faults() "
                 "first and install the plan after the snapshot"
             )
+        if self.invariants is not None:
+            raise SnapshotError(
+                "cannot snapshot with an invariant checker installed; "
+                "clear_invariants() first and re-install after restoring"
+            )
         sim_state = capture_simulator(self.sim)
         # capture_simulator replaced sim._seq; re-bind the inlined-send
         # reference or future sends would keep drawing from the *old*
@@ -408,6 +506,18 @@ class Network:
             "messages_by_kind": dict(self.messages_by_kind),
             "messages_dropped": self.messages_dropped,
             "drops_by_reason": dict(self.drops_by_reason),
+            # Byzantine behaviors compose with snapshots as long as the
+            # installed set is the same at capture and restore time; the
+            # signature pins that, the state blob rewinds their runtime
+            # caches and counters.
+            "behaviors_signature": (
+                self.behaviors.signature() if self.behaviors is not None else ()
+            ),
+            "behaviors_state": (
+                self.behaviors.capture_state()
+                if self.behaviors is not None
+                else None
+            ),
         }
 
     def restore(self, snapshot: Dict[str, object]) -> None:
@@ -428,6 +538,20 @@ class Network:
         if self.faults is not None:
             raise SnapshotError(
                 "cannot restore with a fault plan armed; clear_faults() first"
+            )
+        if self.invariants is not None:
+            raise SnapshotError(
+                "cannot restore with an invariant checker installed; "
+                "clear_invariants() first and re-install after restoring"
+            )
+        current_signature = (
+            self.behaviors.signature() if self.behaviors is not None else ()
+        )
+        if current_signature != snapshot.get("behaviors_signature", ()):
+            raise SnapshotError(
+                "installed behaviors changed since the snapshot was taken; "
+                "a restore would silently mix two adversary models — keep "
+                "the same behavior set installed, or rebuild"
             )
         if set(self.nodes) != set(snapshot["nodes"]):
             raise SnapshotError(
@@ -457,6 +581,10 @@ class Network:
         self.messages_by_kind = dict(snapshot["messages_by_kind"])
         self.messages_dropped = snapshot["messages_dropped"]
         self.drops_by_reason = dict(snapshot["drops_by_reason"])
+        if self.behaviors is not None:
+            state = snapshot.get("behaviors_state")
+            if state is not None:
+                self.behaviors.restore_state(state)
 
     # ------------------------------------------------------------------
     # Ground truth & hygiene
@@ -491,6 +619,11 @@ class Network:
         """
         for node in self.nodes.values():
             node.forget_known_transactions()
+        if self.invariants is not None:
+            # The checker's per-link push/announce/request bookkeeping
+            # mirrors the caches just wiped; keep them in lockstep or
+            # re-sent traffic would read as violations.
+            self.invariants.reset_transient()
 
     def total_mempool_size(self) -> int:
         return sum(len(node.mempool) for node in self.nodes.values())

@@ -161,6 +161,8 @@ class Node:
 
         self.crashed = False
         self.crash_count = 0
+        # Installed misbehavior kind, if any (see repro.eth.behaviors).
+        self.behavior: Optional[str] = None
         self._rng = sim.rng.stream(f"node:{node_id}")
         self._getrandbits = self._rng.getrandbits
         self._push_queue: Dict[str, List[Transaction]] = {}
@@ -282,6 +284,7 @@ class Node:
         return {
             "id": self.id,
             "crashed": self.crashed,
+            "behavior": self.behavior,
             "peers": len(self.peers),
             "max_peers": self.config.max_peers,
             "mempool": self.mempool.stats_snapshot(),

@@ -70,6 +70,7 @@ class Supernode(Node):
         super().__init__(node_id, sim, config or supernode_config())
         self.observations: List[Observation] = []
         self._first_seen: Dict[Tuple[str, str], float] = {}
+        self._first_kind: Dict[Tuple[str, str], str] = {}
         # Lifetime totals by evidence kind ("push"/"announce"). Unlike the
         # per-iteration log, these survive clear_observations(), so the
         # observability collectors can report campaign-wide counts.
@@ -93,6 +94,7 @@ class Supernode(Node):
         key = (peer, tx_hash)
         if key not in self._first_seen:
             self._first_seen[key] = self.sim.now
+            self._first_kind[key] = kind
             self.observations.append(
                 Observation(self.sim.now, peer, tx_hash, kind)
             )
@@ -124,10 +126,19 @@ class Supernode(Node):
         """Every peer seen possessing ``tx_hash``."""
         return {peer for (peer, h) in self._first_seen if h == tx_hash}
 
+    def observation_kind(self, peer: str, tx_hash: str) -> Optional[str]:
+        """How ``peer`` first demonstrated possession: push/announce.
+
+        Feeds the per-edge evidence records the hardened pipeline keeps
+        (which message kind returned ``txA``, from whom, at what time).
+        """
+        return self._first_kind.get((peer, tx_hash))
+
     def clear_observations(self) -> None:
         """Reset the log between measurement iterations."""
         self.observations.clear()
         self._first_seen.clear()
+        self._first_kind.clear()
 
     # ------------------------------------------------------------------
     # Snapshot/reset (see repro.sim.snapshot)
@@ -136,6 +147,7 @@ class Supernode(Node):
         state = super().capture_state()
         state["observations"] = list(self.observations)
         state["first_seen"] = dict(self._first_seen)
+        state["first_kind"] = dict(self._first_kind)
         state["observation_counts"] = dict(self.observation_counts)
         state["neighbor_responses"] = dict(self.neighbor_responses)
         return state
@@ -144,6 +156,7 @@ class Supernode(Node):
         super().restore_state(state)
         self.observations = list(state["observations"])
         self._first_seen = dict(state["first_seen"])
+        self._first_kind = dict(state.get("first_kind", {}))
         self.observation_counts = dict(state["observation_counts"])
         self.neighbor_responses = dict(state["neighbor_responses"])
 

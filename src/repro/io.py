@@ -15,7 +15,12 @@ from typing import Union
 
 import networkx as nx
 
-from repro.core.results import MeasurementFailure, NetworkMeasurement, ValidationScore
+from repro.core.results import (
+    EdgeEvidence,
+    MeasurementFailure,
+    NetworkMeasurement,
+    ValidationScore,
+)
 from repro.errors import ReproError
 
 PathLike = Union[str, Path]
@@ -41,12 +46,31 @@ def measurement_to_dict(measurement: NetworkMeasurement) -> dict:
         "send_timeouts": measurement.send_timeouts,
         "skipped_nodes": list(measurement.skipped_nodes),
         "failures": [failure.to_dict() for failure in measurement.failures],
+        # Hardening state (format-additive: absent keys read back empty).
+        "evidence": [
+            measurement.evidence[e].to_dict()
+            for e in sorted(measurement.evidence, key=sorted)
+        ],
+        "edge_confidence": [
+            [*sorted(e), confidence]
+            for e, confidence in sorted(
+                measurement.edge_confidence.items(), key=lambda kv: sorted(kv[0])
+            )
+        ],
+        "quarantined": sorted(sorted(e) for e in measurement.quarantined),
+        "suspect_nodes": sorted(measurement.suspect_nodes),
     }
     if measurement.score is not None:
         payload["score"] = {
             "true_positives": measurement.score.true_positives,
             "false_positives": measurement.score.false_positives,
             "false_negatives": measurement.score.false_negatives,
+            "false_positive_edges": [
+                list(pair) for pair in measurement.score.false_positive_edges
+            ],
+            "false_negative_edges": [
+                list(pair) for pair in measurement.score.false_negative_edges
+            ],
         }
     return payload
 
@@ -76,6 +100,20 @@ def measurement_from_dict(payload: dict) -> NetworkMeasurement:
         measurement.add_edges(
             frozenset(edge) for edge in payload["edges"]
         )
+        for item in payload.get("evidence", []):
+            evidence = EdgeEvidence.from_dict(item)
+            measurement.evidence[evidence.edge] = evidence
+        for entry in payload.get("edge_confidence", []):
+            a, b, confidence = entry
+            measurement.edge_confidence[frozenset((str(a), str(b)))] = str(
+                confidence
+            )
+        measurement.quarantined.update(
+            frozenset(edge) for edge in payload.get("quarantined", [])
+        )
+        measurement.suspect_nodes.update(
+            str(node) for node in payload.get("suspect_nodes", [])
+        )
     except (KeyError, TypeError, ValueError) as exc:
         raise SerializationError(f"malformed measurement payload: {exc}") from exc
     score = payload.get("score")
@@ -84,6 +122,12 @@ def measurement_from_dict(payload: dict) -> NetworkMeasurement:
             true_positives=score["true_positives"],
             false_positives=score["false_positives"],
             false_negatives=score["false_negatives"],
+            false_positive_edges=tuple(
+                (str(a), str(b)) for a, b in score.get("false_positive_edges", [])
+            ),
+            false_negative_edges=tuple(
+                (str(a), str(b)) for a, b in score.get("false_negative_edges", [])
+            ),
         )
     return measurement
 

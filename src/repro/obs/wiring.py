@@ -61,6 +61,12 @@ CAMPAIGN_SEND_TIMEOUTS = "toposhot_campaign_send_timeouts_total"
 CAMPAIGN_FAILURES = "toposhot_campaign_failures_total"
 CAMPAIGN_ITER_SIM_SECONDS = "toposhot_campaign_iteration_sim_seconds"
 CAMPAIGN_ITER_WALL_SECONDS = "toposhot_campaign_iteration_wall_seconds"
+CAMPAIGN_CROSS_VALIDATIONS = "toposhot_campaign_cross_validations_total"
+CAMPAIGN_QUARANTINED = "toposhot_campaign_quarantined_edges_total"
+
+BEHAVIORS_INSTALLED = "toposhot_byzantine_nodes"
+BEHAVIOR_ACTIONS = "toposhot_byzantine_actions_total"
+INVARIANT_VIOLATIONS = "toposhot_invariant_violations_total"
 
 MONITOR_SNAPSHOTS = "toposhot_monitor_snapshots_total"
 MONITOR_LAST_EDGES = "toposhot_monitor_last_edges"
@@ -193,5 +199,29 @@ def instrument_network(
             registry.counter(
                 FAULT_CHURN, "Links churned by fault injection"
             ).set_total(faults.churn_events)
+
+        behaviors = network.behaviors
+        if behaviors is not None:
+            for kind, count in behaviors.kind_counts().items():
+                registry.gauge(
+                    BEHAVIORS_INSTALLED,
+                    "Nodes currently running each Byzantine behavior",
+                    labels={"kind": kind},
+                ).set(count)
+            for kind, count in behaviors.counts.items():
+                registry.counter(
+                    BEHAVIOR_ACTIONS,
+                    "Misbehaving actions taken, by behavior kind",
+                    labels={"kind": kind},
+                ).set_total(count)
+
+        checker = network.invariants
+        if checker is not None:
+            for name, count in checker.counts.items():
+                registry.counter(
+                    INVARIANT_VIOLATIONS,
+                    "Runtime invariant violations, by invariant",
+                    labels={"invariant": name},
+                ).set_total(count)
 
     registry.add_collector(collect)

@@ -16,6 +16,9 @@ For a breakdown of where callback time goes, attach an
 :class:`~repro.core.profiler.EngineProfiler` via :meth:`Simulator.attach_profiler`.
 For operator-facing metrics and a bounded structured event log, attach a
 :class:`~repro.obs.Observability` via :meth:`Simulator.attach_observability`.
+The runtime invariant checker (:mod:`repro.sim.invariants`) rides the same
+zero-cost attach pattern one layer up, on the network's pre-bound delivery
+callback — an engine without it installed executes byte-identical code.
 """
 
 from __future__ import annotations

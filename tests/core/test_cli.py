@@ -88,3 +88,74 @@ class TestMeasure:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestMeasureAdversarial:
+    def test_byzantine_frac_with_invariants(self, capsys):
+        assert (
+            main(
+                [
+                    "measure", "--nodes", "10", "--seed", "3",
+                    "--byzantine-frac", "0.2", "--invariants",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "byzantine" in out.lower()
+        assert "invariants:" in out
+
+    def test_byzantine_mix_spec(self, capsys):
+        assert (
+            main(
+                [
+                    "measure", "--nodes", "10", "--seed", "3",
+                    "--byzantine-mix", "censor:0.2",
+                ]
+            )
+            == 0
+        )
+
+    def test_cross_validate_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "measure", "--nodes", "10", "--seed", "3",
+                    "--byzantine-frac", "0.2", "--cross-validate", "2",
+                ]
+            )
+            == 0
+        )
+
+    def test_both_mix_flags_rejected(self, capsys):
+        assert (
+            main(
+                [
+                    "measure", "--nodes", "10",
+                    "--byzantine-frac", "0.2",
+                    "--byzantine-mix", "censor:0.2",
+                ]
+            )
+            == 2
+        )
+
+    def test_bad_mix_spec_rejected(self, capsys):
+        assert (
+            main(["measure", "--nodes", "10", "--byzantine-mix", "gremlin:1"])
+            == 2
+        )
+
+    def test_sharded_execution_rejects_adversarial_flags(self, capsys):
+        assert (
+            main(
+                [
+                    "measure", "--nodes", "10", "--workers", "2",
+                    "--byzantine-frac", "0.2",
+                ]
+            )
+            == 2
+        )
+        assert (
+            main(["measure", "--nodes", "10", "--workers", "2", "--invariants"])
+            == 2
+        )

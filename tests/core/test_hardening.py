@@ -1,0 +1,206 @@
+"""Tests for Byzantine-aware precision hardening (config, verdicts,
+evidence, cross-validation and quarantine)."""
+
+import pytest
+
+from repro.core.campaign import TopoShot
+from repro.core.config import MeasurementConfig
+from repro.core.primitive import LinkProbeOutcome, ProbeReport
+from repro.core.results import (
+    CONFIDENCE_CROSS_VALIDATED,
+    CONFIDENCE_HIGH,
+    CONFIDENCE_QUARANTINED,
+    CONFIDENCE_SUSPECT,
+    EdgeEvidence,
+    NetworkMeasurement,
+    edge,
+)
+from repro.errors import MeasurementError
+from repro.eth.behaviors import BehaviorMix
+from repro.netgen.ethereum import quick_network
+from repro.netgen.workloads import prefill_mempools
+
+# The adversary mix the robustness benchmark sweeps (heavy on the two
+# false-positive mechanisms: spoofing relays and R=0 replacers).
+ADVERSARIAL_MIX = BehaviorMix(
+    spoof_relay=0.4,
+    nonconforming_replacer=0.2,
+    stale_client=0.2,
+    censor=0.1,
+    duplicate_spammer=0.1,
+)
+
+
+def probe(**overrides):
+    defaults = dict(
+        a="a",
+        b="b",
+        outcome=LinkProbeOutcome.CONNECTED,
+        y=1,
+        tx_c_hash="0xc",
+        tx_a_hash="0xa",
+        tx_b_hash="0xb",
+        flood_confirmed=True,
+        setup_a_ok=True,
+        setup_b_ok=True,
+        observed_at=10.0,
+    )
+    defaults.update(overrides)
+    return ProbeReport(**defaults)
+
+
+def measure(n_nodes, seed, frac, hardened, cross_validate=0):
+    network = quick_network(n_nodes=n_nodes, seed=seed)
+    prefill_mempools(network)
+    if frac:
+        network.install_behaviors(ADVERSARIAL_MIX.scaled(frac))
+    shot = TopoShot.attach(network)
+    if hardened and cross_validate:
+        shot.config = shot.config.with_cross_validation(cross_validate)
+    elif not hardened:
+        shot.config = shot.config.with_hardening(False)
+    return shot.measure_network()
+
+
+class TestConfig:
+    def test_hardened_is_the_default(self):
+        assert MeasurementConfig().hardened
+        assert MeasurementConfig().cross_validate == 0
+
+    def test_with_cross_validation_defaults_k_to_one(self):
+        config = MeasurementConfig().with_cross_validation(3)
+        assert config.cross_validate == 3
+        assert config.cross_validate_k == 1
+
+    def test_invalid_cross_validation_refused(self):
+        with pytest.raises(MeasurementError):
+            MeasurementConfig(cross_validate=-1)
+        with pytest.raises(MeasurementError):
+            MeasurementConfig(cross_validate=2, cross_validate_k=3)
+        with pytest.raises(MeasurementError):
+            MeasurementConfig(cross_validate_k=0)
+
+
+class TestProbeVerdicts:
+    def test_clean_positive_is_confirmed_outright(self):
+        report = probe()
+        assert report.clean
+        assert report.confirmed_direct
+
+    def test_rpc_failure_kills_the_verdict(self):
+        report = probe(rpc_confirmed=False)
+        assert not report.clean
+        assert not report.confirmed_direct
+
+    def test_negative_is_never_confirmed(self):
+        report = probe(outcome=LinkProbeOutcome.NOT_CONNECTED)
+        assert not report.confirmed_direct
+
+    def test_extra_observers_break_clean_but_race_can_confirm(self):
+        winner = probe(
+            extra_observers=("x",), extra_observed_at=11.0, observed_at=10.0
+        )
+        assert not winner.clean
+        assert winner.confirmed_direct  # sink demonstrated first
+        loser = probe(
+            extra_observers=("x",), extra_observed_at=9.0, observed_at=10.0
+        )
+        assert not loser.confirmed_direct  # a third party beat the sink
+
+    def test_race_needs_both_timestamps(self):
+        report = probe(extra_observers=("x",), extra_observed_at=None)
+        assert not report.confirmed_direct
+
+
+class TestHonestEquivalence:
+    def test_hardening_never_changes_an_honest_verdict(self):
+        hardened = measure(12, seed=7, frac=0.0, hardened=True)
+        unhardened = measure(12, seed=7, frac=0.0, hardened=False)
+        assert hardened.edges == unhardened.edges
+        assert str(hardened.score) == str(unhardened.score)
+        # On an honest network every verdict stays high-confidence.
+        assert set(hardened.edge_confidence.values()) == {CONFIDENCE_HIGH}
+        assert not hardened.quarantined
+        assert not hardened.suspect_nodes
+        # Evidence is collected only on the hardened path.
+        assert set(hardened.evidence) == hardened.edges
+        assert all(item.clean for item in hardened.evidence.values())
+        assert not unhardened.evidence
+
+
+class TestAdversarialHardening:
+    @pytest.fixture(scope="class")
+    def byzantine_pair(self):
+        unhardened = measure(14, seed=5, frac=0.2, hardened=False)
+        hardened = measure(
+            14, seed=5, frac=0.2, hardened=True, cross_validate=3
+        )
+        return unhardened, hardened
+
+    def test_byzantine_mix_produces_false_positives_unhardened(
+        self, byzantine_pair
+    ):
+        unhardened, _ = byzantine_pair
+        assert unhardened.score.false_positives > 0
+        assert unhardened.score.false_positive_edges  # diagnosable
+
+    def test_cross_validation_recovers_precision(self, byzantine_pair):
+        unhardened, hardened = byzantine_pair
+        assert hardened.score.precision > unhardened.score.precision
+        assert hardened.score.false_positives == 0
+
+    def test_quarantine_and_labels_are_populated(self, byzantine_pair):
+        _, hardened = byzantine_pair
+        assert hardened.quarantined
+        assert not hardened.quarantined & hardened.edges
+        allowed = {
+            CONFIDENCE_HIGH,
+            CONFIDENCE_CROSS_VALIDATED,
+            CONFIDENCE_SUSPECT,
+            CONFIDENCE_QUARANTINED,
+        }
+        assert set(hardened.edge_confidence.values()) <= allowed
+        for quarantined_edge in hardened.quarantined:
+            assert (
+                hardened.edge_confidence[quarantined_edge]
+                == CONFIDENCE_QUARANTINED
+            )
+        assert hardened.suspect_nodes <= set(hardened.node_ids)
+
+    def test_summary_reports_the_quarantine(self, byzantine_pair):
+        _, hardened = byzantine_pair
+        assert "quarantined" in hardened.summary()
+
+    def test_summary_names_suspect_nodes_when_present(self):
+        m = NetworkMeasurement(node_ids=["a", "b"])
+        m.suspect_nodes.add("b")
+        assert "suspect nodes  : b" in m.summary()
+
+    def test_suspects_without_budget_are_kept_but_downgraded(self):
+        downgraded = measure(14, seed=5, frac=0.2, hardened=True)
+        # No cross-validation budget: nothing is quarantined, suspect
+        # edges keep their place with a 'suspect' label.
+        assert not downgraded.quarantined
+        assert CONFIDENCE_SUSPECT in set(downgraded.edge_confidence.values())
+
+
+class TestMeasurementContainers:
+    def test_summary_lines_for_clean_measurement(self):
+        m = NetworkMeasurement(node_ids=["a", "b"])
+        m.add_edges({edge("a", "b")})
+        assert "quarantined" not in m.summary()
+
+    def test_evidence_round_trip_dict(self):
+        item = EdgeEvidence(
+            source="a",
+            sink="b",
+            tx_hash="0xa",
+            observed_at=12.5,
+            kind="direct",
+            rpc_confirmed=True,
+            extra_observers=("c",),
+            iteration=2,
+        )
+        assert EdgeEvidence.from_dict(item.to_dict()) == item
+        assert item.edge == edge("a", "b")
+        assert not item.clean  # an extra observer dirties the evidence

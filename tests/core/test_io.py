@@ -140,3 +140,73 @@ class TestGraphExport:
         assert rows[0] == "node,degree"
         assert "a,1" in rows
         assert "b,2" in rows
+
+
+class TestHardenedRoundTrip:
+    """Evidence, confidence labels, quarantine and suspects persist."""
+
+    @pytest.fixture
+    def hardened_measurement(self):
+        from repro.core.results import (
+            CONFIDENCE_HIGH,
+            CONFIDENCE_QUARANTINED,
+            EdgeEvidence,
+        )
+
+        m = NetworkMeasurement(node_ids=["a", "b", "c"], iterations=2)
+        m.add_edges({edge("a", "b")})
+        m.evidence[edge("a", "b")] = EdgeEvidence(
+            source="a",
+            sink="b",
+            tx_hash="0xaa",
+            observed_at=12.5,
+            kind="direct",
+            rpc_confirmed=True,
+            extra_observers=("c",),
+            iteration=1,
+        )
+        m.edge_confidence[edge("a", "b")] = CONFIDENCE_HIGH
+        m.edge_confidence[edge("a", "c")] = CONFIDENCE_QUARANTINED
+        m.quarantined.add(edge("a", "c"))
+        m.suspect_nodes.add("c")
+        m.score = ValidationScore(
+            1, 0, 1, false_negative_edges=(("b", "c"),)
+        )
+        return m
+
+    def test_round_trip_preserves_adversarial_fields(
+        self, hardened_measurement, tmp_path
+    ):
+        path = save_measurement(hardened_measurement, tmp_path / "m.json")
+        loaded = load_measurement(path)
+        assert loaded.evidence == hardened_measurement.evidence
+        assert loaded.edge_confidence == hardened_measurement.edge_confidence
+        assert loaded.quarantined == hardened_measurement.quarantined
+        assert loaded.suspect_nodes == hardened_measurement.suspect_nodes
+        assert (
+            loaded.score.false_negative_edges
+            == hardened_measurement.score.false_negative_edges
+        )
+        assert loaded.score.false_positive_edges == ()
+
+    def test_payload_stays_json_safe_and_versioned(self, hardened_measurement):
+        payload = measurement_to_dict(hardened_measurement)
+        json.dumps(payload)
+        assert payload["format_version"] == 1  # additive keys only
+
+    def test_legacy_payload_without_new_keys_loads(
+        self, sample_measurement, tmp_path
+    ):
+        payload = measurement_to_dict(sample_measurement)
+        for key in ("evidence", "edge_confidence", "quarantined", "suspect_nodes"):
+            payload.pop(key, None)
+        for key in ("false_positive_edges", "false_negative_edges"):
+            payload["score"].pop(key, None)
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(payload))
+        loaded = load_measurement(path)
+        assert loaded.edges == sample_measurement.edges
+        assert loaded.evidence == {}
+        assert loaded.quarantined == set()
+        assert loaded.suspect_nodes == set()
+        assert loaded.score.false_positive_edges == ()

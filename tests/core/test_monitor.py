@@ -132,3 +132,28 @@ class TestRewire:
         network = quick_network(n_nodes=8, seed=60)
         with pytest.raises(MeasurementError):
             rewire_random_links(network, fraction=1.5)
+
+
+class TestChurnConventions:
+    def test_empty_vs_empty_is_identical(self):
+        from repro.core.monitor import ChurnReport
+
+        report = ChurnReport(
+            from_time=0.0, to_time=1.0, added=set(), removed=set(), stable=set()
+        )
+        assert report.jaccard_similarity == 1.0
+        assert report.churn_rate == 0.0
+
+    def test_edge_appearing_raises_churn_above_empty_baseline(self):
+        from repro.core.monitor import ChurnReport
+        from repro.core.results import edge
+
+        report = ChurnReport(
+            from_time=0.0,
+            to_time=1.0,
+            added={edge("a", "b")},
+            removed=set(),
+            stable=set(),
+        )
+        assert report.jaccard_similarity == 0.0
+        assert report.churn_rate == 1.0

@@ -106,3 +106,27 @@ class TestUnion:
 
     def test_union_of_nothing(self):
         assert union_results([]) == set()
+
+
+class TestOffendingEdgeLists:
+    def test_score_edges_fills_sorted_edge_lists(self):
+        truth = {edge("a", "b"), edge("b", "c")}
+        measured = {edge("a", "b"), edge("c", "d"), edge("a", "d")}
+        score = score_edges(measured, truth)
+        assert score.false_positive_edges == (("a", "d"), ("c", "d"))
+        assert score.false_negative_edges == (("b", "c"),)
+        assert score.false_positives == 2
+        assert score.false_negatives == 1
+
+    def test_str_reports_counts_only(self):
+        truth = {edge("a", "b")}
+        measured = {edge("a", "c")}
+        score = score_edges(measured, truth)
+        assert str(score) == (
+            "precision=0.000 recall=0.000 (tp=0, fp=1, fn=1)"
+        )
+
+    def test_edge_lists_default_empty(self):
+        score = ValidationScore(1, 2, 3)
+        assert score.false_positive_edges == ()
+        assert score.false_negative_edges == ()

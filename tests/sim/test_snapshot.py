@@ -112,3 +112,68 @@ class TestSnapshotPreconditions:
         )
         with pytest.raises(SnapshotError):
             network.restore(state)
+
+
+class TestAdversarialComposition:
+    """Snapshots compose with installed behaviors (and refuse everything
+    else): same behavior set -> bit-exact replay, changed set -> error."""
+
+    def _build_byzantine(self):
+        from repro.eth.behaviors import BehaviorMix
+
+        network, shot = _build(n_nodes=12, seed=7)
+        network.install_behaviors(BehaviorMix.uniform(0.3))
+        network.settle()
+        return network, shot
+
+    def test_byzantine_measurement_replays_identically(self):
+        network, shot = self._build_byzantine()
+        state = shot.snapshot_state()
+        first = shot.measure_network(preprocess=False)
+        actions_first = network.behaviors.total_actions
+
+        shot.restore_state(state)
+        assert network.behaviors.total_actions < actions_first or actions_first == 0
+        second = shot.measure_network(preprocess=False)
+
+        assert second.edges == first.edges
+        assert str(second.score) == str(first.score)
+        assert network.behaviors.total_actions == actions_first
+        assert network.behaviors.counts  # the adversary actually acted
+
+    def test_restore_rejects_cleared_behaviors(self):
+        network, shot = self._build_byzantine()
+        state = network.snapshot()
+        network.clear_behaviors()
+        with pytest.raises(SnapshotError):
+            network.restore(state)
+
+    def test_restore_rejects_behaviors_installed_after_snapshot(self):
+        from repro.eth.behaviors import BehaviorMix
+
+        network, shot = _build(n_nodes=12, seed=7)
+        state = network.snapshot()
+        network.install_behaviors(BehaviorMix.uniform(0.3))
+        with pytest.raises(SnapshotError):
+            network.restore(state)
+
+    def test_snapshot_rejects_installed_invariants(self):
+        network, shot = _build(n_nodes=12, seed=7)
+        state = network.snapshot()
+        network.install_invariants()
+        with pytest.raises(SnapshotError):
+            network.snapshot()
+        with pytest.raises(SnapshotError):
+            network.restore(state)
+        network.clear_invariants()
+        network.restore(state)  # fine again
+
+    def test_armed_faults_with_behaviors_still_rejected(self):
+        from repro.sim.faults import FaultPlan
+
+        network, shot = self._build_byzantine()
+        network.install_faults(FaultPlan(loss_rate=0.1))
+        with pytest.raises(SnapshotError):
+            network.snapshot()
+        network.clear_faults()
+        network.snapshot()
