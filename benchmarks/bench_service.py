@@ -1,0 +1,484 @@
+"""Measurement-service load test: throughput, tail latency under abuse,
+typed load shedding, and crash recovery.
+
+Four phases, all against a real service instance on a loopback socket:
+
+1. **Uncontended baseline** — N simulated clients (threads, one tenant
+   each) submit synthetic jobs and wait for results; reports jobs/s and
+   the p50/p99 submit-to-result latency.
+2. **Overload with an abusive tenant** — hammer threads submit far over
+   quota in a tight retry loop while honest tenants keep their modest
+   rate.  Gates: the abuse is shed with *typed* rejections (429
+   ``quota_exceeded``/``queue_full``), every honest job completes, and
+   the honest-tenant p99 stays within ``MAX_P99_RATIO``x of the baseline
+   (with a small absolute floor so sub-100ms baselines don't turn
+   scheduler noise into failures).
+3. **Fairness** — both tenants share one saturated executor; reports the
+   honest completion share versus the flood.
+4. **Crash recovery** — the service is killed without ceremony mid-queue;
+   gates: the restarted service recovers every journaled job (none lost,
+   none duplicated) and finishes them, reporting the wall-clock recovery
+   time.
+
+Standalone (full load, writes benchmarks/results/BENCH_service.json)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+
+Pytest smoke (small fleet, same JSON artifact)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service.py \
+        -k smoke --benchmark-disable -q
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import platform
+import sys
+import threading
+from pathlib import Path
+from time import perf_counter, sleep
+
+import pytest
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.harness import RESULTS_DIR, emit, run_once
+from repro.errors import ServiceError
+from repro.service import (
+    MeasurementService,
+    ServiceClient,
+    ServiceClientError,
+    ServiceConfig,
+    TenantQuota,
+)
+
+JSON_PATH = RESULTS_DIR / "BENCH_service.json"
+
+# Gates (see docs/service.md).
+MAX_P99_RATIO = 2.0     # honest p99 under abuse vs uncontended baseline
+P99_FLOOR_S = 0.75      # absolute floor: ratios on tiny baselines are noise
+MAX_RECOVERY_S = 30.0   # restart -> every journaled job terminal
+
+SMOKE_SCENARIO = {
+    "name": "smoke",
+    "baseline_clients": 8,
+    "baseline_jobs_each": 3,
+    "honest_clients": 4,
+    "honest_jobs_each": 3,
+    "abusive_threads": 3,
+    "recovery_queued": 6,
+    "max_concurrent": 4,
+}
+FULL_SCENARIO = {
+    "name": "full",
+    "baseline_clients": 200,
+    "baseline_jobs_each": 2,
+    "honest_clients": 20,
+    "honest_jobs_each": 5,
+    "abusive_threads": 8,
+    "recovery_queued": 40,
+    "max_concurrent": max(4, (os.cpu_count() or 4)),
+}
+
+_JOB_PARAMS = {"steps": 1, "step_duration": 0.005}
+
+
+# ----------------------------------------------------------------------
+# Service-in-a-thread harness
+# ----------------------------------------------------------------------
+class ServiceThread:
+    """Run a MeasurementService on its own event loop in a daemon thread.
+
+    ``stop("graceful")`` is the SIGTERM path (drain + journal);
+    ``stop("crash")`` kills the coroutines without any drain courtesy —
+    the closest single-process stand-in for SIGKILL (journal appends are
+    already fsynced, nothing else is written).
+    """
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self._config = config
+        self._ready = threading.Event()
+        self._mode = "graceful"
+        self.service: MeasurementService = None  # type: ignore[assignment]
+        self.loop: asyncio.AbstractEventLoop = None  # type: ignore[assignment]
+        self._stopped: asyncio.Event = None  # type: ignore[assignment]
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise ServiceError("service thread failed to start")
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self.service = MeasurementService(self._config)
+        await self.service.start()
+        self.loop = asyncio.get_running_loop()
+        self._stopped = asyncio.Event()
+        self._ready.set()
+        await self._stopped.wait()
+        if self._mode == "graceful":
+            await self.service.shutdown()
+        else:
+            svc = self.service
+            svc._stopping = True
+            if svc._dispatcher is not None:
+                svc._dispatcher.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await svc._dispatcher
+            if svc._tasks:
+                await asyncio.gather(*list(svc._tasks), return_exceptions=True)
+            svc._server.close()
+            await svc._server.wait_closed()
+
+    def freeze_dispatch(self) -> None:
+        """Stop handing out executor slots (keeps new jobs queued)."""
+        self.loop.call_soon_threadsafe(setattr, self.service, "_slots", 0)
+
+    def stop(self, mode: str = "graceful") -> None:
+        self._mode = mode
+        self.loop.call_soon_threadsafe(self._stopped.set)
+        self._thread.join(timeout=120)
+
+
+def _generous_config(state_dir, scenario) -> ServiceConfig:
+    return ServiceConfig(
+        state_dir=state_dir,
+        max_concurrent=scenario["max_concurrent"],
+        max_running_per_tenant=2,
+        default_quota=TenantQuota(
+            jobs_per_second=1000.0, job_burst=1000.0,
+            node_seconds_per_second=1e6, node_seconds_burst=1e6,
+            max_queued=1000,
+        ),
+        global_jobs_per_second=5000.0,
+        global_job_burst=5000.0,
+        max_queued_total=5000,
+        journal_fsync=False,  # measuring scheduling, not disk syncs
+    )
+
+
+def _percentile(samples, q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def _run_clients(n_clients: int, worker) -> list:
+    """Run ``worker(client_index, out_list)`` in one thread per client."""
+    outputs = [[] for _ in range(n_clients)]
+    threads = [
+        threading.Thread(target=worker, args=(i, outputs[i]), daemon=True)
+        for i in range(n_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300)
+    return outputs
+
+
+# ----------------------------------------------------------------------
+# Phase 1+: baseline throughput / latency
+# ----------------------------------------------------------------------
+def bench_baseline(state_dir, scenario) -> dict:
+    harness = ServiceThread(_generous_config(state_dir, scenario))
+    try:
+        def client_worker(index: int, out: list) -> None:
+            client = ServiceClient.from_state_dir(state_dir)
+            for _ in range(scenario["baseline_jobs_each"]):
+                start = perf_counter()
+                job = client.submit(
+                    tenant=f"client-{index}", kind="synthetic",
+                    params=_JOB_PARAMS,
+                )
+                record = client.wait(job["spec"]["job_id"], timeout=120)
+                assert record["state"] == "done", record
+                out.append(perf_counter() - start)
+
+        wall_start = perf_counter()
+        latencies = [
+            latency
+            for out in _run_clients(scenario["baseline_clients"], client_worker)
+            for latency in out
+        ]
+        wall = perf_counter() - wall_start
+    finally:
+        harness.stop("graceful")
+    total = scenario["baseline_clients"] * scenario["baseline_jobs_each"]
+    assert len(latencies) == total
+    return {
+        "clients": scenario["baseline_clients"],
+        "jobs": total,
+        "wall_s": round(wall, 3),
+        "jobs_per_second": round(total / wall, 2),
+        "p50_s": round(_percentile(latencies, 0.50), 4),
+        "p99_s": round(_percentile(latencies, 0.99), 4),
+    }
+
+
+# ----------------------------------------------------------------------
+# Phase 2+3: overload with an abusive tenant
+# ----------------------------------------------------------------------
+def bench_overload(state_dir, scenario, baseline: dict) -> dict:
+    config = ServiceConfig(
+        state_dir=state_dir,
+        max_concurrent=scenario["max_concurrent"],
+        max_running_per_tenant=max(1, scenario["max_concurrent"] // 2),
+        # Tight enough that the flood sheds, roomy enough that honest
+        # tenants (~1 job in flight each) never hit their own quota.
+        default_quota=TenantQuota(
+            jobs_per_second=20.0, job_burst=20.0,
+            node_seconds_per_second=1e6, node_seconds_burst=1e6,
+            max_queued=10,
+        ),
+        global_jobs_per_second=200.0,
+        global_job_burst=200.0,
+        max_queued_total=100,
+        journal_fsync=False,
+    )
+    harness = ServiceThread(config)
+    stop_abuse = threading.Event()
+    abuse_stats = {"accepted": 0, "rejected": 0, "other_errors": 0}
+    abuse_lock = threading.Lock()
+
+    def abuser(_index: int, _out: list) -> None:
+        client = ServiceClient.from_state_dir(state_dir)
+        while not stop_abuse.is_set():
+            try:
+                client.submit(
+                    tenant="abuser", kind="synthetic", params=_JOB_PARAMS
+                )
+                with abuse_lock:
+                    abuse_stats["accepted"] += 1
+            except ServiceClientError as exc:
+                ok = exc.status == 429 and exc.error_type in (
+                    "quota_exceeded", "queue_full",
+                )
+                with abuse_lock:
+                    abuse_stats["rejected" if ok else "other_errors"] += 1
+            except ServiceError:
+                with abuse_lock:
+                    abuse_stats["other_errors"] += 1
+
+    try:
+        abuse_threads = [
+            threading.Thread(target=abuser, args=(i, None), daemon=True)
+            for i in range(scenario["abusive_threads"])
+        ]
+        for thread in abuse_threads:
+            thread.start()
+        sleep(0.3)  # let the flood saturate the queue first
+
+        def honest_worker(index: int, out: list) -> None:
+            client = ServiceClient.from_state_dir(state_dir)
+            for _ in range(scenario["honest_jobs_each"]):
+                start = perf_counter()
+                job = None
+                while job is None:
+                    try:
+                        job = client.submit(
+                            tenant=f"honest-{index}", kind="synthetic",
+                            params=_JOB_PARAMS,
+                        )
+                    except ServiceClientError as exc:
+                        # Honest clients respect the typed backoff hint.
+                        sleep(exc.retry_after or 0.1)
+                record = client.wait(job["spec"]["job_id"], timeout=120)
+                assert record["state"] == "done", record
+                out.append(perf_counter() - start)
+
+        honest_latencies = [
+            latency
+            for out in _run_clients(scenario["honest_clients"], honest_worker)
+            for latency in out
+        ]
+        stop_abuse.set()
+        for thread in abuse_threads:
+            thread.join(timeout=30)
+        stats = ServiceClient.from_state_dir(state_dir).metrics()["service"]
+    finally:
+        stop_abuse.set()
+        harness.stop("graceful")
+
+    honest_total = scenario["honest_clients"] * scenario["honest_jobs_each"]
+    assert len(honest_latencies) == honest_total
+    honest_p99 = _percentile(honest_latencies, 0.99)
+    completed = stats["jobs_by_state"].get("done", 0)
+    fairness_share = honest_total / completed if completed else 0.0
+    return {
+        "honest": {
+            "clients": scenario["honest_clients"],
+            "jobs": honest_total,
+            "p50_s": round(_percentile(honest_latencies, 0.50), 4),
+            "p99_s": round(honest_p99, 4),
+            "p99_ratio_vs_baseline": round(
+                honest_p99 / baseline["p99_s"], 2
+            ) if baseline["p99_s"] else None,
+        },
+        "abusive": dict(abuse_stats),
+        "service_rejected": stats["rejected"],
+        "fairness": {
+            "completed_total": completed,
+            "honest_share": round(fairness_share, 3),
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Phase 4: crash recovery
+# ----------------------------------------------------------------------
+def bench_recovery(state_dir, scenario) -> dict:
+    harness = ServiceThread(_generous_config(state_dir, scenario))
+    client = ServiceClient.from_state_dir(state_dir)
+    try:
+        done = client.submit(tenant="t", kind="synthetic", params=_JOB_PARAMS)
+        client.wait(done["spec"]["job_id"], timeout=60)
+        harness.freeze_dispatch()
+        queued_ids = [
+            client.submit(
+                tenant="t", kind="synthetic", params=_JOB_PARAMS,
+                job_id=f"t-recover{n}",
+            )["spec"]["job_id"]
+            for n in range(scenario["recovery_queued"])
+        ]
+    finally:
+        harness.stop("crash")
+
+    restart_start = perf_counter()
+    harness2 = ServiceThread(_generous_config(state_dir, scenario))
+    try:
+        client2 = ServiceClient.from_state_dir(state_dir)
+        for job_id in queued_ids:
+            record = client2.wait(job_id, timeout=MAX_RECOVERY_S)
+            assert record["state"] == "done", record
+            assert record["recovered"], record
+        recovery_s = perf_counter() - restart_start
+        jobs = client2.jobs()
+        old = client2.job(done["spec"]["job_id"])
+    finally:
+        harness2.stop("graceful")
+    assert old["state"] == "done", "finished result lost across the crash"
+    assert len(jobs) == 1 + len(queued_ids), "jobs lost or duplicated"
+    return {
+        "queued_at_crash": len(queued_ids),
+        "recovered": len(queued_ids),
+        "recovery_s": round(recovery_s, 3),
+    }
+
+
+# ----------------------------------------------------------------------
+# Reporting / gates
+# ----------------------------------------------------------------------
+def write_results(sections: dict, kind: str) -> dict:
+    payload = {
+        "benchmark": "service",
+        "kind": kind,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "gates": {
+            "max_p99_ratio": MAX_P99_RATIO,
+            "p99_floor_s": P99_FLOOR_S,
+            "max_recovery_s": MAX_RECOVERY_S,
+        },
+        **sections,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return payload
+
+
+def format_report(sections: dict) -> str:
+    baseline = sections["baseline"]
+    overload = sections["overload"]
+    recovery = sections["recovery"]
+    lines = [
+        f"baseline : {baseline['jobs']} jobs from {baseline['clients']} "
+        f"clients at {baseline['jobs_per_second']:.1f} jobs/s "
+        f"(p50 {baseline['p50_s']*1000:.0f}ms, p99 {baseline['p99_s']*1000:.0f}ms)",
+        f"overload : honest p99 {overload['honest']['p99_s']*1000:.0f}ms "
+        f"({overload['honest']['p99_ratio_vs_baseline']}x baseline); "
+        f"abusive flood: {overload['abusive']['accepted']} accepted, "
+        f"{overload['abusive']['rejected']} shed with typed 429s",
+        f"fairness : honest share of completed work "
+        f"{overload['fairness']['honest_share']:.0%} "
+        f"({overload['fairness']['completed_total']} jobs completed)",
+        f"recovery : {recovery['recovered']}/{recovery['queued_at_crash']} "
+        f"journaled jobs recovered in {recovery['recovery_s']:.2f}s",
+    ]
+    return "\n".join(lines)
+
+
+def check_gates(sections: dict) -> None:
+    overload = sections["overload"]
+    baseline = sections["baseline"]
+    recovery = sections["recovery"]
+    assert overload["abusive"]["rejected"] > 0, (
+        "the abusive flood was never shed: admission control is not binding"
+    )
+    assert overload["abusive"]["other_errors"] == 0, (
+        f"abuse produced untyped errors: {overload['abusive']}"
+    )
+    honest_p99 = overload["honest"]["p99_s"]
+    bound = max(MAX_P99_RATIO * baseline["p99_s"], P99_FLOOR_S)
+    assert honest_p99 <= bound, (
+        f"honest-tenant p99 {honest_p99:.3f}s exceeds "
+        f"{MAX_P99_RATIO}x baseline ({baseline['p99_s']:.3f}s, "
+        f"floor {P99_FLOOR_S}s)"
+    )
+    assert recovery["recovered"] == recovery["queued_at_crash"]
+    assert recovery["recovery_s"] <= MAX_RECOVERY_S
+
+
+def run_scenario(scenario: dict, root: Path) -> dict:
+    sections = {}
+    sections["baseline"] = bench_baseline(root / "baseline", scenario)
+    sections["overload"] = bench_overload(
+        root / "overload", scenario, sections["baseline"]
+    )
+    sections["recovery"] = bench_recovery(root / "recovery", scenario)
+    return sections
+
+
+@pytest.mark.benchmark(group="service")
+def test_service_smoke(benchmark, tmp_path):
+    """CI smoke: shed the flood with typed 429s, keep the honest tenant's
+    tail latency bounded, and recover every journaled job after a crash."""
+    sections = run_once(
+        benchmark, lambda: run_scenario(SMOKE_SCENARIO, tmp_path)
+    )
+    write_results(sections, kind="smoke")
+    emit("service_smoke", format_report(sections))
+    check_gates(sections)
+
+
+def main() -> int:
+    import tempfile
+
+    scenario = FULL_SCENARIO
+    print(
+        f"[service] load test: {scenario['baseline_clients']} baseline "
+        f"clients, {scenario['abusive_threads']} abuse threads, "
+        f"{scenario['recovery_queued']} jobs through a crash"
+    )
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as tmp:
+        sections = run_scenario(scenario, Path(tmp))
+    write_results(sections, kind="full")
+    emit("service", format_report(sections))
+    try:
+        check_gates(sections)
+    except AssertionError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    print("OK: all service gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

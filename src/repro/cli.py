@@ -1,11 +1,13 @@
 """Command-line interface.
 
-Four subcommands mirroring the main workflows::
+Subcommands mirroring the main workflows::
 
     toposhot-repro measure --preset ropsten --seed 1 --repeats 3
     toposhot-repro profile
     toposhot-repro schedule --nodes 500 --budget 2000
     toposhot-repro estimate-cost --nodes 8000 --eth-price 2700
+    toposhot-repro serve --state-dir service-state
+    toposhot-repro submit --tenant alice --nodes 16 --wait
 
 Also runnable as ``python -m repro.cli ...``.
 """
@@ -171,6 +173,60 @@ def _build_parser() -> argparse.ArgumentParser:
         "--per-pair", type=float, default=PAPER_COST_PER_PAIR_ETHER,
         help="Ether cost per measured pair (paper: 7.1e-4)",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the resilient measurement service (see docs/service.md)",
+    )
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="0 binds an ephemeral port; the actual endpoint is written to "
+             "STATE_DIR/endpoint.json either way",
+    )
+    serve.add_argument(
+        "--state-dir", type=str, default="service-state", metavar="DIR",
+        help="journal, checkpoints and endpoint file live here",
+    )
+    serve.add_argument("--max-concurrent", type=int, default=2,
+                       help="executor slots (jobs running at once)")
+    serve.add_argument(
+        "--config", type=str, default=None, metavar="FILE",
+        help="JSON ServiceConfig overriding the flags (quotas, breaker, "
+             "backoff; see docs/service.md)",
+    )
+    serve.add_argument("--no-fsync", action="store_true",
+                       help="skip journal fsyncs (tests only; crash-unsafe)")
+    serve.add_argument("--obs", action="store_true",
+                       help="enable observability (adds obs to /v1/metrics)")
+
+    submit = sub.add_parser(
+        "submit", help="submit a job to a running measurement service"
+    )
+    submit.add_argument(
+        "--state-dir", type=str, default="service-state", metavar="DIR",
+        help="find the service via DIR/endpoint.json",
+    )
+    submit.add_argument("--tenant", type=str, required=True)
+    submit.add_argument("--kind", choices=("measure", "synthetic"),
+                        default="measure")
+    submit.add_argument(
+        "--params", type=str, default=None, metavar="JSON",
+        help="kind-specific params as inline JSON (overrides --nodes/...)",
+    )
+    submit.add_argument("--nodes", type=int, default=24,
+                        help="measure: network size")
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--repeats", type=int, default=1)
+    submit.add_argument("--workers", type=int, default=1)
+    submit.add_argument("--deadline", type=float, default=None,
+                        help="wall-clock seconds before the job times out "
+                             "(partial results survive)")
+    submit.add_argument("--max-attempts", type=int, default=3)
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job reaches a terminal state")
+    submit.add_argument("--timeout", type=float, default=300.0,
+                        help="--wait limit in seconds")
     return parser
 
 
@@ -417,6 +473,70 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import NULL, Observability
+    from repro.service import ServiceConfig, run_service
+
+    if args.config:
+        with open(args.config, "r", encoding="utf-8") as handle:
+            config = ServiceConfig.from_dict(json.load(handle))
+    else:
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            state_dir=args.state_dir,
+            max_concurrent=args.max_concurrent,
+            journal_fsync=not args.no_fsync,
+        )
+    obs = Observability() if args.obs else NULL
+    print(
+        f"measurement service starting (state dir: {config.state_dir}; "
+        "endpoint written to endpoint.json there; SIGTERM drains gracefully)"
+    )
+    run_service(config, obs=obs)
+    print("measurement service drained and stopped")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ServiceError
+    from repro.service import ServiceClient
+
+    if args.params:
+        params = json.loads(args.params)
+    elif args.kind == "measure":
+        from repro.core.parallel_exec import CampaignSpec
+        from repro.netgen.ethereum import NetworkSpec
+
+        campaign = CampaignSpec(
+            network=NetworkSpec(n_nodes=args.nodes, seed=args.seed),
+            repeats=args.repeats,
+        )
+        params = {"campaign": campaign.to_dict(), "workers": args.workers}
+    else:
+        params = {"steps": 1}
+    try:
+        client = ServiceClient.from_state_dir(args.state_dir)
+        job = client.submit(
+            tenant=args.tenant,
+            kind=args.kind,
+            params=params,
+            deadline=args.deadline,
+            max_attempts=args.max_attempts,
+        )
+        if args.wait:
+            job = client.wait(job["spec"]["job_id"], timeout=args.timeout)
+    except ServiceError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(job, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_estimate_cost(args: argparse.Namespace) -> int:
     estimate = MainnetEstimate(
         n_nodes=args.nodes,
@@ -435,6 +555,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "schedule": _cmd_schedule,
         "analyze": _cmd_analyze,
         "estimate-cost": _cmd_estimate_cost,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
     }
     return handlers[args.command](args)
 

@@ -26,7 +26,6 @@ output is bit-identical for any worker count.
 from __future__ import annotations
 
 import json
-import os
 from collections import Counter
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -145,18 +144,22 @@ class CampaignCheckpoint:
         return checkpoint
 
     def save(self, path: PathLike) -> Path:
-        """Atomic write (tmp + rename): a kill mid-save leaves the old file."""
-        target = Path(path)
-        tmp = target.with_suffix(target.suffix + ".tmp")
-        tmp.write_text(
-            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
+        """Atomic durable write (tmp + fsync + rename): a kill mid-save
+        leaves the old file, a power cut never surfaces a torn one."""
+        from repro.io import atomic_write_text
+
+        return atomic_write_text(
+            path, json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
         )
-        os.replace(tmp, target)
-        return target
 
     @classmethod
     def load(cls, path: PathLike) -> "CampaignCheckpoint":
+        from repro.io import cleanup_orphan_tmp
+
+        # A crash mid-save may leave a partial sibling ``.tmp``; the real
+        # checkpoint (the last committed rename) is untouched, so reap the
+        # orphan before reading.
+        cleanup_orphan_tmp(path)
         try:
             payload = json.loads(Path(path).read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError) as exc:

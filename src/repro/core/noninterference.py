@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
+from repro.errors import MeasurementError
 from repro.eth.chain import Block, Chain
 
 
@@ -168,7 +169,7 @@ class NonInterferenceMonitor:
 
     def verify(self) -> NonInterferenceReport:
         if self._t1 is None or self._t2 is None:
-            raise RuntimeError("monitor must be started and stopped first")
+            raise MeasurementError("monitor must be started and stopped first")
         return check_conditions(
             self.chain, self._t1, self._t2, self.y0, self.expiry
         )

@@ -40,7 +40,6 @@ are distinct execution semantics, not byte-for-byte interchangeable.
 from __future__ import annotations
 
 import json
-import os
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
@@ -608,18 +607,19 @@ class ParallelCheckpoint:
             ) from exc
 
     def save(self, path: PathLike) -> Path:
-        """Atomic write (tmp + rename), like the serial checkpoint."""
-        target = Path(path)
-        tmp = target.with_suffix(target.suffix + ".tmp")
-        tmp.write_text(
-            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
+        """Atomic durable write (tmp + fsync + rename), like the serial
+        checkpoint."""
+        from repro.io import atomic_write_text
+
+        return atomic_write_text(
+            path, json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
         )
-        os.replace(tmp, target)
-        return target
 
     @classmethod
     def load(cls, path: PathLike) -> "ParallelCheckpoint":
+        from repro.io import cleanup_orphan_tmp
+
+        cleanup_orphan_tmp(path)
         try:
             payload = json.loads(Path(path).read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError) as exc:

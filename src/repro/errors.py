@@ -23,6 +23,14 @@ class NetworkError(ReproError):
     """Invalid network construction or wiring (unknown node, bad link...)."""
 
 
+class NodeDetachedError(NetworkError):
+    """A node operation required network attachment but the node has none."""
+
+    def __init__(self, node_id: str) -> None:
+        super().__init__(f"node {node_id} is not attached to a network")
+        self.node_id = node_id
+
+
 class UnknownNodeError(NetworkError):
     """A node id was referenced that is not part of the network."""
 
@@ -120,3 +128,93 @@ class NonInterferenceViolation(MeasurementError):
 
 class AnalysisError(ReproError):
     """Graph analysis could not be computed (e.g. metrics on an empty graph)."""
+
+
+# ----------------------------------------------------------------------
+# Measurement-service taxonomy (repro.service)
+# ----------------------------------------------------------------------
+class ServiceError(ReproError):
+    """Base class for measurement-service failures (repro.service).
+
+    Every subclass carries a stable ``code`` used as the machine-readable
+    error type in API responses and journal records, so clients and the
+    recovery path dispatch on ``code`` rather than parsing messages.
+    """
+
+    code = "service_error"
+    #: HTTP-ish status the API layer maps this error to.
+    http_status = 500
+
+    def to_dict(self) -> dict:
+        return {"type": self.code, "detail": str(self)}
+
+
+class AdmissionRejected(ServiceError):
+    """Base for typed 429-style load-shedding rejections.
+
+    ``retry_after`` is the server's hint (in seconds) for when a retry
+    could succeed — the token-bucket refill horizon for quota rejections,
+    a fixed pushback for full queues.
+    """
+
+    code = "admission_rejected"
+    http_status = 429
+
+    def __init__(self, detail: str, retry_after: float = 1.0) -> None:
+        super().__init__(detail)
+        self.retry_after = float(retry_after)
+
+    def to_dict(self) -> dict:
+        payload = super().to_dict()
+        payload["retry_after"] = self.retry_after
+        return payload
+
+
+class QuotaExceeded(AdmissionRejected):
+    """A tenant's token-bucket quota (jobs/s or node-seconds/s) ran dry."""
+
+    code = "quota_exceeded"
+
+
+class QueueFull(AdmissionRejected):
+    """A bounded queue (global or per-tenant) is at capacity: load is shed
+    instead of growing the queue without bound."""
+
+    code = "queue_full"
+
+
+class JobTimeout(ServiceError):
+    """A job exceeded its deadline; completed shards survive as a partial
+    result (checkpointed at shard granularity)."""
+
+    code = "job_timeout"
+    http_status = 504
+
+
+class JobCancelled(ServiceError):
+    """A job was cancelled (by the client, or requeued by a service drain)."""
+
+    code = "job_cancelled"
+    http_status = 409
+
+    def __init__(self, detail: str = "job cancelled", requeue: bool = False) -> None:
+        super().__init__(detail)
+        #: Drain-time cancellations requeue the job instead of killing it.
+        self.requeue = requeue
+
+
+class CircuitOpen(ServiceError):
+    """The worker-pool circuit breaker is open: execution is failing fast
+    instead of hammering a broken pool. Jobs are requeued, not failed."""
+
+    code = "circuit_open"
+    http_status = 503
+
+    def __init__(self, detail: str, retry_after: float = 0.0) -> None:
+        super().__init__(detail)
+        self.retry_after = float(retry_after)
+
+    def to_dict(self) -> dict:
+        payload = super().to_dict()
+        payload["retry_after"] = self.retry_after
+        return payload

@@ -34,6 +34,7 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
+from repro.errors import NodeDetachedError
 from repro.eth.chain import Block
 from repro.eth.mempool import AddOutcome, AddResult, Mempool
 from repro.eth.messages import (
@@ -608,7 +609,7 @@ class Node:
         peers = self.peers
         network = self.network
         if network is None:
-            raise RuntimeError(f"node {self.id} is not attached to a network")
+            raise NodeDetachedError(self.id)
         send = network.send  # bypass _send: most messages leave via flush
         my_id = self.id
         push_queue, self._push_queue = self._push_queue, {}
@@ -723,7 +724,7 @@ class Node:
     def _send(self, to_id: str, msg: Message) -> None:
         network = self.network
         if network is None:
-            raise RuntimeError(f"node {self.id} is not attached to a network")
+            raise NodeDetachedError(self.id)
         network.send(self.id, to_id, msg)
 
     def __repr__(self) -> str:

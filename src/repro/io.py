@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import csv
 import json
+import os
 from pathlib import Path
 from typing import Union
 
@@ -30,6 +31,67 @@ FORMAT_VERSION = 1
 
 class SerializationError(ReproError):
     """The file could not be parsed as a measurement."""
+
+
+# ----------------------------------------------------------------------
+# Crash-safe file writing (checkpoints, journals)
+# ----------------------------------------------------------------------
+def atomic_write_text(path: PathLike, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically *and durably*.
+
+    The durability discipline matters for checkpoint/journal files that
+    must survive a power cut, not just a process kill:
+
+    1. write to a ``<path>.tmp`` sibling;
+    2. ``fsync`` the tmp file — the bytes are on disk *before* the rename
+       makes them visible (rename-before-fsync can surface a zero-length
+       file after a crash on journaling filesystems);
+    3. ``os.replace`` onto the target (atomic on POSIX);
+    4. ``fsync`` the containing directory so the rename itself is durable.
+
+    A crash at any point leaves either the old complete file or the new
+    complete file, never a torn mixture — plus possibly an orphaned
+    ``.tmp``, which :func:`cleanup_orphan_tmp` reaps on the next resume.
+    """
+    target = Path(path)
+    tmp = target.with_suffix(target.suffix + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target)
+    _fsync_dir(target.parent)
+    return target
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory entry; best-effort on platforms without dir fds."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def cleanup_orphan_tmp(path: PathLike) -> bool:
+    """Remove a ``<path>.tmp`` left behind by a crash mid-atomic-write.
+
+    Safe to call unconditionally before reading ``path``: the tmp sibling
+    is only ever a partial or superseded write (the rename in
+    :func:`atomic_write_text` is the commit point), so deleting it can
+    never lose committed data. Returns True if an orphan was removed.
+    """
+    tmp = Path(path).with_suffix(Path(path).suffix + ".tmp")
+    try:
+        tmp.unlink()
+        return True
+    except FileNotFoundError:
+        return False
 
 
 def measurement_to_dict(measurement: NetworkMeasurement) -> dict:

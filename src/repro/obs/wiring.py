@@ -24,6 +24,7 @@ from repro.obs import Observability
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from repro.eth.network import Network
+    from repro.service.server import MeasurementService
     from repro.sim.engine import Simulator
 
 # Metric names (the catalog; keep docs/observability.md in sync).
@@ -74,6 +75,21 @@ MONITOR_LAST_CHURN = "toposhot_monitor_last_churn_rate"
 MONITOR_EDGES_ADDED = "toposhot_monitor_edges_added_total"
 MONITOR_EDGES_REMOVED = "toposhot_monitor_edges_removed_total"
 
+SERVICE_QUEUE_DEPTH = "toposhot_service_queue_depth"
+SERVICE_RUNNING = "toposhot_service_running_jobs"
+SERVICE_JOBS_BY_STATE = "toposhot_service_jobs"
+SERVICE_ADMITTED = "toposhot_service_admitted_total"
+SERVICE_REJECTED = "toposhot_service_rejected_total"
+SERVICE_RECOVERED = "toposhot_service_recovered_jobs_total"
+SERVICE_RETRIES = "toposhot_service_retries_total"
+SERVICE_TENANT_TOKENS = "toposhot_service_tenant_tokens"
+SERVICE_BREAKER_STATE = "toposhot_service_breaker_state"
+SERVICE_BREAKER_TRIPS = "toposhot_service_breaker_trips_total"
+SERVICE_JOURNAL_APPENDS = "toposhot_service_journal_appends_total"
+SERVICE_QUEUE_SECONDS = "toposhot_service_queue_seconds"
+SERVICE_RUN_SECONDS = "toposhot_service_run_seconds"
+SERVICE_TOTAL_SECONDS = "toposhot_service_total_seconds"
+
 
 def instrument_simulator(obs: Observability, sim: "Simulator") -> None:
     """Mirror the engine's own counters into the registry at collect time."""
@@ -92,6 +108,91 @@ def instrument_simulator(obs: Observability, sim: "Simulator") -> None:
         time_gauge.set(sim.now)
         executed.set_total(sim.executed_events)
         pending.set(sim.pending_events)
+
+    registry.add_collector(collect)
+
+
+def instrument_service(
+    obs: Observability, service: "MeasurementService"
+) -> None:
+    """Mirror the measurement service's counters into the registry.
+
+    Pull-style like the rest of the stack: queue depths, admission and
+    shed counters, per-tenant token levels and breaker state are read at
+    collect/export time from state the service maintains anyway.  The
+    submit-to-result latency *histograms* (``SERVICE_*_SECONDS``) are the
+    push exception — completions are cold events, observed directly in
+    :meth:`MeasurementService._observe_completion`.
+    """
+    if not obs.enabled:
+        return
+    from repro.service.jobs import STATES as service_states
+
+    registry = obs.metrics
+    queue_gauge = registry.gauge(
+        SERVICE_QUEUE_DEPTH, "Jobs queued across all tenants"
+    )
+    running_gauge = registry.gauge(
+        SERVICE_RUNNING, "Jobs currently executing"
+    )
+    admitted = registry.counter(
+        SERVICE_ADMITTED, "Jobs that passed admission control"
+    )
+    recovered = registry.counter(
+        SERVICE_RECOVERED, "Jobs requeued by journal recovery"
+    )
+    retries = registry.counter(
+        SERVICE_RETRIES, "Attempt retries performed by the supervisor"
+    )
+    breaker_gauge = registry.gauge(
+        SERVICE_BREAKER_STATE,
+        "Circuit breaker state (0=closed, 1=half_open, 2=open)",
+    )
+    trips = registry.counter(
+        SERVICE_BREAKER_TRIPS, "Times the circuit breaker opened"
+    )
+    journal_appends = registry.counter(
+        SERVICE_JOURNAL_APPENDS, "Durable journal appends"
+    )
+    breaker_levels = {"closed": 0, "half_open": 1, "open": 2}
+
+    def collect() -> None:
+        scheduler = service.scheduler
+        admission = service.admission
+        queue_gauge.set(scheduler.queued_total())
+        for tenant, depth in scheduler.depths().items():
+            registry.gauge(
+                SERVICE_QUEUE_DEPTH, "Jobs queued across all tenants",
+                labels={"tenant": tenant},
+            ).set(depth)
+        running_gauge.set(sum(service._running.values()))
+        admitted.set_total(admission.admitted_total)
+        for reason, count in admission.rejected.items():
+            registry.counter(
+                SERVICE_REJECTED, "Typed admission rejections, by reason",
+                labels={"reason": reason},
+            ).set_total(count)
+        for tenant, levels in admission.token_levels().items():
+            for currency, value in levels.items():
+                registry.gauge(
+                    SERVICE_TENANT_TOKENS,
+                    "Remaining tenant tokens, by currency",
+                    labels={"tenant": tenant, "currency": currency},
+                ).set(value)
+        by_state = {state: 0 for state in service_states}
+        for record in service.records.values():
+            by_state[record.state] += 1
+        for state, count in by_state.items():
+            registry.gauge(
+                SERVICE_JOBS_BY_STATE, "Jobs by lifecycle state",
+                labels={"state": state},
+            ).set(count)
+        recovered.set_total(service.recovered_jobs)
+        retries.set_total(service.supervisor.retries_total)
+        breaker_gauge.set(breaker_levels.get(service.breaker.state, 0))
+        trips.set_total(service.breaker.trips_total)
+        if service.journal is not None:
+            journal_appends.set_total(service.journal.appends_total)
 
     registry.add_collector(collect)
 

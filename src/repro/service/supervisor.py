@@ -1,0 +1,532 @@
+"""Supervised job execution: retries, deadlines, circuit breaking.
+
+The supervisor runs inside an executor *thread* (the asyncio loop stays
+responsive); everything here is synchronous.  One job execution is the
+attempt loop::
+
+    while True:
+        breaker.allow() or raise CircuitOpen        # fail fast, requeue
+        try: result = kind_executor(record, ctx)    # cooperative stops
+        except infra failure:
+            breaker.record_failure()
+            attempts exhausted -> FAILED (partial result if any)
+            else sleep(backoff * jitter); backoff *= factor; retry
+
+Cooperative stops (deadline, client cancel, service drain) surface at
+**shard boundaries**: the measure executor passes a heartbeat into
+``run_campaign``'s per-shard progress hook, so by the time a stop raises,
+a shard-granular checkpoint is already durable on disk — which is what
+makes a timed-out or drained job resumable and lets it report a partial
+result with confidence labels instead of erroring.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from repro.errors import (
+    CircuitOpen,
+    JobCancelled,
+    JobTimeout,
+    ServiceError,
+)
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    KIND_MEASURE,
+    KIND_SYNTHETIC,
+    TIMED_OUT,
+    JobRecord,
+)
+
+Clock = Callable[[], float]
+
+# Confidence label attached to partial results (extends the campaign's
+# high/cross_validated/suspect/quarantined edge-label vocabulary at the
+# whole-result level).
+CONFIDENCE_PARTIAL = "partial"
+CONFIDENCE_COMPLETE = "complete"
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+class CircuitBreaker:
+    """Classic three-state breaker guarding the worker pool.
+
+    CLOSED counts consecutive infrastructure failures; at
+    ``failure_threshold`` it OPENs for ``cooldown`` seconds, during which
+    :meth:`allow` is False (jobs are requeued, not burned).  After the
+    cooldown one probe attempt is let through (HALF_OPEN): success closes
+    the breaker, failure re-opens it for another cooldown.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown: float = 30.0,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ServiceError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown = float(cooldown)
+        self._clock = clock
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_outstanding = False
+        self._lock = threading.Lock()
+        self.trips_total = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.cooldown
+        ):
+            self._state = self.HALF_OPEN
+            self._probe_outstanding = False
+
+    def allow(self) -> bool:
+        """May an attempt proceed right now?  HALF_OPEN admits one probe."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.HALF_OPEN and not self._probe_outstanding:
+                self._probe_outstanding = True
+                return True
+            return False
+
+    def retry_after(self) -> float:
+        with self._lock:
+            self._maybe_half_open()
+            if self._state != self.OPEN:
+                return 0.0
+            return max(
+                0.0, self.cooldown - (self._clock() - self._opened_at)
+            )
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_outstanding = False
+            self._state = self.CLOSED
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state == self.HALF_OPEN:
+                # The probe failed: straight back to OPEN.
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self._probe_outstanding = False
+                self.trips_total += 1
+            elif (
+                self._state == self.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self.trips_total += 1
+
+
+# ----------------------------------------------------------------------
+# Cooperative stop plumbing
+# ----------------------------------------------------------------------
+class CancelToken:
+    """Thread-safe stop request carried from the asyncio loop into the
+    executor thread.  ``reason`` distinguishes a client cancel (terminal)
+    from a service drain (requeue-for-recovery)."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.reason = ""
+
+    def request(self, reason: str) -> None:
+        self.reason = reason
+        self._event.set()
+
+    @property
+    def requested(self) -> bool:
+        return self._event.is_set()
+
+
+class ExecutionContext:
+    """What a kind-executor needs: checkpoint path + a heartbeat.
+
+    ``heartbeat()`` is the cooperative stop point — kind executors call it
+    at every resumable boundary (the measure executor wires it into the
+    per-shard progress hook)."""
+
+    def __init__(
+        self,
+        record: JobRecord,
+        cancel: CancelToken,
+        state_dir: Path,
+        clock: Clock,
+        deadline_at: Optional[float],
+    ) -> None:
+        self.record = record
+        self.cancel = cancel
+        self.state_dir = state_dir
+        self.clock = clock
+        self.deadline_at = deadline_at
+
+    @property
+    def checkpoint_path(self) -> Path:
+        return self.state_dir / f"job-{self.record.job_id}.ckpt.json"
+
+    def heartbeat(self) -> None:
+        """Raise the appropriate stop if one is pending (checkpoint is
+        already durable when this is called from a shard boundary)."""
+        if self.cancel.requested:
+            raise JobCancelled(
+                f"job {self.record.job_id} "
+                + (
+                    "requeued by service drain"
+                    if self.cancel.reason == "drain"
+                    else "cancelled by client"
+                ),
+                requeue=self.cancel.reason == "drain",
+            )
+        if self.deadline_at is not None and self.clock() >= self.deadline_at:
+            raise JobTimeout(
+                f"job {self.record.job_id} exceeded its "
+                f"{self.record.spec.deadline:.1f}s deadline"
+            )
+
+
+# ----------------------------------------------------------------------
+# Kind executors
+# ----------------------------------------------------------------------
+def _execute_measure(record: JobRecord, ctx: ExecutionContext) -> dict:
+    """Run a TopoShot campaign on the sharded executor, resumably.
+
+    The campaign checkpoint lives under the service state dir keyed by
+    job id; any retry or recovery resumes from completed shards, so work
+    is never repeated and results are never duplicated.
+    """
+    from repro.core.parallel_exec import CampaignSpec, run_campaign
+    from repro.io import measurement_to_dict
+
+    params = record.spec.params
+    campaign = CampaignSpec.from_dict(params["campaign"])
+    workers = int(params.get("workers", 1))
+
+    ctx.heartbeat()
+
+    def progress(_index: int, _total: int, _result: object) -> None:
+        # Called after each shard's checkpoint is written: the safe place
+        # to honor deadline/cancel/drain stops.
+        ctx.heartbeat()
+
+    measurement = run_campaign(
+        campaign,
+        workers=workers,
+        checkpoint_path=ctx.checkpoint_path,
+        resume=ctx.checkpoint_path.exists(),
+        progress=progress,
+    )
+    summary: dict = {
+        "kind": KIND_MEASURE,
+        "confidence": CONFIDENCE_COMPLETE,
+        "nodes": len(measurement.node_ids),
+        "edges": len(measurement.edges),
+        "iterations": measurement.iterations,
+        "transactions_sent": measurement.transactions_sent,
+        "failure_count": len(measurement.failures),
+        "measurement": measurement_to_dict(measurement),
+    }
+    if measurement.failures:
+        # Degraded-but-complete: the campaign survived adverse events and
+        # reports which pairs are uncovered (NetworkMeasurement.failures).
+        summary["confidence"] = CONFIDENCE_PARTIAL
+    if measurement.score is not None:
+        summary["score"] = str(measurement.score)
+    return summary
+
+
+def _measure_partial(record: JobRecord, ctx: ExecutionContext) -> Optional[dict]:
+    """Best-effort partial result from the shard checkpoint on disk."""
+    from repro.core.parallel_exec import ParallelCheckpoint
+
+    path = ctx.checkpoint_path
+    if not path.exists():
+        return None
+    try:
+        checkpoint = ParallelCheckpoint.load(path)
+    except Exception:
+        return None
+    edges = set()
+    transactions = 0
+    failure_count = 0
+    for result in checkpoint.completed.values():
+        edges |= result.edges
+        transactions += result.transactions_sent
+        failure_count += len(result.failures)
+    return {
+        "kind": KIND_MEASURE,
+        "confidence": CONFIDENCE_PARTIAL,
+        "completed_shards": len(checkpoint.completed),
+        "n_shards": checkpoint.n_shards,
+        "edges": len(edges),
+        "edge_list": sorted(sorted(e) for e in edges),
+        "transactions_sent": transactions,
+        "failure_count": failure_count,
+        "resumable": True,
+    }
+
+
+def _synthetic_checkpoint(ctx: ExecutionContext) -> Path:
+    return ctx.state_dir / f"job-{ctx.record.job_id}.steps.json"
+
+
+def _execute_synthetic(record: JobRecord, ctx: ExecutionContext) -> dict:
+    """Deterministic stand-in workload for load tests and smoke CI.
+
+    Params: ``steps`` (resumable units), ``step_duration`` (wall seconds
+    per step), ``fail_attempts`` (the first N attempts raise an injected
+    infrastructure failure — the worker-crash simulator).
+    """
+    from repro.io import atomic_write_text
+
+    params = record.spec.params
+    steps = max(1, int(params.get("steps", 1)))
+    step_duration = float(params.get("step_duration", 0.0))
+    fail_attempts = int(params.get("fail_attempts", 0))
+
+    checkpoint = _synthetic_checkpoint(ctx)
+    completed = 0
+    if checkpoint.exists():
+        try:
+            completed = int(
+                json.loads(checkpoint.read_text(encoding="utf-8"))[
+                    "completed_steps"
+                ]
+            )
+        except (ValueError, KeyError, OSError):
+            completed = 0
+
+    if record.attempts <= fail_attempts:
+        raise ServiceError(
+            f"injected worker failure (attempt {record.attempts} of "
+            f"{fail_attempts} failing attempts)"
+        )
+
+    for step in range(completed, steps):
+        ctx.heartbeat()
+        if step_duration:
+            time.sleep(step_duration)
+        atomic_write_text(
+            checkpoint, json.dumps({"completed_steps": step + 1}) + "\n"
+        )
+    return {
+        "kind": KIND_SYNTHETIC,
+        "confidence": CONFIDENCE_COMPLETE,
+        "steps": steps,
+        "resumed_from": completed,
+        "payload": params.get("payload"),
+    }
+
+
+def _synthetic_partial(
+    record: JobRecord, ctx: ExecutionContext
+) -> Optional[dict]:
+    checkpoint = _synthetic_checkpoint(ctx)
+    if not checkpoint.exists():
+        return None
+    try:
+        completed = int(
+            json.loads(checkpoint.read_text(encoding="utf-8"))[
+                "completed_steps"
+            ]
+        )
+    except (ValueError, KeyError, OSError):
+        return None
+    return {
+        "kind": KIND_SYNTHETIC,
+        "confidence": CONFIDENCE_PARTIAL,
+        "completed_steps": completed,
+        "steps": max(1, int(record.spec.params.get("steps", 1))),
+        "resumable": True,
+    }
+
+
+#: kind -> (executor, partial-result builder). Additional measurement
+#: protocols (DEthna, Ethna — see PAPERS.md) plug in here as new kinds.
+JOB_KINDS: Dict[str, tuple] = {
+    KIND_MEASURE: (_execute_measure, _measure_partial),
+    KIND_SYNTHETIC: (_execute_synthetic, _synthetic_partial),
+}
+
+
+# ----------------------------------------------------------------------
+# Supervisor
+# ----------------------------------------------------------------------
+class JobSupervisor:
+    """Runs one job's attempt loop to a terminal state (thread context).
+
+    Backoff between attempts is exponential with deterministic jitter:
+    the jitter fraction is drawn from a RNG seeded by ``(job_id, attempt)``
+    so a given job's retry schedule is reproducible in tests without any
+    global RNG coupling.
+    """
+
+    def __init__(
+        self,
+        state_dir: Path,
+        breaker: Optional[CircuitBreaker] = None,
+        clock: Clock = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        backoff_base: float = 0.2,
+        backoff_factor: float = 2.0,
+        backoff_max: float = 30.0,
+        jitter_frac: float = 0.25,
+    ) -> None:
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.breaker = breaker or CircuitBreaker(clock=clock)
+        self.clock = clock
+        self.sleep = sleep
+        self.backoff_base = float(backoff_base)
+        self.backoff_factor = float(backoff_factor)
+        self.backoff_max = float(backoff_max)
+        self.jitter_frac = float(jitter_frac)
+        self.retries_total = 0
+
+    def backoff_delay(self, job_id: str, attempt: int) -> float:
+        """The wait before retry ``attempt`` (1-based): exponential with
+        deterministic per-(job, attempt) jitter."""
+        base = min(
+            self.backoff_max,
+            self.backoff_base * (self.backoff_factor ** (attempt - 1)),
+        )
+        jitter = random.Random(f"{job_id}:{attempt}").random()
+        return base * (1.0 + self.jitter_frac * jitter)
+
+    def run(self, record: JobRecord, cancel: CancelToken) -> JobRecord:
+        """Execute ``record`` to a terminal state (mutated in place).
+
+        Raises :class:`CircuitOpen` (requeue) or propagates
+        :class:`JobCancelled` with ``requeue=True`` (drain) — every other
+        outcome lands in the record as done/failed/cancelled/timed_out.
+        """
+        kind = record.spec.kind
+        if kind not in JOB_KINDS:
+            record.state = FAILED
+            record.error = {
+                "type": "unknown_kind",
+                "detail": f"no executor registered for job kind {kind!r}",
+            }
+            record.finished_at = self.clock()
+            return record
+        executor, partial_builder = JOB_KINDS[kind]
+        ctx = ExecutionContext(
+            record=record,
+            cancel=cancel,
+            state_dir=self.state_dir,
+            clock=self.clock,
+            deadline_at=record.deadline_at(),
+        )
+        while True:
+            if not self.breaker.allow():
+                raise CircuitOpen(
+                    "worker pool circuit breaker is open",
+                    retry_after=self.breaker.retry_after(),
+                )
+            record.attempts += 1
+            try:
+                result = executor(record, ctx)
+            except JobTimeout as exc:
+                record.state = TIMED_OUT
+                record.error = exc.to_dict()
+                record.result = partial_builder(record, ctx)
+                record.partial = record.result is not None
+                record.finished_at = self.clock()
+                return record
+            except JobCancelled as exc:
+                if exc.requeue:
+                    raise  # drain: the service journals it back to queued
+                record.state = CANCELLED
+                record.error = exc.to_dict()
+                record.result = partial_builder(record, ctx)
+                record.partial = record.result is not None
+                record.finished_at = self.clock()
+                return record
+            except Exception as exc:
+                # Infrastructure failure (worker crash, broken pool,
+                # malformed campaign): counts against the breaker and the
+                # job's retry budget.
+                self.breaker.record_failure()
+                detail = f"{type(exc).__name__}: {exc}"
+                if record.attempts >= record.spec.max_attempts:
+                    record.state = FAILED
+                    record.error = {
+                        "type": "attempts_exhausted",
+                        "detail": detail,
+                        "attempts": record.attempts,
+                    }
+                    record.result = partial_builder(record, ctx)
+                    record.partial = record.result is not None
+                    record.finished_at = self.clock()
+                    return record
+                delay = self.backoff_delay(record.job_id, record.attempts)
+                if (
+                    ctx.deadline_at is not None
+                    and self.clock() + delay >= ctx.deadline_at
+                ):
+                    record.state = TIMED_OUT
+                    record.error = {
+                        "type": JobTimeout.code,
+                        "detail": (
+                            "deadline would pass during retry backoff after: "
+                            + detail
+                        ),
+                    }
+                    record.result = partial_builder(record, ctx)
+                    record.partial = record.result is not None
+                    record.finished_at = self.clock()
+                    return record
+                self.retries_total += 1
+                self.sleep(delay)
+                continue
+            else:
+                self.breaker.record_success()
+                record.state = DONE
+                record.result = result
+                record.partial = (
+                    result.get("confidence") == CONFIDENCE_PARTIAL
+                )
+                record.finished_at = self.clock()
+                self._cleanup_checkpoints(ctx)
+                return record
+
+    def _cleanup_checkpoints(self, ctx: ExecutionContext) -> None:
+        """Completed jobs do not need their resume state any more."""
+        for path in (
+            ctx.checkpoint_path,
+            _synthetic_checkpoint(ctx),
+        ):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass

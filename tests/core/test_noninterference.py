@@ -71,8 +71,10 @@ class TestMonitor:
         assert monitor.verify().non_interfering
 
     def test_verify_before_start_raises(self, small_chain):
+        from repro.errors import MeasurementError
+
         monitor = NonInterferenceMonitor(small_chain, y0=100)
-        with pytest.raises(RuntimeError):
+        with pytest.raises(MeasurementError):
             monitor.verify()
 
 

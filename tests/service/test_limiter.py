@@ -1,0 +1,170 @@
+"""Token buckets, tenant quotas and typed admission rejections."""
+
+import pytest
+
+from repro.errors import QueueFull, QuotaExceeded, ServiceError
+from repro.service.limiter import (
+    AdmissionController,
+    TenantQuota,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_starts_full_and_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, capacity=4.0, clock=clock)
+        assert bucket.available() == 4.0
+        bucket.take(4.0)
+        assert bucket.available() == 0.0
+        clock.advance(1.0)
+        assert bucket.available() == 2.0
+
+    def test_refill_clamps_at_capacity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, capacity=3.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.available() == 3.0
+
+    def test_try_take_is_atomic_check_and_debit(self):
+        bucket = TokenBucket(rate=1.0, capacity=2.0, clock=FakeClock())
+        assert bucket.try_take(2.0)
+        assert not bucket.try_take(0.5)
+
+    def test_retry_after_is_the_refill_horizon(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, capacity=10.0, clock=clock)
+        bucket.take(10.0)
+        assert bucket.retry_after(4.0) == pytest.approx(2.0)
+
+    def test_retry_after_clamps_impossible_demands(self):
+        """Asking for more than capacity reports the full-bucket horizon,
+        never infinity."""
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, capacity=5.0, clock=clock)
+        bucket.take(5.0)
+        assert bucket.retry_after(1000.0) == pytest.approx(5.0)
+
+    def test_zero_rate_disables_the_bucket(self):
+        bucket = TokenBucket(rate=0.0, capacity=0.0, clock=FakeClock())
+        assert not bucket.enabled
+        assert bucket.can_take(1e9)
+        assert bucket.retry_after(1e9) == 0.0
+
+    def test_positive_rate_requires_positive_capacity(self):
+        with pytest.raises(ServiceError):
+            TokenBucket(rate=1.0, capacity=0.0)
+
+
+def _controller(clock, **overrides):
+    defaults = dict(
+        default_quota=TenantQuota(
+            jobs_per_second=1.0,
+            job_burst=2.0,
+            node_seconds_per_second=100.0,
+            node_seconds_burst=200.0,
+            max_queued=3,
+        ),
+        global_jobs_per_second=10.0,
+        global_job_burst=20.0,
+        max_queued_total=5,
+        clock=clock,
+    )
+    defaults.update(overrides)
+    return AdmissionController(**defaults)
+
+
+class TestAdmissionController:
+    def test_admits_within_quota(self):
+        controller = _controller(FakeClock())
+        controller.admit("alice", 50.0, queued_total=0, queued_for_tenant=0)
+        assert controller.admitted_total == 1
+        assert controller.rejected == {}
+
+    def test_global_queue_bound_sheds_with_queue_full(self):
+        controller = _controller(FakeClock())
+        with pytest.raises(QueueFull):
+            controller.admit("alice", 1.0, queued_total=5, queued_for_tenant=0)
+        assert controller.rejected == {"queue_full_global": 1}
+
+    def test_tenant_queue_bound_sheds_before_burning_tokens(self):
+        clock = FakeClock()
+        controller = _controller(clock)
+        with pytest.raises(QueueFull):
+            controller.admit("alice", 1.0, queued_total=0, queued_for_tenant=3)
+        # The rejection consumed no tokens: a within-bounds submission
+        # immediately after still has the full burst available.
+        controller.admit("alice", 1.0, queued_total=0, queued_for_tenant=0)
+        controller.admit("alice", 1.0, queued_total=0, queued_for_tenant=1)
+        assert controller.admitted_total == 2
+
+    def test_tenant_rate_quota_with_retry_after(self):
+        clock = FakeClock()
+        controller = _controller(clock)
+        controller.admit("alice", 1.0, 0, 0)
+        controller.admit("alice", 1.0, 0, 0)
+        with pytest.raises(QuotaExceeded) as excinfo:
+            controller.admit("alice", 1.0, 0, 0)
+        assert excinfo.value.retry_after == pytest.approx(1.0)
+        assert controller.rejected == {"tenant_rate": 1}
+        clock.advance(1.0)
+        controller.admit("alice", 1.0, 0, 0)
+
+    def test_node_seconds_budget_blocks_oversized_work(self):
+        """A tenant cannot dodge the jobs/s cap with few huge jobs: the
+        node-seconds bucket is the bytes/s-style second currency."""
+        controller = _controller(FakeClock())
+        controller.admit("alice", 200.0, 0, 0)  # drains the whole budget
+        with pytest.raises(QuotaExceeded):
+            controller.admit("alice", 50.0, 0, 0)
+        assert controller.rejected == {"tenant_budget": 1}
+
+    def test_rejection_debits_nothing(self):
+        """Two-phase admission: a budget rejection leaves the jobs bucket
+        untouched."""
+        controller = _controller(FakeClock())
+        with pytest.raises(QuotaExceeded):
+            controller.admit("alice", 1000.0, 0, 0)
+        levels = controller.token_levels()["alice"]
+        assert levels["jobs"] == pytest.approx(2.0)
+        assert levels["node_seconds"] == pytest.approx(200.0)
+
+    def test_tenants_are_isolated(self):
+        controller = _controller(FakeClock())
+        controller.admit("abuser", 1.0, 0, 0)
+        controller.admit("abuser", 1.0, 0, 0)
+        with pytest.raises(QuotaExceeded):
+            controller.admit("abuser", 1.0, 0, 0)
+        # The honest tenant's buckets are unaffected.
+        controller.admit("honest", 1.0, 0, 0)
+
+    def test_global_throttle_caps_all_tenants_together(self):
+        controller = _controller(
+            FakeClock(), global_jobs_per_second=1.0, global_job_burst=2.0
+        )
+        controller.admit("a", 1.0, 0, 0)
+        controller.admit("b", 1.0, 0, 0)
+        with pytest.raises(QuotaExceeded):
+            controller.admit("c", 1.0, 0, 0)
+        assert controller.rejected == {"global_rate": 1}
+
+    def test_per_tenant_quota_overrides(self):
+        controller = _controller(
+            FakeClock(),
+            tenant_quotas={
+                "vip": TenantQuota(jobs_per_second=100.0, job_burst=100.0)
+            },
+        )
+        assert controller.quota_for("vip").job_burst == 100.0
+        assert controller.quota_for("anon").job_burst == 2.0

@@ -1,0 +1,113 @@
+"""Weighted round-robin fairness and running caps of the FairScheduler."""
+
+from repro.service.jobs import ADMITTED, QUEUED, JobRecord, JobSpec
+from repro.service.scheduler import FairScheduler
+
+
+def _job(tenant: str, n: int = 0) -> JobRecord:
+    return JobRecord(
+        spec=JobSpec(tenant=tenant, kind="synthetic", job_id=f"{tenant}-{n}")
+    )
+
+
+def _drain_order(scheduler, limit=100):
+    order = []
+    while len(order) < limit:
+        record = scheduler.pop()
+        if record is None:
+            break
+        order.append(record.tenant)
+    return order
+
+
+class TestRoundRobin:
+    def test_single_tenant_is_fifo(self):
+        scheduler = FairScheduler()
+        for n in range(3):
+            scheduler.push(_job("a", n))
+        ids = [scheduler.pop().job_id for _ in range(3)]
+        assert ids == ["a-0", "a-1", "a-2"]
+        assert scheduler.pop() is None
+
+    def test_abusive_tenant_cannot_starve_honest_one(self):
+        """100 queued abusive jobs vs 2 honest ones: the honest tenant is
+        served within one rotation, every time."""
+        scheduler = FairScheduler()
+        for n in range(100):
+            scheduler.push(_job("abuser", n))
+        for n in range(2):
+            scheduler.push(_job("honest", n))
+        order = _drain_order(scheduler, limit=4)
+        assert order.count("honest") == 2
+        # The first honest job arrives by position 2 despite 100 queued
+        # abusive jobs ahead of it.
+        assert "honest" in order[:2]
+
+    def test_weights_scale_service_share(self):
+        scheduler = FairScheduler(
+            weight_of=lambda tenant: 3 if tenant == "heavy" else 1
+        )
+        for n in range(9):
+            scheduler.push(_job("heavy", n))
+        for n in range(3):
+            scheduler.push(_job("light", n))
+        order = _drain_order(scheduler, limit=8)
+        # Per rotation: 3 heavy, 1 light.
+        assert order[:4].count("heavy") == 3
+        assert order[:4].count("light") == 1
+
+    def test_pop_marks_admitted(self):
+        scheduler = FairScheduler()
+        scheduler.push(_job("a"))
+        record = scheduler.pop()
+        assert record.state == ADMITTED
+
+    def test_running_cap_skips_saturated_tenant(self):
+        scheduler = FairScheduler(max_running_per_tenant=1)
+        scheduler.push(_job("busy", 0))
+        scheduler.push(_job("idle", 0))
+        record = scheduler.pop(running={"busy": 1})
+        assert record.tenant == "idle"
+        # Nothing else is dispatchable while 'busy' stays saturated.
+        assert scheduler.pop(running={"busy": 1}) is None
+        assert scheduler.queued_for("busy") == 1
+
+    def test_front_requeue_keeps_queue_position(self):
+        scheduler = FairScheduler()
+        scheduler.push(_job("a", 0))
+        scheduler.push(_job("a", 1))
+        first = scheduler.pop()
+        scheduler.push(first, front=True)  # drain/circuit-open requeue
+        assert scheduler.pop().job_id == first.job_id
+
+
+class TestManagement:
+    def test_depths_and_totals(self):
+        scheduler = FairScheduler()
+        scheduler.push(_job("a", 0))
+        scheduler.push(_job("a", 1))
+        scheduler.push(_job("b", 0))
+        assert scheduler.queued_total() == 3
+        assert scheduler.depths() == {"a": 2, "b": 1}
+        assert scheduler.queued_for("missing") == 0
+
+    def test_remove_pulls_a_queued_job(self):
+        scheduler = FairScheduler()
+        scheduler.push(_job("a", 0))
+        scheduler.push(_job("a", 1))
+        removed = scheduler.remove("a-0")
+        assert removed.job_id == "a-0"
+        assert scheduler.remove("a-0") is None
+        assert scheduler.queued_total() == 1
+
+    def test_drain_all_preserves_queued_state(self):
+        """Shutdown journaling drains records without dispatching them:
+        they must stay ``queued`` so recovery re-admits them."""
+        scheduler = FairScheduler()
+        scheduler.push(_job("b", 0))
+        scheduler.push(_job("a", 0))
+        drained = scheduler.drain_all()
+        assert [record.tenant for record in drained] == ["a", "b"]
+        assert all(record.state == QUEUED for record in drained)
+        assert scheduler.queued_total() == 0
+        assert scheduler.pop() is None

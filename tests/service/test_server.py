@@ -1,0 +1,359 @@
+"""End-to-end service tests over the real HTTP API.
+
+Each test runs a real :class:`MeasurementService` on an ephemeral loopback
+port inside ``asyncio.run`` and drives it with the blocking
+:class:`ServiceClient` from a worker thread — the same transport and
+client production uses.  Journal fsync is disabled for speed (crash-safety
+of the fsync itself is covered in ``test_journal.py``).
+"""
+
+import asyncio
+import contextlib
+
+import pytest
+
+from repro.service import (
+    MeasurementService,
+    ServiceClient,
+    ServiceClientError,
+    ServiceConfig,
+    TenantQuota,
+)
+
+
+@contextlib.asynccontextmanager
+async def service(tmp_path, **overrides):
+    overrides.setdefault("journal_fsync", False)
+    config = ServiceConfig(state_dir=tmp_path, **overrides)
+    svc = MeasurementService(config)
+    await svc.start()
+    client = ServiceClient.from_state_dir(tmp_path)
+    try:
+        yield svc, client
+    finally:
+        if not svc._drained.is_set():
+            await svc.shutdown()
+
+
+async def hard_kill(svc):
+    """SIGKILL stand-in: stop all service coroutines without any of the
+    drain/journal-closing courtesy of shutdown()."""
+    svc._stopping = True
+    if svc._dispatcher is not None:
+        svc._dispatcher.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await svc._dispatcher
+    if svc._tasks:
+        await asyncio.gather(*list(svc._tasks), return_exceptions=True)
+    svc._server.close()
+    await svc._server.wait_closed()
+    svc._drained.set()  # suppress the context manager's graceful path
+
+
+def submit_sync(client, **kwargs):
+    kwargs.setdefault("kind", "synthetic")
+    kwargs.setdefault("params", {"steps": 1})
+    return client.submit(**kwargs)
+
+
+class TestRoundTrip:
+    def test_submit_wait_result(self, tmp_path):
+        async def main():
+            async with service(tmp_path) as (_svc, client):
+                job = await asyncio.to_thread(
+                    submit_sync, client, tenant="alice",
+                    params={"steps": 2, "payload": "hello"},
+                )
+                assert job["state"] == "queued"
+                done = await asyncio.to_thread(
+                    client.wait, job["spec"]["job_id"], 20
+                )
+                assert done["state"] == "done"
+                assert done["result"]["payload"] == "hello"
+                assert done["result"]["confidence"] == "complete"
+
+        asyncio.run(main())
+
+    def test_resubmission_is_idempotent(self, tmp_path):
+        async def main():
+            async with service(tmp_path) as (_svc, client):
+                first = await asyncio.to_thread(
+                    submit_sync, client, tenant="a", job_id="a-fixed"
+                )
+                await asyncio.to_thread(client.wait, "a-fixed", 20)
+                again = await asyncio.to_thread(
+                    submit_sync, client, tenant="a", job_id="a-fixed"
+                )
+                # Same record, no second execution: the completed result
+                # is returned as-is.
+                assert again["spec"]["job_id"] == first["spec"]["job_id"]
+                assert again["state"] == "done"
+                jobs = await asyncio.to_thread(client.jobs)
+                assert len(jobs) == 1
+
+        asyncio.run(main())
+
+    def test_unknown_kind_and_unknown_job(self, tmp_path):
+        async def main():
+            async with service(tmp_path) as (_svc, client):
+                with pytest.raises(ServiceClientError) as excinfo:
+                    await asyncio.to_thread(
+                        client.submit, "a", "no-such-kind", {}
+                    )
+                assert excinfo.value.status == 500
+                with pytest.raises(ServiceClientError) as excinfo:
+                    await asyncio.to_thread(client.job, "missing-id")
+                assert excinfo.value.status == 404
+
+        asyncio.run(main())
+
+    def test_healthz_and_metrics(self, tmp_path):
+        async def main():
+            async with service(tmp_path) as (_svc, client):
+                health = await asyncio.to_thread(client.healthz)
+                assert health == {"status": "ok"}
+                metrics = await asyncio.to_thread(client.metrics)
+                stats = metrics["service"]
+                assert stats["queued"] == 0
+                assert stats["breaker"]["state"] == "closed"
+                assert "rejected" in stats
+
+        asyncio.run(main())
+
+    def test_obs_enabled_round_trip(self, tmp_path):
+        """With a live Observability the service must emit lifecycle
+        events and expose the obs snapshot — the NULL default no-ops
+        these paths, so they need their own coverage."""
+        from repro.obs import Observability
+
+        async def main():
+            obs = Observability()
+            config = ServiceConfig(state_dir=tmp_path, journal_fsync=False)
+            svc = MeasurementService(config, obs=obs)
+            await svc.start()
+            client = ServiceClient.from_state_dir(tmp_path)
+            try:
+                job = await asyncio.to_thread(submit_sync, client, tenant="a")
+                await asyncio.to_thread(
+                    client.wait, job["spec"]["job_id"], 20
+                )
+                metrics = await asyncio.to_thread(client.metrics)
+                assert "obs" in metrics
+            finally:
+                await svc.shutdown()
+            kinds = [record[1] for record in obs.events.records()]
+            assert "service.started" in kinds
+            assert "service.job_finished" in kinds
+            assert "service.stopped" in kinds
+
+        asyncio.run(main())
+
+    def test_cancel_queued_job(self, tmp_path):
+        async def main():
+            # One slot, occupied by a slow job: the second stays queued.
+            async with service(tmp_path, max_concurrent=1) as (_svc, client):
+                slow = await asyncio.to_thread(
+                    submit_sync, client, tenant="a",
+                    params={"steps": 100, "step_duration": 0.02},
+                )
+                queued = await asyncio.to_thread(
+                    submit_sync, client, tenant="a"
+                )
+                job_id = queued["spec"]["job_id"]
+                await asyncio.sleep(0.2)
+                await asyncio.to_thread(client.cancel, job_id)
+                record = await asyncio.to_thread(client.wait, job_id, 10)
+                assert record["state"] == "cancelled"
+                await asyncio.to_thread(
+                    client.cancel, slow["spec"]["job_id"]
+                )
+                slow_final = await asyncio.to_thread(
+                    client.wait, slow["spec"]["job_id"], 10
+                )
+                # Running job stopped cooperatively at a step boundary,
+                # reporting a resumable partial.
+                assert slow_final["state"] == "cancelled"
+                assert slow_final["result"]["confidence"] == "partial"
+
+        asyncio.run(main())
+
+
+class TestOverloadShedding:
+    def test_rate_quota_sheds_with_typed_429(self, tmp_path):
+        async def main():
+            quota = TenantQuota(jobs_per_second=0.001, job_burst=2.0)
+            async with service(tmp_path, default_quota=quota) as (_svc, client):
+                for _ in range(2):
+                    await asyncio.to_thread(submit_sync, client, tenant="a")
+                with pytest.raises(ServiceClientError) as excinfo:
+                    await asyncio.to_thread(submit_sync, client, tenant="a")
+                assert excinfo.value.status == 429
+                assert excinfo.value.error_type == "quota_exceeded"
+                assert excinfo.value.retry_after > 0
+                # Another tenant is unaffected.
+                await asyncio.to_thread(submit_sync, client, tenant="b")
+                stats = (await asyncio.to_thread(client.metrics))["service"]
+                assert stats["rejected"] == {"tenant_rate": 1}
+
+        asyncio.run(main())
+
+    def test_bounded_tenant_queue_sheds_queue_full(self, tmp_path):
+        async def main():
+            quota = TenantQuota(
+                jobs_per_second=1000.0, job_burst=1000.0, max_queued=1
+            )
+            async with service(
+                tmp_path, default_quota=quota, max_concurrent=1,
+                global_jobs_per_second=1000.0, global_job_burst=1000.0,
+            ) as (_svc, client):
+                await asyncio.to_thread(
+                    submit_sync, client, tenant="a",
+                    params={"steps": 100, "step_duration": 0.02},
+                )
+                await asyncio.sleep(0.2)  # first job now running
+                await asyncio.to_thread(submit_sync, client, tenant="a")
+                with pytest.raises(ServiceClientError) as excinfo:
+                    await asyncio.to_thread(submit_sync, client, tenant="a")
+                assert excinfo.value.error_type == "queue_full"
+                assert excinfo.value.status == 429
+
+        asyncio.run(main())
+
+    def test_draining_service_rejects_submissions(self, tmp_path):
+        async def main():
+            async with service(tmp_path) as (svc, client):
+                svc.request_shutdown()
+                with pytest.raises(ServiceClientError) as excinfo:
+                    await asyncio.to_thread(submit_sync, client, tenant="a")
+                assert excinfo.value.status == 503
+                health = await asyncio.to_thread(client.healthz)
+                assert health == {"status": "draining"}
+
+        asyncio.run(main())
+
+
+class TestFairness:
+    def test_honest_tenant_not_starved_by_abusive_one(self, tmp_path):
+        async def main():
+            quota = TenantQuota(
+                jobs_per_second=1000.0, job_burst=1000.0, max_queued=100
+            )
+            async with service(
+                tmp_path, default_quota=quota, max_concurrent=1,
+                global_jobs_per_second=1000.0, global_job_burst=1000.0,
+            ) as (_svc, client):
+                abuser_ids = []
+                for _ in range(10):
+                    job = await asyncio.to_thread(
+                        submit_sync, client, tenant="abuser",
+                        params={"steps": 1, "step_duration": 0.02},
+                    )
+                    abuser_ids.append(job["spec"]["job_id"])
+                honest = await asyncio.to_thread(
+                    submit_sync, client, tenant="honest",
+                    params={"steps": 1, "step_duration": 0.02},
+                )
+                done = await asyncio.to_thread(
+                    client.wait, honest["spec"]["job_id"], 30
+                )
+                abuser_records = [
+                    await asyncio.to_thread(client.job, job_id)
+                    for job_id in abuser_ids
+                ]
+                finished_before_honest = sum(
+                    1
+                    for record in abuser_records
+                    if record["finished_at"] is not None
+                    and record["finished_at"] <= done["finished_at"]
+                )
+                # Round-robin: the honest job (submitted 11th) is served
+                # after at most a rotation's worth of abusive jobs, not
+                # after all ten.
+                assert finished_before_honest <= 3
+
+        asyncio.run(main())
+
+
+class TestCrashRecovery:
+    def test_sigkill_recovers_every_journaled_job(self, tmp_path):
+        async def main():
+            # Incarnation 1: one job completes, two are queued when the
+            # process dies (dispatch frozen to keep them queued).
+            async with service(tmp_path) as (svc, client):
+                done_job = await asyncio.to_thread(
+                    submit_sync, client, tenant="a"
+                )
+                await asyncio.to_thread(
+                    client.wait, done_job["spec"]["job_id"], 20
+                )
+                svc._slots = 0  # freeze dispatch: next submissions stay queued
+                queued_ids = []
+                for n in range(2):
+                    job = await asyncio.to_thread(
+                        submit_sync, client, tenant="a", job_id=f"a-q{n}"
+                    )
+                    queued_ids.append(job["spec"]["job_id"])
+                await hard_kill(svc)
+
+            # Incarnation 2: replay recovers both queued jobs, keeps the
+            # finished result, and duplicates nothing.
+            async with service(tmp_path) as (svc2, client2):
+                assert svc2.recovered_jobs == 2
+                for job_id in queued_ids:
+                    record = await asyncio.to_thread(client2.wait, job_id, 20)
+                    assert record["state"] == "done"
+                    assert record["recovered"]
+                old = await asyncio.to_thread(
+                    client2.job, done_job["spec"]["job_id"]
+                )
+                assert old["state"] == "done"
+                jobs = await asyncio.to_thread(client2.jobs)
+                assert len(jobs) == 3  # no duplicated, no lost jobs
+
+        asyncio.run(main())
+
+    def test_sigterm_drains_running_job_to_checkpoint(self, tmp_path):
+        async def main():
+            async with service(tmp_path) as (svc, client):
+                job = await asyncio.to_thread(
+                    submit_sync, client, tenant="a", job_id="a-drain",
+                    params={"steps": 200, "step_duration": 0.02},
+                )
+                await asyncio.sleep(0.4)  # several steps checkpoint
+                await svc.shutdown()  # the SIGTERM handler calls this
+
+            async with service(tmp_path) as (svc2, client2):
+                assert svc2.recovered_jobs == 1
+                record = await asyncio.to_thread(
+                    client2.job, job["spec"]["job_id"]
+                )
+                assert record["recovered"]
+                # Resumes from the drain checkpoint, not from scratch.
+                final = await asyncio.to_thread(
+                    client2.wait, job["spec"]["job_id"], 60
+                )
+                assert final["state"] == "done"
+                assert final["result"]["resumed_from"] > 0
+
+        asyncio.run(main())
+
+
+class TestDeadlines:
+    def test_deadline_times_out_with_partial_result(self, tmp_path):
+        async def main():
+            async with service(tmp_path) as (_svc, client):
+                job = await asyncio.to_thread(
+                    submit_sync, client, tenant="a",
+                    params={"steps": 1000, "step_duration": 0.01},
+                    deadline=0.5,
+                )
+                record = await asyncio.to_thread(
+                    client.wait, job["spec"]["job_id"], 30
+                )
+                assert record["state"] == "timed_out"
+                assert record["partial"]
+                assert record["result"]["confidence"] == "partial"
+                assert 0 < record["result"]["completed_steps"] < 1000
+                assert record["error"]["type"] == "job_timeout"
+
+        asyncio.run(main())
