@@ -149,6 +149,22 @@ class ServiceError(ReproError):
         return {"type": self.code, "detail": str(self)}
 
 
+class BadRequest(ServiceError):
+    """The client's request is malformed (bad job spec, unknown job kind,
+    unparsable HTTP request or body) — a 400, not a server fault."""
+
+    code = "bad_request"
+    http_status = 400
+
+
+class NotFound(ServiceError):
+    """The referenced job id is unknown to this service incarnation
+    (never submitted, or already evicted by terminal-record retention)."""
+
+    code = "not_found"
+    http_status = 404
+
+
 class AdmissionRejected(ServiceError):
     """Base for typed 429-style load-shedding rejections.
 

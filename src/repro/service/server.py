@@ -38,7 +38,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Set, Tuple, Union
 
-from repro.errors import CircuitOpen, JobCancelled, ServiceError
+from repro.errors import (
+    BadRequest,
+    CircuitOpen,
+    JobCancelled,
+    NotFound,
+    ServiceError,
+)
 from repro.obs import NULL, Observability
 from repro.service.jobs import (
     ACTIVE_STATES,
@@ -88,6 +94,12 @@ class ServiceConfig:
     backoff_factor: float = 2.0
     backoff_max: float = 30.0
     journal_fsync: bool = True
+    #: Terminal records kept in memory per tenant; older ones are evicted
+    #: (0 disables). An evicted job_id is no longer idempotency-protected.
+    max_terminal_records_per_tenant: int = 512
+    #: Journal appends between automatic compactions (0 disables): bounds
+    #: WAL growth over a long service lifetime, not just at startup.
+    journal_compact_interval: int = 4096
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ServiceConfig":
@@ -149,6 +161,9 @@ class MeasurementService:
         self.records: Dict[str, JobRecord] = {}
         self.recovered_jobs = 0
         self.skipped_journal_lines = 0
+        self.evicted_records_total = 0
+        self.compactions_total = 0
+        self._appends_at_compact = 0
         self._running: Dict[str, int] = {}  # tenant -> executing jobs
         self._cancel_tokens: Dict[str, CancelToken] = {}
         self._tasks: Set[asyncio.Task] = set()
@@ -199,6 +214,7 @@ class MeasurementService:
         if replayed:
             # One line per job again; the requeued states are now durable.
             self.journal.compact(self.records.values())
+        self._appends_at_compact = self.journal.appends_total
 
     async def start(self) -> None:
         """Recover state, bind the socket, start dispatching."""
@@ -290,13 +306,13 @@ class MeasurementService:
         """
         try:
             spec = JobSpec.from_dict(payload)
-        except (KeyError, TypeError, ValueError) as exc:
-            raise ServiceError(f"malformed job spec: {exc}") from exc
+        except (KeyError, TypeError, ValueError, ServiceError) as exc:
+            raise BadRequest(f"malformed job spec: {exc}") from exc
         existing = self.records.get(spec.job_id)
         if existing is not None:
             return existing, False
         if spec.kind not in JOB_KINDS:
-            raise ServiceError(
+            raise BadRequest(
                 f"unknown job kind {spec.kind!r}; "
                 f"available: {sorted(JOB_KINDS)}"
             )
@@ -317,13 +333,14 @@ class MeasurementService:
     def cancel(self, job_id: str) -> JobRecord:
         record = self.records.get(job_id)
         if record is None:
-            raise ServiceError(f"unknown job id {job_id!r}")
+            raise NotFound(f"unknown job id {job_id!r}")
         if record.terminal:
             return record
-        if record.state == RUNNING:
-            token = self._cancel_tokens.get(job_id)
-            if token is not None:
-                token.request("cancel")
+        # A token exists from dispatch time on, so this covers ADMITTED
+        # (popped, executor not yet started) as well as RUNNING jobs.
+        token = self._cancel_tokens.get(job_id)
+        if token is not None:
+            token.request("cancel")
             return record  # the executor thread finishes the transition
         queued = self.scheduler.remove(job_id)
         if queued is not None:
@@ -331,6 +348,7 @@ class MeasurementService:
             queued.error = JobCancelled("cancelled while queued").to_dict()
             queued.finished_at = self.clock()
             self._journal(queued)
+            self._enforce_retention()
         return record
 
     # ------------------------------------------------------------------
@@ -340,11 +358,15 @@ class MeasurementService:
         assert self._wake is not None
         while not self._stopping:
             dispatched = False
-            if self._slots > 0 and self.breaker.state != CircuitBreaker.OPEN:
+            # can_attempt() also pauses dispatch while a HALF_OPEN probe
+            # is in flight — popping more jobs then would only bounce
+            # them straight back via CircuitOpen.
+            if self._slots > 0 and self.breaker.can_attempt():
                 record = self.scheduler.pop(self._running)
                 if record is not None:
                     self._slots -= 1
-                    task = asyncio.create_task(self._run_job(record))
+                    token = self._admit_for_run(record)
+                    task = asyncio.create_task(self._run_job(record, token))
                     self._tasks.add(task)
                     task.add_done_callback(self._tasks.discard)
                     dispatched = True
@@ -355,12 +377,23 @@ class MeasurementService:
                     pass
                 self._wake.clear()
 
-    async def _run_job(self, record: JobRecord) -> None:
+    def _admit_for_run(self, record: JobRecord) -> CancelToken:
+        """Bookkeeping that must happen synchronously with scheduler.pop.
+
+        The cancel token and the tenant's running count exist before the
+        event loop yields, so a cancel landing while the job is ADMITTED
+        is honored, and a single dispatch pass popping several jobs can
+        never overfill ``max_running_per_tenant`` (the scheduler would
+        otherwise see a stale running map).
+        """
         token = CancelToken()
         if self._stopping:
             token.request("drain")
         self._cancel_tokens[record.job_id] = token
         self._running[record.tenant] = self._running.get(record.tenant, 0) + 1
+        return token
+
+    async def _run_job(self, record: JobRecord, token: CancelToken) -> None:
         record.state = RUNNING
         record.started_at = self.clock()
         self._journal(record)
@@ -393,10 +426,44 @@ class MeasurementService:
                 self._wake.set()
         if record.terminal:
             self._observe_completion(record)
+            self._enforce_retention()
 
     def _journal(self, record: JobRecord) -> None:
         if self.journal is not None:
             self.journal.append(record)
+
+    def _enforce_retention(self) -> None:
+        """Bound memory and disk over a long service lifetime.
+
+        Evicts the oldest terminal records beyond the per-tenant cap
+        (active jobs are never touched) and compacts the journal to one
+        line per surviving job once enough appends have accumulated since
+        the last rewrite — without this, ``records`` and the WAL grow
+        forever under sustained traffic.
+        """
+        limit = self.config.max_terminal_records_per_tenant
+        if limit > 0:
+            by_tenant: Dict[str, List[JobRecord]] = {}
+            for record in self.records.values():
+                if record.terminal:
+                    by_tenant.setdefault(record.tenant, []).append(record)
+            for terminal in by_tenant.values():
+                if len(terminal) <= limit:
+                    continue
+                terminal.sort(key=lambda r: r.finished_at or 0.0)
+                for record in terminal[: len(terminal) - limit]:
+                    del self.records[record.job_id]
+                    self.evicted_records_total += 1
+        interval = self.config.journal_compact_interval
+        if (
+            self.journal is not None
+            and interval > 0
+            and self.journal.appends_total - self._appends_at_compact
+            >= interval
+        ):
+            self.journal.compact(self.records.values())
+            self._appends_at_compact = self.journal.appends_total
+            self.compactions_total += 1
 
     def _observe_completion(self, record: JobRecord) -> None:
         if not self.obs.enabled:
@@ -454,6 +521,7 @@ class MeasurementService:
             "jobs_by_state": by_state,
             "jobs_total": len(self.records),
             "recovered_jobs": self.recovered_jobs,
+            "evicted_records_total": self.evicted_records_total,
             "admitted_total": self.admission.admitted_total,
             "rejected": dict(sorted(self.admission.rejected.items())),
             "tokens": self.admission.token_levels(),
@@ -468,6 +536,7 @@ class MeasurementService:
                 "appends_total": (
                     self.journal.appends_total if self.journal else 0
                 ),
+                "compactions_total": self.compactions_total,
                 "skipped_lines_on_recovery": self.skipped_journal_lines,
             },
         }
@@ -517,7 +586,7 @@ class MeasurementService:
         request_line = await reader.readline()
         parts = request_line.decode("ascii", "replace").split()
         if len(parts) < 2:
-            raise ServiceError("malformed request line")
+            raise BadRequest("malformed request line")
         method, path = parts[0].upper(), parts[1]
         headers: Dict[str, str] = {}
         while True:
@@ -532,7 +601,7 @@ class MeasurementService:
             try:
                 body = json.loads(raw.decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-                raise ServiceError(f"request body is not JSON: {exc}") from exc
+                raise BadRequest(f"request body is not JSON: {exc}") from exc
         else:
             body = {}
         return self._route(method, path, body)

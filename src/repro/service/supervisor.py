@@ -116,6 +116,34 @@ class CircuitBreaker:
                 return True
             return False
 
+    def can_attempt(self) -> bool:
+        """Non-claiming view of :meth:`allow`: would an attempt be admitted?
+
+        The dispatch loop uses this to keep jobs queued while the breaker
+        is OPEN *or* while a HALF_OPEN probe is already in flight, instead
+        of popping jobs that the supervisor would immediately bounce back
+        with :class:`CircuitOpen`.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == self.CLOSED:
+                return True
+            return (
+                self._state == self.HALF_OPEN
+                and not self._probe_outstanding
+            )
+
+    def release_probe(self) -> None:
+        """Give back a probe slot claimed by :meth:`allow` without a verdict.
+
+        A probe attempt that ends via deadline or client cancel says
+        nothing about pool health; releasing the slot lets the next job
+        probe.  Without this the breaker wedges HALF_OPEN forever, with
+        ``allow()`` False for every job.
+        """
+        with self._lock:
+            self._probe_outstanding = False
+
     def retry_after(self) -> float:
         with self._lock:
             self._maybe_half_open()
@@ -162,7 +190,10 @@ class CancelToken:
         self.reason = ""
 
     def request(self, reason: str) -> None:
-        self.reason = reason
+        # First reason wins: a drain broadcast must not overwrite an
+        # earlier client cancel (which would requeue a cancelled job).
+        if not self._event.is_set():
+            self.reason = reason
         self._event.set()
 
     @property
@@ -457,6 +488,10 @@ class JobSupervisor:
             try:
                 result = executor(record, ctx)
             except JobTimeout as exc:
+                # A timeout is no verdict on pool health: free the probe
+                # slot this attempt may hold so the breaker cannot wedge
+                # HALF_OPEN with a probe that never reports.
+                self.breaker.release_probe()
                 record.state = TIMED_OUT
                 record.error = exc.to_dict()
                 record.result = partial_builder(record, ctx)
@@ -464,6 +499,7 @@ class JobSupervisor:
                 record.finished_at = self.clock()
                 return record
             except JobCancelled as exc:
+                self.breaker.release_probe()
                 if exc.requeue:
                     raise  # drain: the service journals it back to queued
                 record.state = CANCELLED

@@ -93,17 +93,30 @@ class TestRoundTrip:
 
         asyncio.run(main())
 
-    def test_unknown_kind_and_unknown_job(self, tmp_path):
+    def test_client_errors_are_400_and_404_not_500(self, tmp_path):
         async def main():
             async with service(tmp_path) as (_svc, client):
+                # Unknown job kind: the client's fault, a typed 400.
                 with pytest.raises(ServiceClientError) as excinfo:
                     await asyncio.to_thread(
                         client.submit, "a", "no-such-kind", {}
                     )
-                assert excinfo.value.status == 500
+                assert excinfo.value.status == 400
+                assert excinfo.value.error_type == "bad_request"
+                # Malformed spec (empty tenant) is a 400 too.
+                with pytest.raises(ServiceClientError) as excinfo:
+                    await asyncio.to_thread(
+                        client.submit, "", "synthetic", {"steps": 1}
+                    )
+                assert excinfo.value.status == 400
+                # Unknown job ids: 404 on inspect and on cancel alike.
                 with pytest.raises(ServiceClientError) as excinfo:
                     await asyncio.to_thread(client.job, "missing-id")
                 assert excinfo.value.status == 404
+                with pytest.raises(ServiceClientError) as excinfo:
+                    await asyncio.to_thread(client.cancel, "missing-id")
+                assert excinfo.value.status == 404
+                assert excinfo.value.error_type == "not_found"
 
         asyncio.run(main())
 
@@ -334,6 +347,107 @@ class TestCrashRecovery:
                 )
                 assert final["state"] == "done"
                 assert final["result"]["resumed_from"] > 0
+
+        asyncio.run(main())
+
+
+class TestDispatchBookkeeping:
+    def test_single_dispatch_pass_respects_tenant_running_cap(self, tmp_path):
+        """Regression: the running count must be visible to scheduler.pop
+        within one dispatch pass, not only once each _run_job task has
+        started — otherwise one tenant's burst fills every slot."""
+
+        async def main():
+            quota = TenantQuota(
+                jobs_per_second=1000.0, job_burst=1000.0, max_queued=100
+            )
+            async with service(
+                tmp_path, max_concurrent=4, max_running_per_tenant=1,
+                default_quota=quota,
+                global_jobs_per_second=1000.0, global_job_burst=1000.0,
+            ) as (svc, client):
+                svc._slots = 0  # freeze dispatch so all three jobs queue up
+                for n in range(3):
+                    await asyncio.to_thread(
+                        submit_sync, client, tenant="a", job_id=f"a-{n}",
+                        params={"steps": 20, "step_duration": 0.01},
+                    )
+                svc._slots = 4  # thaw: one pass now sees three queued jobs
+                svc._wake.set()
+                peak = 0
+                for _ in range(20):
+                    await asyncio.sleep(0.02)
+                    peak = max(peak, svc._running.get("a", 0))
+                assert peak <= 1
+                for n in range(3):
+                    record = await asyncio.to_thread(client.wait, f"a-{n}", 30)
+                    assert record["state"] == "done"
+
+        asyncio.run(main())
+
+    def test_cancel_admitted_job_is_honored(self, tmp_path):
+        """Regression: a cancel landing between scheduler.pop and the
+        _run_job task starting must not be silently dropped."""
+
+        async def main():
+            config = ServiceConfig(state_dir=tmp_path, journal_fsync=False)
+            svc = MeasurementService(config)
+            record, created = svc.submit(
+                {
+                    "tenant": "a",
+                    "kind": "synthetic",
+                    "params": {"steps": 3},
+                    "job_id": "a-admitted",
+                }
+            )
+            assert created
+            # Emulate the dispatcher's synchronous pop -> admit sequence.
+            popped = svc.scheduler.pop(svc._running)
+            assert popped is record
+            assert popped.state == "admitted"
+            token = svc._admit_for_run(popped)
+            svc.cancel("a-admitted")  # lands while ADMITTED
+            assert token.requested and token.reason == "cancel"
+            await svc._run_job(popped, token)
+            assert record.state == "cancelled"
+            assert record.error["type"] == "job_cancelled"
+
+        asyncio.run(main())
+
+
+class TestRetention:
+    def test_terminal_records_and_journal_stay_bounded(self, tmp_path):
+        async def main():
+            async with service(
+                tmp_path,
+                max_terminal_records_per_tenant=2,
+                journal_compact_interval=6,
+            ) as (svc, client):
+                for n in range(6):
+                    await asyncio.to_thread(
+                        submit_sync, client, tenant="a", job_id=f"a-{n}"
+                    )
+                    await asyncio.to_thread(client.wait, f"a-{n}", 20)
+                stats = (await asyncio.to_thread(client.metrics))["service"]
+                # Only the two newest terminal records survive.
+                assert stats["jobs_total"] == 2
+                assert stats["evicted_records_total"] == 4
+                assert stats["journal"]["compactions_total"] >= 1
+                jobs = await asyncio.to_thread(client.jobs)
+                assert sorted(j["job_id"] for j in jobs) == ["a-4", "a-5"]
+                # An evicted job id reads as 404 now.
+                with pytest.raises(ServiceClientError) as excinfo:
+                    await asyncio.to_thread(client.job, "a-0")
+                assert excinfo.value.status == 404
+                # The journal itself was compacted to the survivors.
+                lines = [
+                    line
+                    for line in svc.journal_path.read_text(
+                        encoding="utf-8"
+                    ).splitlines()
+                    if line.strip()
+                ]
+                assert len(lines) <= 2 + 3 * 2  # survivors + a few appends
 
         asyncio.run(main())
 

@@ -91,6 +91,29 @@ class TestCircuitBreaker:
         assert breaker.state == CircuitBreaker.OPEN
         assert breaker.trips_total == 2
 
+    def test_release_probe_reopens_the_half_open_slot(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=5.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()       # probe claimed
+        assert not breaker.allow()   # slot taken
+        breaker.release_probe()      # probe ended without a verdict
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()       # next job may probe
+
+    def test_can_attempt_does_not_claim_the_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=5.0, clock=clock)
+        assert breaker.can_attempt()          # CLOSED
+        breaker.record_failure()
+        assert not breaker.can_attempt()      # OPEN
+        clock.advance(5.0)
+        assert breaker.can_attempt()          # HALF_OPEN, slot free...
+        assert breaker.can_attempt()          # ...and repeated checks
+        assert breaker.allow()                # don't consume the probe
+        assert not breaker.can_attempt()      # probe now in flight
+
 
 class TestBackoff:
     def test_schedule_is_deterministic_per_job(self, tmp_path):
@@ -240,3 +263,52 @@ class TestBreakerIntegration:
         supervisor.run(record, CancelToken())
         assert record.state == FAILED
         assert breaker.state == CircuitBreaker.OPEN
+
+    def _half_open_breaker(self, clock):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=5.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        return breaker
+
+    def test_timed_out_probe_does_not_wedge_the_breaker(self, tmp_path):
+        """Regression: a HALF_OPEN probe job ending via JobTimeout must
+        release its probe slot — else allow() is False for every job
+        forever and the service stops executing until restart."""
+        clock = FakeClock(100.0)
+        breaker = self._half_open_breaker(clock)
+        supervisor, _ = _supervisor(tmp_path, clock=clock, breaker=breaker)
+        record = _job(params={"steps": 10}, deadline=5.0)
+        record.submitted_at = 0.0  # deadline long past: first heartbeat raises
+        supervisor.run(record, CancelToken())
+        assert record.state == TIMED_OUT
+        assert breaker.can_attempt()
+        # The pool itself is fine: the next job probes and closes it.
+        healthy = _job(params={"steps": 1})
+        supervisor.run(healthy, CancelToken())
+        assert healthy.state == DONE
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_cancelled_probe_does_not_wedge_the_breaker(self, tmp_path):
+        clock = FakeClock(100.0)
+        breaker = self._half_open_breaker(clock)
+        supervisor, _ = _supervisor(tmp_path, clock=clock, breaker=breaker)
+        token = CancelToken()
+        token.request("cancel")
+        record = _job(params={"steps": 3})
+        supervisor.run(record, token)
+        assert record.state == CANCELLED
+        assert breaker.can_attempt()
+
+    def test_drained_probe_does_not_wedge_the_breaker(self, tmp_path):
+        from repro.errors import JobCancelled
+
+        clock = FakeClock(100.0)
+        breaker = self._half_open_breaker(clock)
+        supervisor, _ = _supervisor(tmp_path, clock=clock, breaker=breaker)
+        token = CancelToken()
+        token.request("drain")
+        record = _job(params={"steps": 3})
+        with pytest.raises(JobCancelled):
+            supervisor.run(record, token)
+        assert breaker.can_attempt()
