@@ -1,16 +1,26 @@
 """Engine throughput: the optimized simulation hot path vs the pre-PR one.
 
-Runs the same transaction-propagation scenario twice in one process — once
-on the optimized engine and once on the faithful seed implementations from
-:mod:`benchmarks._legacy_engine` — and reports events/sec, wall time and
-peak RSS per scenario, plus the speedup. Both runs draw from the same
-seeded RNG streams, so they execute the *identical* event sequence; the
-bench asserts that equivalence (event and message counts must match) before
-trusting the timing.
+Runs the same transaction-propagation scenario on the optimized engine and
+— where the seed implementation can still reach the size — once more on the
+faithful seed hot paths from :mod:`benchmarks._legacy_engine`, reporting
+events/sec, wall time and peak RSS per scenario plus the speedup. Both legs
+draw from the same seeded RNG streams, so they execute the *identical*
+event sequence; the bench asserts that equivalence (event and message
+counts must match, and the generated topologies must hash to the same
+edge-set fingerprint) before trusting the timing.
 
-Standalone (full 1k/5k/10k matrix, writes benchmarks/results/BENCH_engine.json)::
+The full matrix is a 1k/5k/20k/50k scaling curve. The 1k and 5k rows are
+A/B compared against the legacy engine; 20k and 50k run optimized-only
+(the quadratic seed paths cannot reach them on one box) with lighter
+per-node knobs so generation picks the fast wiring path.
+
+Standalone (full matrix, writes benchmarks/results/BENCH_engine.json)::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+
+CI scale smoke (1k A/B + a short 20k-node TopoShot measurement)::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py --scale-smoke
 
 Pytest smoke (small scenario, same JSON artifact)::
 
@@ -21,6 +31,7 @@ Pytest smoke (small scenario, same JSON artifact)::
 from __future__ import annotations
 
 import contextlib
+import hashlib
 import json
 import platform
 import resource
@@ -47,10 +58,34 @@ JSON_PATH = RESULTS_DIR / "BENCH_engine.json"
 # the seed by >= MIN_SPEEDUP_5K on events/sec there.
 MIN_SPEEDUP_5K = 2.0
 
+# Lighter per-node knobs for the mainnet-scale rows: average degree ~12
+# instead of ~16, smaller routing tables. n >= FAST_WIRING_THRESHOLD means
+# the default wiring="auto" resolves to the near-linear fast path.
+SCALE_OVERRIDES = {
+    "outbound_dials": 6,
+    "max_peers": 25,
+    "routing_table_capacity": 64,
+}
+
 FULL_SCENARIOS = (
-    {"name": "1k", "n_nodes": 1_000, "txs": 150, "seed": 11},
-    {"name": "5k", "n_nodes": 5_000, "txs": 60, "seed": 11},
-    {"name": "10k", "n_nodes": 10_000, "txs": 25, "seed": 11},
+    {"name": "1k", "n_nodes": 1_000, "txs": 150, "seed": 11, "compare": True},
+    {"name": "5k", "n_nodes": 5_000, "txs": 60, "seed": 11, "compare": True},
+    {
+        "name": "20k",
+        "n_nodes": 20_000,
+        "txs": 16,
+        "seed": 11,
+        "compare": False,
+        "overrides": SCALE_OVERRIDES,
+    },
+    {
+        "name": "50k",
+        "n_nodes": 50_000,
+        "txs": 6,
+        "seed": 11,
+        "compare": False,
+        "overrides": SCALE_OVERRIDES,
+    },
 )
 
 SMOKE_SCENARIO = {"name": "smoke-300", "n_nodes": 300, "txs": 40, "seed": 11}
@@ -64,15 +99,34 @@ def _peak_rss_mb() -> float:
     return rss_kb / 1024
 
 
+def edge_set_sha(network) -> str:
+    """SHA-256 fingerprint of the measurable ground-truth edge set.
+
+    Canonical form: sorted ``a--b`` lines with endpoints in lexicographic
+    order, so the digest depends only on the topology, not on set or
+    adjacency iteration order.
+    """
+    lines = sorted(
+        "--".join(sorted(edge)) for edge in network.ground_truth_edges()
+    )
+    return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+
+
 def run_scenario(
-    n_nodes: int, txs: int, seed: int, legacy: bool = False, obs=None
+    n_nodes: int,
+    txs: int,
+    seed: int,
+    legacy: bool = False,
+    obs=None,
+    overrides: dict = None,
 ) -> dict:
     """Build the network, inject ``txs`` transactions, settle, and time it.
 
     The timed region covers submission + propagation to quiescence — the
     event-loop work a measurement campaign is made of — not topology
-    generation. Identical seeds mean the legacy and optimized runs execute
-    the same events in the same order.
+    generation (reported separately as ``build_s``). Identical seeds mean
+    the legacy and optimized runs execute the same events in the same
+    order.
 
     ``obs`` (a :class:`repro.obs.Observability`) is installed on the
     network before the timed region; the wiring is pull-only, so it reads
@@ -80,7 +134,10 @@ def run_scenario(
     """
     guard = legacy_hot_paths() if legacy else contextlib.nullcontext()
     with guard:
-        network = quick_network(n_nodes=n_nodes, seed=seed)
+        build_start = perf_counter()
+        network = quick_network(n_nodes=n_nodes, seed=seed, **(overrides or {}))
+        build_elapsed = perf_counter() - build_start
+        edge_sha = edge_set_sha(network)
         if obs is not None:
             network.install_observability(obs)
         wallet = Wallet("bench-engine")
@@ -101,6 +158,8 @@ def run_scenario(
         "txs": txs,
         "events": events,
         "messages": network.messages_sent,
+        "edge_sha": edge_sha,
+        "build_s": round(build_elapsed, 3),
         "elapsed_s": round(elapsed, 3),
         "events_per_sec": round(events / elapsed, 1),
         "peak_rss_mb": round(_peak_rss_mb(), 1),
@@ -113,10 +172,13 @@ def compare_scenario(spec: dict, obs=None) -> dict:
     ``obs`` instruments the *optimized* leg only (the legacy engine
     predates the observability layer); the caller exports the sidecar.
     """
+    overrides = spec.get("overrides")
     optimized = run_scenario(
-        spec["n_nodes"], spec["txs"], spec["seed"], obs=obs
+        spec["n_nodes"], spec["txs"], spec["seed"], obs=obs, overrides=overrides
     )
-    legacy = run_scenario(spec["n_nodes"], spec["txs"], spec["seed"], legacy=True)
+    legacy = run_scenario(
+        spec["n_nodes"], spec["txs"], spec["seed"], legacy=True, overrides=overrides
+    )
     # Same seed, same scenario: if the hot-path rewrite changed behaviour at
     # all, the event/message counts diverge and the timing is meaningless.
     assert optimized["events"] == legacy["events"], (
@@ -124,11 +186,18 @@ def compare_scenario(spec: dict, obs=None) -> dict:
         f"legacy {legacy['events']} — engines are not equivalent"
     )
     assert optimized["messages"] == legacy["messages"]
+    # Golden edge sets: the integer-core network must generate the exact
+    # topology the seed engine sees (the string-at-the-API contract).
+    assert optimized["edge_sha"] == legacy["edge_sha"], (
+        f"{spec['name']}: ground-truth edge fingerprints diverge "
+        f"({optimized['edge_sha'][:12]} vs {legacy['edge_sha'][:12]})"
+    )
     return {
         "name": spec["name"],
         "n_nodes": spec["n_nodes"],
         "txs": spec["txs"],
         "events": optimized["events"],
+        "edge_sha": optimized["edge_sha"],
         "optimized": optimized,
         "legacy": legacy,
         "speedup": round(
@@ -137,14 +206,45 @@ def compare_scenario(spec: dict, obs=None) -> dict:
     }
 
 
-def write_results(rows: list, kind: str) -> dict:
+def solo_scenario(spec: dict, obs=None) -> dict:
+    """Run one optimized-only scenario (sizes the seed engine cannot reach)."""
+    optimized = run_scenario(
+        spec["n_nodes"],
+        spec["txs"],
+        spec["seed"],
+        obs=obs,
+        overrides=spec.get("overrides"),
+    )
+    return {
+        "name": spec["name"],
+        "n_nodes": spec["n_nodes"],
+        "txs": spec["txs"],
+        "events": optimized["events"],
+        "edge_sha": optimized["edge_sha"],
+        "optimized": optimized,
+    }
+
+
+def write_results(rows: list, kind: str, extra: dict = None) -> dict:
     payload = {
         "benchmark": "engine_throughput",
         "kind": kind,
         "python": platform.python_version(),
         "min_speedup_5k": MIN_SPEEDUP_5K,
+        "scaling_curve": [
+            {
+                "name": row["name"],
+                "n_nodes": row["n_nodes"],
+                "events_per_sec": row["optimized"]["events_per_sec"],
+                "peak_rss_mb": row["optimized"]["peak_rss_mb"],
+            }
+            for row in rows
+            if "optimized" in row
+        ],
         "scenarios": rows,
     }
+    if extra:
+        payload.update(extra)
     RESULTS_DIR.mkdir(exist_ok=True)
     JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     return payload
@@ -156,13 +256,14 @@ def format_table(rows: list) -> str:
         f"{'speedup':>8} {'seed RSS':>9} {'opt RSS':>9}"
     ]
     for row in rows:
+        legacy = row.get("legacy")
         lines.append(
             f"{row['name']:<10} {row['events']:>9} "
-            f"{row['legacy']['events_per_sec']:>10.0f} "
-            f"{row['optimized']['events_per_sec']:>10.0f} "
-            f"{row['speedup']:>7.2f}x "
-            f"{row['legacy']['peak_rss_mb']:>8.0f}M "
-            f"{row['optimized']['peak_rss_mb']:>8.0f}M"
+            + (f"{legacy['events_per_sec']:>10.0f} " if legacy else f"{'—':>10} ")
+            + f"{row['optimized']['events_per_sec']:>10.0f} "
+            + (f"{row['speedup']:>7.2f}x " if legacy else f"{'—':>8} ")
+            + (f"{legacy['peak_rss_mb']:>8.0f}M " if legacy else f"{'—':>9} ")
+            + f"{row['optimized']['peak_rss_mb']:>8.0f}M"
         )
     return "\n".join(lines)
 
@@ -180,8 +281,87 @@ def test_engine_throughput_smoke(benchmark):
     assert row["speedup"] > 1.1
 
 
-def main() -> int:
+def scale_smoke() -> int:
+    """CI ``scale-smoke`` job body: golden equivalence + a 20k measurement.
+
+    Two checks, sized for a CI box:
+
+    1. the 1k scenario A/B against the legacy engine, which asserts the
+       golden fingerprints (event/message counts and edge-set SHA); and
+    2. a short end-to-end TopoShot measurement on a 20k-node network —
+       supernode join, preprocessing, parallel schedule and validation all
+       exercised at mainnet scale, measuring a small target subset so the
+       job stays under a few minutes.
+    """
+    from repro.core.campaign import TopoShot
     from repro.obs import Observability
+
+    obs = Observability()
+    print("[scale-smoke] 1k A/B equivalence ...")
+    row_1k = compare_scenario(FULL_SCENARIOS[0], obs=obs)
+    print(
+        f"  speedup {row_1k['speedup']:.2f}x, "
+        f"edge sha {row_1k['edge_sha'][:12]} (optimized == legacy)"
+    )
+
+    print("[scale-smoke] 20k-node short measurement ...")
+    build_start = perf_counter()
+    network = quick_network(n_nodes=20_000, seed=11, **SCALE_OVERRIDES)
+    build_elapsed = perf_counter() - build_start
+    # Measure one node's neighborhood: an anchor plus its active peers, so
+    # the target set is guaranteed to contain true edges (12 uniformly
+    # random nodes out of 20k are almost surely pairwise non-adjacent).
+    # Skip preprocessing and inter-iteration churn — both are whole-network
+    # costs that a CI smoke doesn't need to re-prove.
+    measurable = set(network.measurable_node_ids())
+    anchor = network.measurable_node_ids()[0]
+    neighbors = [pid for pid in network.node(anchor).peers if pid in measurable]
+    targets = [anchor, *neighbors[:11]]
+    shot = TopoShot.attach(network, targets=targets)
+    measure_start = perf_counter()
+    measurement = shot.measure_network(
+        targets=targets, preprocess=False, churn_between_iterations=False
+    )
+    measure_elapsed = perf_counter() - measure_start
+    score = measurement.score
+    smoke = {
+        "n_nodes": 20_000,
+        "targets": len(targets),
+        "build_s": round(build_elapsed, 3),
+        "measure_s": round(measure_elapsed, 3),
+        "edges_found": len(measurement.edges),
+        "transactions_sent": measurement.transactions_sent,
+        "precision": round(score.precision, 4) if score else None,
+        "recall": round(score.recall, 4) if score else None,
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
+    }
+    print(
+        f"  {smoke['edges_found']} edges among {smoke['targets']} targets, "
+        f"precision {smoke['precision']}, recall {smoke['recall']}, "
+        f"build {smoke['build_s']}s, measure {smoke['measure_s']}s"
+    )
+    write_results([row_1k], kind="scale-smoke", extra={"scale_smoke_20k": smoke})
+    emit("engine_scale_smoke", format_table([row_1k]))
+    emit_metrics_sidecar("BENCH_engine.scale_smoke", obs)
+    if smoke["edges_found"] == 0:
+        print("FAIL: 20k measurement found no edges", file=sys.stderr)
+        return 1
+    if score is not None and score.precision < 1.0:
+        print(
+            f"FAIL: 20k measurement precision {score.precision:.4f} < 1.0",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: scale smoke passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    from repro.obs import Observability
+
+    argv = sys.argv[1:] if argv is None else argv
+    if "--scale-smoke" in argv:
+        return scale_smoke()
 
     rows = []
     for spec in FULL_SCENARIOS:
@@ -189,14 +369,23 @@ def main() -> int:
         # A fresh bundle per scenario: its collectors are bound to that
         # scenario's network, so one sidecar reflects one run.
         obs = Observability()
-        row = compare_scenario(spec, obs=obs)
+        if spec["compare"]:
+            row = compare_scenario(spec, obs=obs)
+            print(
+                f"  legacy {row['legacy']['events_per_sec']:,.0f} ev/s -> "
+                f"optimized {row['optimized']['events_per_sec']:,.0f} ev/s "
+                f"({row['speedup']:.2f}x, {row['events']} events)"
+            )
+        else:
+            row = solo_scenario(spec, obs=obs)
+            print(
+                f"  optimized {row['optimized']['events_per_sec']:,.0f} ev/s "
+                f"({row['events']} events, "
+                f"build {row['optimized']['build_s']}s, "
+                f"settle {row['optimized']['elapsed_s']}s)"
+            )
         emit_metrics_sidecar(f"BENCH_engine.{spec['name']}", obs)
         rows.append(row)
-        print(
-            f"  legacy {row['legacy']['events_per_sec']:,.0f} ev/s -> "
-            f"optimized {row['optimized']['events_per_sec']:,.0f} ev/s "
-            f"({row['speedup']:.2f}x, {row['events']} events)"
-        )
     write_results(rows, kind="full")
     emit("engine_throughput", format_table(rows))
     gate = next(row for row in rows if row["name"] == "5k")

@@ -6,7 +6,14 @@ iterations, injected transactions, network messages and measurement time
 scale? Expectation from the design: pairs grow ~N^2, iterations ~N/K +
 log K, and per-iteration cost ~N·Z, so injected transactions scale roughly
 quadratically while time scales ~linearly in the iteration count.
+
+``SIZES`` is the full curve (up to 96 nodes — every pair measured, so cost
+grows quadratically and the top size dominates the runtime). CI runs the
+``SMOKE_SIZES`` subset by default; set ``BENCH_EXT_FULL=1`` to sweep the
+whole curve locally.
 """
+
+import os
 
 import pytest
 
@@ -15,7 +22,8 @@ from repro.core.campaign import TopoShot
 from repro.netgen.ethereum import NetworkSpec, generate_network
 from repro.netgen.workloads import prefill_mempools
 
-SIZES = (10, 16, 24, 32)
+SIZES = (10, 16, 24, 32, 48, 64, 96)
+SMOKE_SIZES = (10, 16, 24, 32)
 
 
 def measure_at(n: int):
@@ -40,7 +48,8 @@ def measure_at(n: int):
 
 @pytest.mark.benchmark(group="ext-scaling")
 def test_extension_cost_scaling(benchmark):
-    rows = run_once(benchmark, lambda: parallel_map(measure_at, SIZES))
+    sizes = SIZES if os.environ.get("BENCH_EXT_FULL") else SMOKE_SIZES
+    rows = run_once(benchmark, lambda: parallel_map(measure_at, sizes))
     header = (
         f"{'N':>4} {'pairs':>6} {'iters':>6} {'txs injected':>13} "
         f"{'messages':>9} {'sim time':>9} {'prec':>6} {'recall':>7}"

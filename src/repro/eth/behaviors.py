@@ -56,7 +56,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 from repro.errors import BehaviorPlanError
 from repro.eth.mempool import Mempool
 from repro.eth.messages import GetPooledTransactions, Message, PooledTransactions, Transactions
-from repro.eth.node import KnownTxCache, Node
+from repro.eth.node import _GEN_BITS, _GEN_MASK, KnownTxCache, Node
 from repro.eth.policies import MempoolPolicy
 from repro.eth.transaction import Transaction
 
@@ -317,18 +317,33 @@ class BehaviorSet:
         node_id = node.id
 
         def lazy_broadcast(tx: Transaction) -> None:
-            # Announce-only variant of Node.broadcast_transaction: every
-            # unaware peer gets the hash, nobody gets a body.
+            # Announce-only variant of Node.broadcast_transaction (same
+            # generation-stamped mask scan): every unaware peer gets the
+            # hash, nobody gets a body.
             tx_hash = tx.hash
-            unaware = [item for item in node._peer_known if tx_hash not in item[1]]
+            known = node._known
+            gen = node._known_gen
+            all_bits = node._all_bits
+            value = known.get(tx_hash)
+            if value is not None and (value & _GEN_MASK) == gen:
+                mask = value >> _GEN_BITS
+                if mask & all_bits == all_bits:
+                    return
+            else:
+                value = None
+                mask = 0
+            unaware = [item for item in node._peer_list if not mask & item[1]]
             if not unaware:
                 return
-            limit = node._known_tx_limit
-            announce_queue = node._announce_queue
-            for peer_id, known in unaware:
-                known[tx_hash] = None
+            if value is None:
+                known[tx_hash] = (all_bits << _GEN_BITS) | gen
+                limit = node._known_tx_limit
                 if limit is not None and len(known) > limit:
-                    known.prune(limit)
+                    node._prune_known()
+            else:
+                known[tx_hash] = value | (all_bits << _GEN_BITS)
+            announce_queue = node._announce_queue
+            for peer_id, _bit in unaware:
                 bucket = announce_queue.get(peer_id)
                 if bucket is None:
                     announce_queue[peer_id] = [tx_hash]
@@ -351,6 +366,13 @@ class BehaviorSet:
         spoofed = self._runtime_caches.setdefault(
             f"spoof:{node_id}", KnownTxCache()
         )
+        # Bounded against the node's own known-tx budget: a spoof cache
+        # larger than what the node itself is allowed to remember is pure
+        # unpruned growth on long adversarial runs.
+        cache_limit = _RUNTIME_CACHE_LIMIT
+        node_limit = node._known_tx_limit
+        if node_limit is not None and node_limit < cache_limit:
+            cache_limit = node_limit
 
         def spoofing_handle_txs(from_id: str, msg: Message) -> None:
             original(from_id, msg)
@@ -362,8 +384,8 @@ class BehaviorSet:
                 # Forward a body the pool just rejected: the price band /
                 # future filter no longer protects downstream peers.
                 spoofed[tx_hash] = None
-                if len(spoofed) > _RUNTIME_CACHE_LIMIT:
-                    spoofed.prune(_RUNTIME_CACHE_LIMIT)
+                if len(spoofed) > cache_limit:
+                    spoofed.prune(cache_limit)
                 note("spoof_relay", node_id, tx_hash)
                 node.broadcast_transaction(tx)
 
@@ -415,6 +437,17 @@ class BehaviorSet:
         )
         node._forwards_future = True
         self._note("stale_client", node.id, "pre-1.9.11 policy table")
+
+    def reset_runtime_caches(self) -> None:
+        """Wipe per-behavior runtime caches (between measurement iterations).
+
+        ``Network.forget_known_transactions`` calls this in lockstep with
+        the nodes' own known-tx wipe: the cache *objects* are shared with
+        the installed closures, so they are cleared in place, never
+        replaced.
+        """
+        for cache in self._runtime_caches.values():
+            cache.clear()
 
     # ------------------------------------------------------------------
     # Snapshot participation (see Network.snapshot/restore)

@@ -24,10 +24,20 @@ DEFAULT_TABLE_CAPACITY = 272
 BUCKET_COUNT = 16
 
 
+# node id -> 64-bit Kademlia id. Table fills hash the same few thousand
+# short strings millions of times during generation; the cache turns each
+# into a dict hit. Entries are ~100 bytes each and node-id populations are
+# small (50k ids ≈ 5 MB), so the cache is deliberately unbounded.
+_KAD_ID_CACHE: Dict[str, int] = {}
+
+
 def kademlia_id(node_id: str) -> int:
     """Stable 64-bit Kademlia identifier for a node id string."""
-    digest = hashlib.blake2b(node_id.encode("utf-8"), digest_size=8).digest()
-    return int.from_bytes(digest, "big")
+    cached = _KAD_ID_CACHE.get(node_id)
+    if cached is None:
+        digest = hashlib.blake2b(node_id.encode("utf-8"), digest_size=8).digest()
+        cached = _KAD_ID_CACHE[node_id] = int.from_bytes(digest, "big")
+    return cached
 
 
 def xor_distance(a: str, b: str) -> int:
@@ -108,6 +118,40 @@ class RoutingTable:
                 inserted += 1
         return inserted
 
+    def fill_from_sampled(
+        self,
+        population: List[str],
+        rng: random.Random,
+        target_size: Optional[int] = None,
+    ) -> int:
+        """Populate the table from a bounded random sample of ``population``.
+
+        :meth:`fill_from` copies and shuffles the whole population per
+        table — O(N) each, O(N^2) across a network build, which is what
+        capped generation near 5k nodes. Sampling ``3*target + 8``
+        candidates (oversampled because bucket caps reject some) keeps the
+        per-table cost independent of N. Tables can land slightly under
+        ``target`` when many draws share a bucket; the active-link dialling
+        loop tolerates that.
+
+        Returns the number of entries actually inserted.
+        """
+        target = self.capacity if target_size is None else target_size
+        size = len(self)
+        if size >= target:
+            return 0
+        k = min(len(population), 3 * target + 8)
+        inserted = 0
+        for candidate in rng.sample(population, k):
+            if candidate == self.owner_id:
+                continue
+            if self.add(candidate):
+                inserted += 1
+                size += 1
+                if size >= target:
+                    break
+        return inserted
+
     def closest(self, target: str, count: int = 16) -> List[str]:
         """The ``count`` entries closest to ``target`` in XOR distance."""
         return sorted(self.entries(), key=lambda nid: xor_distance(nid, target))[
@@ -119,11 +163,21 @@ def build_routing_tables(
     node_ids: List[str],
     rng: random.Random,
     capacity: int = DEFAULT_TABLE_CAPACITY,
+    fast: bool = False,
 ) -> Dict[str, RoutingTable]:
-    """Build a routing table for every node from the global population."""
+    """Build a routing table for every node from the global population.
+
+    ``fast=True`` switches to :meth:`RoutingTable.fill_from_sampled` —
+    near-linear in the population instead of quadratic, at the cost of a
+    *different* (equally seed-deterministic) draw sequence. Keep the
+    default for golden/fingerprinted topologies.
+    """
     tables: Dict[str, RoutingTable] = {}
     for node_id in node_ids:
         table = RoutingTable(owner_id=node_id, capacity=capacity)
-        table.fill_from(node_ids, rng)
+        if fast:
+            table.fill_from_sampled(node_ids, rng)
+        else:
+            table.fill_from(node_ids, rng)
         tables[node_id] = table
     return tables

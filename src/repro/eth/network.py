@@ -9,7 +9,17 @@ scored (the simulator-equivalent of the paper's local-node validation).
 from __future__ import annotations
 
 from heapq import heappush
-from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Set
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 import networkx as nx
 
@@ -26,6 +36,7 @@ from repro.eth.node import Node, NodeConfig
 from repro.obs import NULL, Observability
 from repro.sim.engine import Simulator
 from repro.sim.faults import FaultInjector, FaultPlan
+from repro.sim.idmap import IdMap
 from repro.sim.latency import LatencyModel, UniformLatency
 from repro.sim.snapshot import capture_simulator, restore_simulator
 
@@ -33,6 +44,50 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from repro.eth.behaviors import BehaviorMix, BehaviorSet
     from repro.eth.policies import MempoolPolicy
     from repro.sim.invariants import InvariantChecker
+
+
+class _LinkView:
+    """Set-of-frozensets façade over the integer adjacency lists.
+
+    The SoA refactor stores links as ``Network._adj[i] -> {j, ...}`` index
+    sets; this view keeps the historical ``network._links`` surface —
+    ``frozenset((a, b)) in net._links``, iteration, ``len`` — alive for
+    tests and the legacy A/B benchmark engine without materializing a
+    parallel set of 2-element frozensets per link.
+    """
+
+    __slots__ = ("_network",)
+
+    def __init__(self, network: "Network") -> None:
+        self._network = network
+
+    def __contains__(self, link: object) -> bool:
+        try:
+            a, b = link  # frozenset/tuple of two endpoint ids
+        except (TypeError, ValueError):
+            return False
+        net = self._network
+        index = net._index
+        ia = index.get(a)
+        if ia is None:
+            return False
+        ib = index.get(b)
+        return ib is not None and ib in net._adj[ia]
+
+    def __iter__(self) -> Iterator[FrozenSet[str]]:
+        net = self._network
+        names = net._names
+        for ia, peers in enumerate(net._adj):
+            a = names[ia]
+            for ib in peers:
+                if ia < ib:
+                    yield frozenset((a, names[ib]))
+
+    def __len__(self) -> int:
+        return self._network._link_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_LinkView({len(self)} links)"
 
 
 class Network:
@@ -60,11 +115,29 @@ class Network:
         self.latency = latency or UniformLatency()
         self.chain = chain or Chain()
         self.nodes: Dict[str, Node] = {}
-        self._links: Set[FrozenSet[str]] = set()
-        # Adjacency mirror of _links: connectivity checks run once per
-        # message (twice counting delivery), and `to_id in adjacency[from]`
-        # avoids allocating a frozenset per check.
-        self._adjacency: Dict[str, Set[str]] = {}
+        # SoA core: strings at the API, ints inside. The intern table
+        # assigns each node id a dense index in add_node order (stable per
+        # generation seed — see repro.sim.idmap); `_node_list` and `_adj`
+        # are index-aligned arrays the transport walks instead of
+        # string-keyed dicts. `ids.names`/`ids.index` are bound once as
+        # `_names`/`_index` for the per-message lookups.
+        self.ids = IdMap()
+        self._names: List[str] = self.ids.names  # index -> node id
+        self._index: Dict[str, int] = self.ids.index  # node id -> index
+        self._node_list: List[Node] = []  # index -> Node
+        self._adj: List[Set[int]] = []  # index -> neighbor indices
+        self._link_count = 0
+        # Compat façade: the historical `_links` set-of-frozensets surface
+        # (membership/iteration/len), derived from `_adj` on the fly.
+        self._links = _LinkView(self)
+        # Cached id tuples (satellite of the SoA refactor: node_ids and
+        # measurable_node_ids used to rebuild O(N) lists inside campaign
+        # hot loops). Invalidated on add_node; the length keys make the
+        # caches self-healing if supernode_ids is mutated directly.
+        self._node_ids_cache: Optional[Tuple[str, ...]] = None
+        self._measurable_cache: Optional[
+            Tuple[Tuple[int, int], Tuple[str, ...]]
+        ] = None
         # Topology/liveness epoch. Bumped by connect/disconnect and node
         # crash/restart; a message delivered under the epoch it was sent in
         # cannot have lost its link or target, so delivery skips the guard
@@ -112,6 +185,11 @@ class Network:
             raise NetworkError(f"duplicate node id {node.id!r}")
         node.network = self
         self.nodes[node.id] = node
+        node.index = self.ids.intern(node.id)
+        self._node_list.append(node)
+        self._adj.append(set())
+        self._node_ids_cache = None
+        self._measurable_cache = None
         if node.crashed:
             self._crashed_count += 1
         if supernode:
@@ -136,12 +214,23 @@ class Network:
         return len(self.nodes)
 
     @property
-    def node_ids(self) -> List[str]:
-        return list(self.nodes)
+    def node_ids(self) -> Tuple[str, ...]:
+        """All node ids, add order (cached; nodes are never removed)."""
+        cache = self._node_ids_cache
+        if cache is None or len(cache) != len(self._names):
+            cache = self._node_ids_cache = tuple(self._names)
+        return cache
 
-    def measurable_node_ids(self) -> List[str]:
-        """All non-supernode node ids."""
-        return [nid for nid in self.nodes if nid not in self.supernode_ids]
+    def measurable_node_ids(self) -> Tuple[str, ...]:
+        """All non-supernode node ids (cached against both set sizes)."""
+        key = (len(self._names), len(self.supernode_ids))
+        cached = self._measurable_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        supers = self.supernode_ids
+        ids = tuple(nid for nid in self._names if nid not in supers)
+        self._measurable_cache = (key, ids)
+        return ids
 
     # ------------------------------------------------------------------
     # Links
@@ -156,39 +245,44 @@ class Network:
         if a == b:
             raise NetworkError("cannot connect a node to itself")
         node_a, node_b = self.node(a), self.node(b)
-        link = frozenset((a, b))
-        if link in self._links:
+        ia, ib = node_a.index, node_b.index
+        adj = self._adj
+        if ib in adj[ia]:
             raise LinkExistsError(f"link {a}--{b} already exists")
         if not force and not (node_a.can_accept_peer() and node_b.can_accept_peer()):
             raise NetworkError(f"no free peer slot for link {a}--{b}")
-        self._links.add(link)
-        self._adjacency.setdefault(a, set()).add(b)
-        self._adjacency.setdefault(b, set()).add(a)
+        adj[ia].add(ib)
+        adj[ib].add(ia)
+        self._link_count += 1
         self._epoch += 1
         node_a.add_peer(b)
         node_b.add_peer(a)
 
     def disconnect(self, a: str, b: str) -> None:
-        link = frozenset((a, b))
-        if link not in self._links:
+        ia = self._index.get(a)
+        ib = self._index.get(b)
+        if ia is None or ib is None or ib not in self._adj[ia]:
             raise NotConnectedError(f"no link {a}--{b}")
-        self._links.remove(link)
-        self._adjacency.get(a, set()).discard(b)
-        self._adjacency.get(b, set()).discard(a)
+        self._adj[ia].discard(ib)
+        self._adj[ib].discard(ia)
+        self._link_count -= 1
         self._epoch += 1
         self.node(a).remove_peer(b)
         self.node(b).remove_peer(a)
 
     def are_connected(self, a: str, b: str) -> bool:
-        peers = self._adjacency.get(a)
-        return peers is not None and b in peers
+        ia = self._index.get(a)
+        if ia is None:
+            return False
+        ib = self._index.get(b)
+        return ib is not None and ib in self._adj[ia]
 
     def neighbors(self, node_id: str) -> List[str]:
         return self.node(node_id).peer_ids
 
     @property
     def link_count(self) -> int:
-        return len(self._links)
+        return self._link_count
 
     def links(self) -> List[FrozenSet[str]]:
         return list(self._links)
@@ -338,15 +432,16 @@ class Network:
         send time, and a link or endpoint that disappears while it is in
         flight drops it at delivery time (with a ``drop`` trace record).
         """
-        nodes = self.nodes
-        peers = self._adjacency.get(from_id)
-        if peers is None or to_id not in peers:
-            if to_id not in nodes:
+        index = self._index
+        fi = index.get(from_id)
+        ti = index.get(to_id)
+        if fi is None or ti is None or ti not in self._adj[fi]:
+            if to_id not in self.nodes:
                 raise UnknownNodeError(to_id)
             raise NotConnectedError(
                 f"{from_id} is not connected to {to_id}; cannot send {msg.kind}"
             )
-        if nodes[from_id].crashed:
+        if self._node_list[fi].crashed:
             self._drop(from_id, to_id, msg, "sender_crashed")
             return
         self.messages_sent += 1
@@ -373,9 +468,10 @@ class Network:
                 self._drop(from_id, to_id, msg, "loss", trace=False)
                 return
             delay += self.faults.extra_delay(from_id, to_id)
-        # The label is built unconditionally: a tracer/profiler may be
-        # attached after this message is queued but before it delivers,
-        # and the recorded trace must not depend on when that happened.
+        # The label tuple is built unconditionally — a tracer/profiler may
+        # attach after this message is queued but before it delivers — and
+        # the engine formats it to the exact legacy "kind:from->to" string
+        # only when someone is observing (see Simulator._execute).
         # Deliveries are never cancelled, so the fire-and-forget entry
         # shape (no Event allocation) is safe here — and the schedule_call
         # frame itself is inlined (see the __init__ bindings).
@@ -386,38 +482,112 @@ class Network:
                 sim._now + delay,
                 self._next_seq(),
                 self._deliver_cb,
-                (from_id, to_id, msg, self._epoch),
-                f"{kind}:{from_id}->{to_id}",
+                (fi, ti, msg, self._epoch),
+                (kind, from_id, to_id),
             ),
         )
         sim._non_daemon_pending += 1
 
-    def _deliver(self, from_id: str, to_id: str, msg: Message, epoch: int = -1) -> None:
+    def send_batch(
+        self, from_id: str, entries: List[Tuple[str, Message]]
+    ) -> None:
+        """Send several messages from one node in one transport pass.
+
+        Semantically a ``send`` per ``(to_id, msg)`` entry, in order — the
+        same counters, the same per-entry latency draws from the same RNG
+        stream, the same fault hooks — but the sender is resolved once and
+        the heap entries go to the engine in a single
+        :meth:`~repro.sim.engine.Simulator.push_entries` call. This is the
+        flush path: one call per node per broadcast tick.
+        """
+        fi = self._index.get(from_id)
+        if fi is None:
+            raise UnknownNodeError(from_id)
+        adj = self._adj[fi]
+        index = self._index
+        sender_crashed = self._node_list[fi].crashed
+        by_kind = self.messages_by_kind
+        latency = self.latency
+        uniform = type(latency) is UniformLatency
+        latency_random = self._latency_random
+        next_seq = self._next_seq
+        deliver_cb = self._deliver_cb
+        epoch = self._epoch
+        faults = self.faults
+        sim = self.sim
+        now = sim._now
+        sent = 0
+        heap_entries = []
+        for to_id, msg in entries:
+            ti = index.get(to_id)
+            if ti is None:
+                raise UnknownNodeError(to_id)
+            if ti not in adj:
+                raise NotConnectedError(
+                    f"{from_id} is not connected to {to_id}; "
+                    f"cannot send {msg.kind}"
+                )
+            if sender_crashed:
+                self._drop(from_id, to_id, msg, "sender_crashed")
+                continue
+            sent += 1
+            kind = type(msg).__name__
+            try:
+                by_kind[kind] += 1
+            except KeyError:
+                by_kind[kind] = 1
+            if uniform:
+                delay = latency.low + latency._span * latency_random()
+            else:
+                delay = latency.sample(self._latency_rng, from_id, to_id)
+            if delay <= 0:
+                raise ValueError(
+                    f"latency model produced non-positive delay {delay}"
+                )
+            if faults is not None:
+                if faults.should_drop(from_id, to_id):
+                    self._drop(from_id, to_id, msg, "loss", trace=False)
+                    continue
+                delay += faults.extra_delay(from_id, to_id)
+            heap_entries.append(
+                (
+                    now + delay,
+                    next_seq(),
+                    deliver_cb,
+                    (fi, ti, msg, epoch),
+                    (kind, from_id, to_id),
+                )
+            )
+        self.messages_sent += sent
+        if heap_entries:
+            sim.push_entries(heap_entries)
+
+    def _deliver(self, fi: int, ti: int, msg: Message, epoch: int = -1) -> None:
         """Deliver a message, guarding against a world that changed in flight.
 
-        ``epoch`` is the network epoch captured at send time. While it still
-        matches, no link was torn down and no node crashed or restarted
-        since the send, so the guard chain below cannot fire and delivery
-        dispatches straight into the target's per-type handler table
-        (skipping the generic :meth:`Node.handle_message` frame). Direct
-        callers omit ``epoch`` and always take the guarded path.
+        ``fi``/``ti`` are intern-table indices (the transport resolved the
+        strings at send time); handlers still receive the sender's string
+        id. ``epoch`` is the network epoch captured at send time. While it
+        still matches, no link was torn down and no node crashed or
+        restarted since the send, so the guard chain below cannot fire and
+        delivery dispatches straight into the target's per-type handler
+        table (skipping the generic :meth:`Node.handle_message` frame).
+        Direct callers omit ``epoch`` and always take the guarded path.
         """
         if epoch == self._epoch and not self._crashed_count:
-            target = self.nodes[to_id]
+            target = self._node_list[ti]
             handler = target._dispatch.get(msg.__class__)
             if handler is not None:
-                handler(from_id, msg)
+                handler(self._names[fi], msg)
             else:
-                target.handle_message(from_id, msg)
+                target.handle_message(self._names[fi], msg)
             return
-        peers = self._adjacency.get(from_id)
-        if peers is None or to_id not in peers:
+        from_id = self._names[fi]
+        to_id = self._names[ti]
+        if ti not in self._adj[fi]:
             self._drop(from_id, to_id, msg, "link_vanished")
             return
-        target = self.nodes.get(to_id)
-        if target is None:
-            self._drop(from_id, to_id, msg, "target_removed")
-            return
+        target = self._node_list[ti]
         if target.crashed:
             self._drop(from_id, to_id, msg, "target_crashed")
             return
@@ -496,10 +666,13 @@ class Network:
                 node_id: node.capture_state()
                 for node_id, node in self.nodes.items()
             },
-            "links": set(self._links),
-            "adjacency": {
-                node_id: set(peers) for node_id, peers in self._adjacency.items()
-            },
+            # Integer adjacency by index; the idmap capture pins the
+            # str<->int bijection the indices are meaningful under (restore
+            # refuses a changed node set, so it can only differ if someone
+            # re-ordered creation — exactly the corruption to catch).
+            "idmap": self.ids.capture(),
+            "adjacency": [set(peers) for peers in self._adj],
+            "link_count": self._link_count,
             "epoch": self._epoch,
             "supernode_ids": set(self.supernode_ids),
             "messages_sent": self.messages_sent,
@@ -563,15 +736,18 @@ class Network:
                 f"chain advanced since the snapshot (height {self.chain.height} "
                 f"!= {snapshot['chain_height']}); rebuild instead of restoring"
             )
+        if snapshot["idmap"] != self.ids.capture():
+            raise SnapshotError(
+                "node id interning table changed since the snapshot was "
+                "taken; the captured integer adjacency would be "
+                "misinterpreted — rebuild instead of restoring"
+            )
         restore_simulator(self.sim, snapshot["sim"])
         self._next_seq = self.sim._seq.__next__
         for node_id, node_state in snapshot["nodes"].items():
             self.nodes[node_id].restore_state(node_state)
-        self._links = set(snapshot["links"])
-        self._adjacency = {
-            node_id: set(peers)
-            for node_id, peers in snapshot["adjacency"].items()
-        }
+        self._adj = [set(peers) for peers in snapshot["adjacency"]]
+        self._link_count = snapshot["link_count"]
         self._epoch = snapshot["epoch"]
         self._crashed_count = sum(
             1 for node in self.nodes.values() if node.crashed
@@ -592,45 +768,61 @@ class Network:
     def ground_truth_graph(self, include_supernodes: bool = False) -> nx.Graph:
         """The true overlay graph (the hidden information TopoShot infers)."""
         graph = nx.Graph()
-        for node_id in self.nodes:
-            if include_supernodes or node_id not in self.supernode_ids:
+        names = self._names
+        supers = self.supernode_ids
+        for node_id in names:
+            if include_supernodes or node_id not in supers:
                 graph.add_node(node_id)
-        for link in self._links:
-            a, b = tuple(link)
-            if include_supernodes or (
-                a not in self.supernode_ids and b not in self.supernode_ids
-            ):
-                graph.add_edge(a, b)
+        for ia, peers in enumerate(self._adj):
+            a = names[ia]
+            for ib in peers:
+                if ia < ib:
+                    b = names[ib]
+                    if include_supernodes or (
+                        a not in supers and b not in supers
+                    ):
+                        graph.add_edge(a, b)
         return graph
 
     def ground_truth_edges(self) -> Set[FrozenSet[str]]:
         """True measurable links (both endpoints non-supernode)."""
-        return {
-            link
-            for link in self._links
-            if not (link & self.supernode_ids)
-        }
+        names = self._names
+        supers = self.supernode_ids
+        edges: Set[FrozenSet[str]] = set()
+        for ia, peers in enumerate(self._adj):
+            a = names[ia]
+            if a in supers:
+                continue
+            for ib in peers:
+                if ia < ib and names[ib] not in supers:
+                    edges.add(frozenset((a, names[ib])))
+        return edges
 
     def forget_known_transactions(self) -> None:
-        """Clear every node's per-peer known-tx sets.
+        """Clear every node's known-tx state.
 
         Called between measurement iterations to bound memory; safe because
         broadcasts only happen on admission events, never retroactively.
         """
-        for node in self.nodes.values():
+        for node in self._node_list:
             node.forget_known_transactions()
         if self.invariants is not None:
             # The checker's per-link push/announce/request bookkeeping
             # mirrors the caches just wiped; keep them in lockstep or
             # re-sent traffic would read as violations.
             self.invariants.reset_transient()
+        if self.behaviors is not None:
+            # Same lockstep argument for spoof-relay runtime caches: stale
+            # per-behavior known-hash state surviving an iteration wipe
+            # desyncs from the nodes' freshly-bumped tables.
+            self.behaviors.reset_runtime_caches()
 
     def total_mempool_size(self) -> int:
         return sum(len(node.mempool) for node in self.nodes.values())
 
     def __repr__(self) -> str:
         return (
-            f"Network(nodes={len(self.nodes)}, links={len(self._links)}, "
+            f"Network(nodes={len(self.nodes)}, links={self._link_count}, "
             f"t={self.sim.now:.2f}s)"
         )
 

@@ -117,12 +117,115 @@ class NodeConfig:
         return replace(self, policy=policy)
 
 
-@dataclass
+# Generation stamp width of the known-tx table (low bits of each value).
+# 32 bits of generation wrap after 4G forget cycles — far beyond any
+# campaign — and leave the whole upper int to the per-peer bit mask.
+_GEN_MASK = 0xFFFFFFFF
+_GEN_BITS = 32
+
+# Size above which a generation bump also clears the table outright
+# instead of leaving dead (stale-generation) entries to be overwritten
+# lazily. Bounds the table's memory between measurement iterations.
+_FORGET_COMPACT_THRESHOLD = 4096
+
+
+class PeerKnownView:
+    """Set-like façade over one peer's slice of the node's known-tx table.
+
+    The SoA refactor replaced per-peer :class:`KnownTxCache` dicts with one
+    per-node table ``hash -> (mask << 32) | generation`` where bit *i* of
+    ``mask`` means "the peer in slot *i* knows this hash". This view keeps
+    ``peer_state.known_txs`` working — membership, ``add``/``discard``,
+    iteration, ``len`` — for tests, tooling and the legacy benchmark
+    engine, reading and writing the shared table through the peer's slot
+    bit. Reads are O(1); ``len``/iteration scan the table (cold paths).
+    """
+
+    __slots__ = ("_node", "_bit", "_shifted")
+
+    def __init__(self, node: "Node", slot: int) -> None:
+        self._node = node
+        self._bit = 1 << slot
+        self._shifted = self._bit << _GEN_BITS
+
+    def __contains__(self, tx_hash: str) -> bool:
+        node = self._node
+        value = node._known.get(tx_hash)
+        return (
+            value is not None
+            and (value & _GEN_MASK) == node._known_gen
+            and bool(value & self._shifted)
+        )
+
+    def add(self, tx_hash: str) -> None:
+        """Mark the peer as knowing ``tx_hash`` (no table bound applied)."""
+        node = self._node
+        known = node._known
+        gen = node._known_gen
+        value = known.get(tx_hash)
+        if value is not None and (value & _GEN_MASK) == gen:
+            known[tx_hash] = value | self._shifted
+        else:
+            known[tx_hash] = self._shifted | gen
+
+    def discard(self, tx_hash: str) -> None:
+        node = self._node
+        value = node._known.get(tx_hash)
+        if value is not None and (value & _GEN_MASK) == node._known_gen:
+            node._known[tx_hash] = value & ~self._shifted
+
+    def clear(self) -> None:
+        """Strip this peer's bit from every live entry."""
+        node = self._node
+        shifted = self._shifted
+        gen = node._known_gen
+        known = node._known
+        for tx_hash, value in known.items():
+            if value & shifted and (value & _GEN_MASK) == gen:
+                known[tx_hash] = value & ~shifted
+
+    def __iter__(self):
+        node = self._node
+        shifted = self._shifted
+        gen = node._known_gen
+        for tx_hash, value in node._known.items():
+            if value & shifted and (value & _GEN_MASK) == gen:
+                yield tx_hash
+
+    def __len__(self) -> int:
+        node = self._node
+        shifted = self._shifted
+        gen = node._known_gen
+        return sum(
+            1
+            for value in node._known.values()
+            if value & shifted and (value & _GEN_MASK) == gen
+        )
+
+    def __bool__(self) -> bool:
+        node = self._node
+        shifted = self._shifted
+        gen = node._known_gen
+        for value in node._known.values():
+            if value & shifted and (value & _GEN_MASK) == gen:
+                return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PeerKnownView({len(self)} hashes, bit={self._bit:#x})"
+
+
+@dataclass(slots=True)
 class PeerState:
-    """Per-peer bookkeeping."""
+    """Per-peer bookkeeping.
+
+    ``slot`` is the peer's bit position in the node's known-tx table
+    masks; ``known_txs`` is the :class:`PeerKnownView` over that bit.
+    """
 
     peer_id: str
-    known_txs: KnownTxCache = field(default_factory=KnownTxCache)
+    slot: int = 0
+    known_txs: Optional[PeerKnownView] = None
     known_blocks: Set[str] = field(default_factory=set)
     connected_at: float = 0.0
 
@@ -166,19 +269,36 @@ class Node:
         self.behavior: Optional[str] = None
         self._rng = sim.rng.stream(f"node:{node_id}")
         self._getrandbits = self._rng.getrandbits
+        # Dense index of this node in its network's id-interning table
+        # (repro.sim.idmap); -1 while detached. Set by Network.add_node.
+        self.index = -1
         self._push_queue: Dict[str, List[Transaction]] = {}
         self._announce_queue: Dict[str, List[str]] = {}
         self._flush_scheduled = False
         self._flush_label = f"flush:{node_id}"
         self._announce_requested: Dict[str, float] = {}  # hash -> hold expiry
         self._seen_blocks: Set[str] = set()
-        # Broadcast-path caches. `_peer_known` pairs each peer id with its
-        # known-tx cache *object* (stable identity: caches are cleared in
-        # place, never replaced) in peer-dict insertion order, so the
-        # per-transaction unaware scan runs on a plain list with C-level
-        # dict membership. `_push_fanout` is Geth's ceil(sqrt(peer_count)).
-        self._peer_known: List[Tuple[str, KnownTxCache]] = []
-        self._peer_known_map: Dict[str, KnownTxCache] = {}
+        # Generation-stamped known-tx table (struct-of-arrays layout): one
+        # dict ``hash -> (mask << 32) | generation`` instead of a bounded
+        # dict per peer. Bit i of ``mask`` means "the peer occupying slot i
+        # knows this hash"; entries whose generation differs from
+        # ``_known_gen`` are dead (forget_known_transactions bumps the
+        # generation in O(1) rather than clearing anything). Slots are
+        # assigned on add_peer and recycled through ``_free_slots`` after
+        # remove_peer sweeps the departing bit out of the live entries.
+        self._known: Dict[str, int] = {}
+        self._known_gen = 0
+        self._free_slots: List[int] = []
+        self._next_slot = 0
+        # Broadcast-path caches. `_peer_list` pairs each peer id with its
+        # slot bit in peer-dict insertion order, so the per-transaction
+        # unaware scan is one dict lookup plus an int AND per peer.
+        # `_peer_shifted` maps peer id -> (bit << 32) for inbound marking;
+        # `_all_bits` ORs every current peer's bit (broadcast early-exit).
+        # `_push_fanout` is Geth's ceil(sqrt(peer_count)).
+        self._peer_list: List[Tuple[str, int]] = []
+        self._peer_shifted: Dict[str, int] = {}
+        self._all_bits = 0
         self._push_fanout = 1
         # Per-type message handler table, consulted by handle_message and
         # directly by Network._deliver's fast path. Built from bound
@@ -216,16 +336,44 @@ class Node:
         return limit is None or len(self.peers) < limit
 
     def _refresh_peer_caches(self) -> None:
-        self._peer_known = [
-            (peer_id, state.known_txs) for peer_id, state in self.peers.items()
+        """Rebuild the broadcast caches from the peers dict (cold path).
+
+        ``add_peer`` appends incrementally instead of calling this — a
+        supernode collects tens of thousands of peers, and rebuilding a
+        length-k list per add is O(k^2) across a join. Insertion order is
+        preserved either way: it feeds the broadcast fan-out shuffle and
+        is part of determinism, not cosmetics.
+        """
+        self._peer_list = [
+            (peer_id, 1 << state.slot) for peer_id, state in self.peers.items()
         ]
-        self._peer_known_map = dict(self._peer_known)
+        self._peer_shifted = {
+            peer_id: bit << _GEN_BITS for peer_id, bit in self._peer_list
+        }
+        all_bits = 0
+        for _, bit in self._peer_list:
+            all_bits |= bit
+        self._all_bits = all_bits
         self._push_fanout = max(1, math.ceil(math.sqrt(len(self.peers))))
 
     def add_peer(self, peer_id: str) -> None:
         if peer_id not in self.peers:
-            self.peers[peer_id] = PeerState(peer_id=peer_id, connected_at=self.sim.now)
-            self._refresh_peer_caches()
+            if self._free_slots:
+                slot = self._free_slots.pop()
+            else:
+                slot = self._next_slot
+                self._next_slot += 1
+            self.peers[peer_id] = PeerState(
+                peer_id=peer_id,
+                slot=slot,
+                known_txs=PeerKnownView(self, slot),
+                connected_at=self.sim.now,
+            )
+            bit = 1 << slot
+            self._peer_list.append((peer_id, bit))
+            self._peer_shifted[peer_id] = bit << _GEN_BITS
+            self._all_bits |= bit
+            self._push_fanout = max(1, math.ceil(math.sqrt(len(self.peers))))
             if self.network is not None:
                 # DevP2P handshake: exchange Status with the new peer.
                 self._send(
@@ -238,8 +386,18 @@ class Node:
                 )
 
     def remove_peer(self, peer_id: str) -> None:
-        self.peers.pop(peer_id, None)
-        self._refresh_peer_caches()
+        state = self.peers.pop(peer_id, None)
+        if state is not None:
+            # Sweep the departing peer's bit out of the table so the slot
+            # can be recycled without leaking "knows" bits to its next
+            # occupant. Disconnects are cold; the sweep is O(table).
+            shifted = 1 << (state.slot + _GEN_BITS)
+            known = self._known
+            for tx_hash, value in known.items():
+                if value & shifted:
+                    known[tx_hash] = value & ~shifted
+            self._free_slots.append(state.slot)
+            self._refresh_peer_caches()
         self._push_queue.pop(peer_id, None)
         self._announce_queue.pop(peer_id, None)
         self.peer_versions.pop(peer_id, None)
@@ -254,22 +412,52 @@ class Node:
 
     def knows(self, peer_id: str, tx_hash: str) -> bool:
         """Does this node believe ``peer_id`` already has ``tx_hash``?"""
-        state = self.peers.get(peer_id)
-        return state is not None and tx_hash in state.known_txs
+        shifted = self._peer_shifted.get(peer_id)
+        if shifted is None:
+            return False
+        value = self._known.get(tx_hash)
+        return (
+            value is not None
+            and (value & _GEN_MASK) == self._known_gen
+            and bool(value & shifted)
+        )
+
+    def _prune_known(self) -> None:
+        """FIFO-prune the known-tx table down to ``known_tx_limit``.
+
+        The table is insertion-ordered (the dict *is* the order), so
+        dropping from the head evicts the oldest-first-seen hashes —
+        deterministic across processes, like the old per-peer caches.
+        """
+        known = self._known
+        limit = self._known_tx_limit
+        while len(known) > limit:
+            del known[next(iter(known))]
 
     def _mark_known(self, peer_id: str, tx_hash: str) -> None:
-        state = self.peers.get(peer_id)
-        if state is not None:
-            known = state.known_txs
-            known[tx_hash] = None
-            limit = self._known_tx_limit
-            if limit is not None and len(known) > limit:
-                known.prune(limit)
+        shifted = self._peer_shifted.get(peer_id)
+        if shifted is not None:
+            known = self._known
+            gen = self._known_gen
+            value = known.get(tx_hash)
+            if value is not None and (value & _GEN_MASK) == gen:
+                known[tx_hash] = value | shifted
+            else:
+                known[tx_hash] = shifted | gen
+                limit = self._known_tx_limit
+                if limit is not None and len(known) > limit:
+                    self._prune_known()
 
     def forget_known_transactions(self) -> None:
-        """Drop per-peer known-tx sets (between measurement iterations)."""
-        for state in self.peers.values():
-            state.known_txs.clear()
+        """Drop all known-tx state (between measurement iterations).
+
+        O(1): bumping the generation stamp invalidates every live entry at
+        once. Tables that grew past the compaction threshold are cleared
+        outright so dead entries cannot accumulate across iterations.
+        """
+        self._known_gen = (self._known_gen + 1) & _GEN_MASK
+        if len(self._known) >= _FORGET_COMPACT_THRESHOLD:
+            self._known.clear()
         self._announce_requested.clear()
 
     # ------------------------------------------------------------------
@@ -324,8 +512,7 @@ class Node:
             return
         self.crashed = False
         self.mempool.clear()
-        for state in self.peers.values():
-            state.known_txs.clear()
+        self._known.clear()
         self._announce_requested.clear()
         if self.network is not None:
             self.network._epoch += 1
@@ -355,12 +542,16 @@ class Node:
             "mempool": self.mempool.capture_state(),
             "peers": {
                 peer_id: (
-                    dict(state.known_txs),
+                    state.slot,
                     set(state.known_blocks),
                     state.connected_at,
                 )
                 for peer_id, state in self.peers.items()
             },
+            "known": dict(self._known),
+            "known_gen": self._known_gen,
+            "free_slots": list(self._free_slots),
+            "next_slot": self._next_slot,
             "peer_versions": dict(self.peer_versions),
             "announce_requested": dict(self._announce_requested),
             "seen_blocks": set(self._seen_blocks),
@@ -386,14 +577,19 @@ class Node:
         self.peers = {
             peer_id: PeerState(
                 peer_id=peer_id,
-                known_txs=KnownTxCache(known_txs),
+                slot=slot,
+                known_txs=PeerKnownView(self, slot),
                 known_blocks=set(known_blocks),
                 connected_at=connected_at,
             )
-            for peer_id, (known_txs, known_blocks, connected_at) in state[
+            for peer_id, (slot, known_blocks, connected_at) in state[
                 "peers"
             ].items()
         }
+        self._known = dict(state["known"])
+        self._known_gen = state["known_gen"]
+        self._free_slots = list(state["free_slots"])
+        self._next_slot = state["next_slot"]
         self.peer_versions = dict(state["peer_versions"])
         self._announce_requested = dict(state["announce_requested"])
         self._seen_blocks = set(state["seen_blocks"])
@@ -463,12 +659,18 @@ class Node:
         tx_hash = tx.hash
         if from_id is not None:
             # _mark_known inlined: this runs once per received transaction.
-            known = self._peer_known_map.get(from_id)
-            if known is not None:
-                known[tx_hash] = None
-                limit = self._known_tx_limit
-                if limit is not None and len(known) > limit:
-                    known.prune(limit)
+            shifted = self._peer_shifted.get(from_id)
+            if shifted is not None:
+                known = self._known
+                gen = self._known_gen
+                value = known.get(tx_hash)
+                if value is not None and (value & _GEN_MASK) == gen:
+                    known[tx_hash] = value | shifted
+                else:
+                    known[tx_hash] = shifted | gen
+                    limit = self._known_tx_limit
+                    if limit is not None and len(known) > limit:
+                        self._prune_known()
         pool = self.mempool
         if tx_hash in pool._by_hash:
             # Duplicate fast path: during gossip most deliveries carry a
@@ -492,12 +694,18 @@ class Node:
         discards the result either way.
         """
         tx_hash = tx.hash
-        known = self._peer_known_map.get(from_id)
-        if known is not None:
-            known[tx_hash] = None
-            limit = self._known_tx_limit
-            if limit is not None and len(known) > limit:
-                known.prune(limit)
+        shifted = self._peer_shifted.get(from_id)
+        if shifted is not None:
+            known = self._known
+            gen = self._known_gen
+            value = known.get(tx_hash)
+            if value is not None and (value & _GEN_MASK) == gen:
+                known[tx_hash] = value | shifted
+            else:
+                known[tx_hash] = shifted | gen
+                limit = self._known_tx_limit
+                if limit is not None and len(known) > limit:
+                    self._prune_known()
         pool = self.mempool
         if tx_hash in pool._by_hash:
             pool.stats["rejected_known"] += 1
@@ -543,14 +751,27 @@ class Node:
     def broadcast_transaction(self, tx: Transaction) -> None:
         """Queue ``tx`` toward every peer not known to have it."""
         tx_hash = tx.hash
-        unaware = [item for item in self._peer_known if tx_hash not in item[1]]
+        known = self._known
+        gen = self._known_gen
+        all_bits = self._all_bits
+        value = known.get(tx_hash)
+        if value is not None and (value & _GEN_MASK) == gen:
+            mask = value >> _GEN_BITS
+            if mask & all_bits == all_bits:
+                # Every current peer already knows the hash (remove_peer
+                # sweeps departing bits, so mask ⊆ all_bits for live peers).
+                return
+        else:
+            value = None
+            mask = 0
+        unaware = [item for item in self._peer_list if not mask & item[1]]
         if not unaware:
             return
         config = self.config
         if config.announce_only:
             # Bitcoin's propagation model (what TxProbe exploits): hashes
             # first, bodies on request, never unsolicited pushes.
-            push_targets: List[Tuple[str, KnownTxCache]] = []
+            push_targets: List[Tuple[str, int]] = []
             announce_targets = unaware
         elif config.push_to_all or not config.announce_enabled:
             push_targets = unaware
@@ -572,13 +793,19 @@ class Node:
             n_push = self._push_fanout
             push_targets = unaware[:n_push]
             announce_targets = unaware[n_push:]
-        limit = self._known_tx_limit
+        # One table write covers every target: push + announce together
+        # span the whole unaware set, so the entry's mask becomes all
+        # current peers' bits.
+        if value is None:
+            known[tx_hash] = (all_bits << _GEN_BITS) | gen
+            limit = self._known_tx_limit
+            if limit is not None and len(known) > limit:
+                self._prune_known()
+        else:
+            known[tx_hash] = value | (all_bits << _GEN_BITS)
         if push_targets:
             push_queue = self._push_queue
-            for peer_id, known in push_targets:
-                known[tx_hash] = None
-                if limit is not None and len(known) > limit:
-                    known.prune(limit)
+            for peer_id, _bit in push_targets:
                 bucket = push_queue.get(peer_id)
                 if bucket is None:
                     push_queue[peer_id] = [tx]
@@ -586,10 +813,7 @@ class Node:
                     bucket.append(tx)
         if announce_targets:
             announce_queue = self._announce_queue
-            for peer_id, known in announce_targets:
-                known[tx_hash] = None
-                if limit is not None and len(known) > limit:
-                    known.prune(limit)
+            for peer_id, _bit in announce_targets:
                 bucket = announce_queue.get(peer_id)
                 if bucket is None:
                     announce_queue[peer_id] = [tx_hash]
@@ -610,16 +834,24 @@ class Node:
         network = self.network
         if network is None:
             raise NodeDetachedError(self.id)
-        send = network.send  # bypass _send: most messages leave via flush
         my_id = self.id
         push_queue, self._push_queue = self._push_queue, {}
         announce_queue, self._announce_queue = self._announce_queue, {}
+        # One Network.send_batch call per flush instead of a Network.send
+        # per peer: the transport resolves this node's index once, draws
+        # latencies in the same per-peer order as the old loop, and hands
+        # the engine every heap entry in a single push_entries call.
+        batch: List[Tuple[str, Message]] = []
         for peer_id, txs in push_queue.items():
             if peer_id in peers:
-                send(my_id, peer_id, Transactions(txs=tuple(txs)))
+                batch.append((peer_id, Transactions(txs=tuple(txs))))
         for peer_id, hashes in announce_queue.items():
             if peer_id in peers:
-                send(my_id, peer_id, NewPooledTransactionHashes(hashes=tuple(hashes)))
+                batch.append(
+                    (peer_id, NewPooledTransactionHashes(hashes=tuple(hashes)))
+                )
+        if batch:
+            network.send_batch(my_id, batch)
         # Opportunistic hold-window hygiene: announcement holds are only
         # ever *read* within their 5 s window, but entries used to pile up
         # one per announced hash until a restart. Sweep the expired ones
@@ -636,7 +868,7 @@ class Node:
     def _handle_announcement(
         self, from_id: str, msg: NewPooledTransactionHashes
     ) -> None:
-        known = self._peer_known_map.get(from_id)
+        shifted = self._peer_shifted.get(from_id)
         wanted: List[str] = []
         now = self.sim.now
         hold = self._announce_hold
@@ -645,9 +877,18 @@ class Node:
         # Membership against the mempool's primary hash index directly:
         # Mempool.__contains__ is one Python frame per announced hash.
         pool_txs = self.mempool._by_hash
-        if known is not None:
+        if shifted is not None:
+            known = self._known
+            known_get = known.get
+            gen = self._known_gen
+            inserted = False
             for tx_hash in msg.hashes:
-                known[tx_hash] = None
+                value = known_get(tx_hash)
+                if value is not None and (value & _GEN_MASK) == gen:
+                    known[tx_hash] = value | shifted
+                else:
+                    known[tx_hash] = shifted | gen
+                    inserted = True
                 if tx_hash in pool_txs:
                     continue
                 # Within the hold window we do not respond to other
@@ -657,8 +898,8 @@ class Node:
                 requested[tx_hash] = now + hold
                 wanted.append(tx_hash)
             limit = self._known_tx_limit
-            if limit is not None and len(known) > limit:
-                known.prune(limit)
+            if inserted and limit is not None and len(known) > limit:
+                self._prune_known()
         else:
             for tx_hash in msg.hashes:
                 if tx_hash in pool_txs:
@@ -676,13 +917,20 @@ class Node:
             tx for tx_hash in msg.hashes if (tx := pool_get(tx_hash)) is not None
         )
         if available:
-            known = self._peer_known_map.get(from_id)
-            if known is not None:
+            shifted = self._peer_shifted.get(from_id)
+            if shifted is not None:
+                known = self._known
+                gen = self._known_gen
                 for tx in available:
-                    known[tx.hash] = None
+                    tx_hash = tx.hash
+                    value = known.get(tx_hash)
+                    if value is not None and (value & _GEN_MASK) == gen:
+                        known[tx_hash] = value | shifted
+                    else:
+                        known[tx_hash] = shifted | gen
                 limit = self._known_tx_limit
                 if limit is not None and len(known) > limit:
-                    known.prune(limit)
+                    self._prune_known()
             self._send(from_id, PooledTransactions(txs=available))
 
     # ------------------------------------------------------------------

@@ -89,16 +89,18 @@ class MempoolPolicy:
         limit = self.future_limit_per_account
         if limit is not None:
             limit = max(1, math.ceil(limit * ratio))
-        return replace(
-            self,
-            capacity=capacity,
-            eviction_pending_floor=floor,
-            future_limit_per_account=limit,
+        return intern_policy(
+            replace(
+                self,
+                capacity=capacity,
+                eviction_pending_floor=floor,
+                future_limit_per_account=limit,
+            )
         )
 
     def with_bump(self, replace_bump: float) -> "MempoolPolicy":
         """Copy with a custom R (models non-default ``--txpool.pricebump``)."""
-        return replace(self, replace_bump=replace_bump)
+        return intern_policy(replace(self, replace_bump=replace_bump))
 
     def with_capacity(self, capacity: int) -> "MempoolPolicy":
         """Copy with a custom L, leaving P and U untouched.
@@ -106,11 +108,23 @@ class MempoolPolicy:
         This is the "custom mempool size" non-default setting blamed for
         false negatives in Section 6.1.
         """
-        return replace(self, capacity=capacity)
+        return intern_policy(replace(self, capacity=capacity))
 
     def with_base_fee_enforcement(self) -> "MempoolPolicy":
         """Copy running in EIP-1559 mode (Appendix E)."""
-        return replace(self, enforce_base_fee=True)
+        return intern_policy(replace(self, enforce_base_fee=True))
+
+
+# Flyweight registry: a frozen (hashable) policy stands for itself, so
+# equal derived policies collapse to one shared instance. At 50k nodes a
+# generated network holds a handful of distinct policies, not 50k copies;
+# the derived constructors above route every new value through here.
+_INTERNED: Dict["MempoolPolicy", "MempoolPolicy"] = {}
+
+
+def intern_policy(policy: MempoolPolicy) -> MempoolPolicy:
+    """Return the canonical shared instance equal to ``policy``."""
+    return _INTERNED.setdefault(policy, policy)
 
 
 # Table 3 of the paper, verbatim. Deployment shares are the second column.
@@ -162,6 +176,12 @@ ALETH = MempoolPolicy(
 CLIENT_POLICIES: Dict[str, MempoolPolicy] = {
     policy.name: policy for policy in (GETH, PARITY, NETHERMIND, BESU, ALETH)
 }
+
+# Seed the flyweight registry with the presets themselves, so deriving
+# "the geth preset" back from a modified copy returns the module constant.
+for _policy in CLIENT_POLICIES.values():
+    _INTERNED.setdefault(_policy, _policy)
+del _policy
 
 
 def policy_by_name(name: str) -> MempoolPolicy:

@@ -60,10 +60,33 @@ class NetworkSpec:
     # (and no explicit latency model is given), nodes are pinned to regions
     # and links use GeoLatency's inter-region base delays.
     region_mix: Optional[Dict[str, float]] = None
+    # Wiring algorithm: "legacy" is the original full-population routing
+    # fill + unbounded hop-2 candidate union (quadratic, and what every
+    # golden fingerprint was baked against); "fast" uses bounded sampling
+    # (near-linear — the >=50k unlock) with a *different* seed-deterministic
+    # draw sequence; "auto" picks fast at FAST_WIRING_THRESHOLD nodes.
+    wiring: str = "auto"
     extra_config: Dict[str, object] = field(default_factory=dict)
 
     def node_id(self, index: int) -> str:
         return f"{self.name}-{index:04d}"
+
+
+#: Node count at which wiring="auto" switches to the fast generator. All
+#: golden/fingerprinted topologies (24/40/1k nodes) stay on legacy wiring.
+FAST_WIRING_THRESHOLD = 2048
+
+
+def _use_fast_wiring(spec: NetworkSpec) -> bool:
+    if spec.wiring == "legacy":
+        return False
+    if spec.wiring == "fast":
+        return True
+    if spec.wiring == "auto":
+        return spec.n_nodes >= FAST_WIRING_THRESHOLD
+    raise ValueError(
+        f"unknown wiring {spec.wiring!r}; expected 'auto', 'legacy' or 'fast'"
+    )
 
 
 def _scaled_policy(base: MempoolPolicy, spec: NetworkSpec) -> MempoolPolicy:
@@ -145,9 +168,10 @@ def _wire_active_links(
 ) -> None:
     """Dial active links out of discovery candidates, then bridge any
     disconnected components."""
+    fast = _use_fast_wiring(spec)
     table_capacity = min(spec.routing_table_capacity, max(1, spec.n_nodes - 1))
     tables: Dict[str, RoutingTable] = build_routing_tables(
-        node_ids, rng, capacity=table_capacity
+        node_ids, rng, capacity=table_capacity, fast=fast
     )
     for node_id, table in tables.items():
         network.node(node_id).routing_table = table.entries()
@@ -163,11 +187,14 @@ def _wire_active_links(
         )
         # Candidate buffer: own table entries plus hop-2 entries (§6.2.2).
         candidates = list(tables[node_id].entries())
-        hop2: Set[str] = set()
-        for entry in candidates:
-            hop2.update(tables[entry].entries())
-        hop2.discard(node_id)
-        buffer = candidates + sorted(hop2 - set(candidates))
+        if fast:
+            buffer = _bounded_hop2_buffer(node_id, candidates, tables, quota)
+        else:
+            hop2: Set[str] = set()
+            for entry in candidates:
+                hop2.update(tables[entry].entries())
+            hop2.discard(node_id)
+            buffer = candidates + sorted(hop2 - set(candidates))
         rng.shuffle(buffer)
         dialled = 0
         for candidate in buffer:
@@ -181,7 +208,40 @@ def _wire_active_links(
             network.connect(node_id, candidate, force=candidate in hub_ids)
             dialled += 1
 
-    _bridge_components(network, rng)
+    if fast:
+        _bridge_components_fast(network, rng)
+    else:
+        _bridge_components(network, rng)
+
+
+def _bounded_hop2_buffer(
+    node_id: str,
+    candidates: List[str],
+    tables: Dict[str, RoutingTable],
+    quota: int,
+) -> List[str]:
+    """Own entries plus hop-2 entries, capped.
+
+    The legacy buffer unions *every* hop-2 table — O(capacity^2) per node,
+    the second quadratic term in large-N generation. A dial only consumes
+    a handful of candidates, so a buffer a few multiples of the quota deep
+    gives the dialling loop the same slack without materializing the
+    full hop-2 neighbourhood.
+    """
+    cap = max(4 * quota, len(candidates)) + 16
+    buffer = list(candidates)
+    seen = set(candidates)
+    seen.add(node_id)
+    for entry in candidates:
+        if len(buffer) >= cap:
+            break
+        for hop2 in tables[entry].entries():
+            if hop2 not in seen:
+                seen.add(hop2)
+                buffer.append(hop2)
+                if len(buffer) >= cap:
+                    break
+    return buffer
 
 
 def _bridge_components(network: Network, rng) -> None:
@@ -189,6 +249,37 @@ def _bridge_components(network: Network, rng) -> None:
     import networkx as nx
 
     components = [sorted(c) for c in nx.connected_components(graph)]
+    for previous, current in zip(components, components[1:]):
+        network.connect(rng.choice(previous), rng.choice(current), force=True)
+
+
+def _bridge_components_fast(network: Network, rng) -> None:
+    """Union-find over the integer adjacency instead of building an
+    nx.Graph of the whole overlay (which would briefly double memory at
+    50k nodes). Components are bridged in min-name order, so the result
+    is seed-deterministic like the legacy path."""
+    adj = network._adj
+    names = network._names
+    n = len(names)
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for ia, peers in enumerate(adj):
+        for ib in peers:
+            ra, rb = find(ia), find(ib)
+            if ra != rb:
+                parent[rb] = ra
+    groups: Dict[int, List[str]] = {}
+    for i in range(n):
+        groups.setdefault(find(i), []).append(names[i])
+    components = sorted(
+        (sorted(group) for group in groups.values()), key=lambda g: g[0]
+    )
     for previous, current in zip(components, components[1:]):
         network.connect(rng.choice(previous), rng.choice(current), force=True)
 

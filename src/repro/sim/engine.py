@@ -52,6 +52,13 @@ class Event:
     ``(time, seq, callback, args, label)`` 5-tuples with no handle at all.
     The two shapes share one heap — ``(time, seq)`` prefixes are unique,
     so ordering never compares the payloads.
+
+    A ``label`` may be either a string or a *lazy* 3-tuple ``(kind,
+    from_id, to_id)``; the engine formats the tuple as
+    ``f"{kind}:{from_id}->{to_id}"`` only at the instant an attached
+    tracer/profiler/event log observes it. The transport queues roughly
+    one labelled entry per simulated message, so skipping the f-string in
+    the (default) unobserved case is a measurable share of campaign time.
     """
 
     __slots__ = ("time", "seq", "callback", "args", "label", "cancelled", "daemon")
@@ -251,6 +258,23 @@ class Simulator:
         heapq.heappush(self._queue, (when, next(self._seq), callback, args, label))
         self._non_daemon_pending += 1
 
+    def push_entries(self, entries: list) -> None:
+        """Bulk fire-and-forget push: per-tick batched event delivery.
+
+        ``entries`` is a list of fully formed heap 5-tuples ``(time, seq,
+        callback, args, label)`` with strictly positive-offset times and
+        sequence numbers drawn from this simulator's counter (callers hold
+        the bound ``_seq.__next__``; :class:`repro.eth.network.Network`
+        does). One call amortizes the scheduling overhead of a whole
+        broadcast-flush tick — one pending-counter update and one bound
+        heappush loop instead of a ``schedule_call`` frame per message.
+        """
+        queue = self._queue
+        push = heapq.heappush
+        for entry in entries:
+            push(queue, entry)
+        self._non_daemon_pending += len(entries)
+
     def schedule_at(
         self,
         when: float,
@@ -306,28 +330,34 @@ class Simulator:
 
     def _execute(self, event: Event) -> None:
         """Run one event's callback under tracing/profiling."""
+        label = event.label
+        if label.__class__ is tuple:
+            label = "%s:%s->%s" % label
         if self.tracer is not None:
-            self.tracer.record(self._now, "event", event.label)
+            self.tracer.record(self._now, "event", label)
         if self.event_log is not None:
-            self.event_log.append(self._now, "event", event.label)
+            self.event_log.append(self._now, "event", label)
         if self.profiler is not None:
             start = perf_counter()
             event.callback(*event.args)
-            self.profiler.account(event.label, perf_counter() - start)
+            self.profiler.account(label, perf_counter() - start)
         else:
             event.callback(*event.args)
         self._executed += 1
 
     def _execute_call(self, entry: Tuple) -> None:
         """Run one fire-and-forget call entry under tracing/profiling."""
+        label = entry[4]
+        if label.__class__ is tuple:
+            label = "%s:%s->%s" % label
         if self.tracer is not None:
-            self.tracer.record(self._now, "event", entry[4])
+            self.tracer.record(self._now, "event", label)
         if self.event_log is not None:
-            self.event_log.append(self._now, "event", entry[4])
+            self.event_log.append(self._now, "event", label)
         if self.profiler is not None:
             start = perf_counter()
             entry[2](*entry[3])
-            self.profiler.account(entry[4], perf_counter() - start)
+            self.profiler.account(label, perf_counter() - start)
         else:
             entry[2](*entry[3])
         self._executed += 1
@@ -354,6 +384,9 @@ class Simulator:
         tracer = self.tracer
         profiler = self.profiler
         event_log = self.event_log
+        observed = (
+            tracer is not None or profiler is not None or event_log is not None
+        )
         executed = 0
         try:
             while queue:
@@ -377,14 +410,23 @@ class Simulator:
                             f"event at t={when} popped after clock t={self._now}"
                         )
                     self._now = when
-                    if tracer is not None:
-                        tracer.record(when, "event", head[4])
-                    if event_log is not None:
-                        event_log.append(when, "event", head[4])
-                    if profiler is not None:
-                        start = perf_counter()
-                        head[2](*head[3])
-                        profiler.account(head[4], perf_counter() - start)
+                    if observed:
+                        # Lazy labels: transport entries carry a (kind,
+                        # from, to) tuple; format only under observation,
+                        # byte-identical to the eager f-string.
+                        label = head[4]
+                        if label.__class__ is tuple:
+                            label = "%s:%s->%s" % label
+                        if tracer is not None:
+                            tracer.record(when, "event", label)
+                        if event_log is not None:
+                            event_log.append(when, "event", label)
+                        if profiler is not None:
+                            start = perf_counter()
+                            head[2](*head[3])
+                            profiler.account(label, perf_counter() - start)
+                        else:
+                            head[2](*head[3])
                     else:
                         head[2](*head[3])
                     executed += 1
@@ -427,14 +469,20 @@ class Simulator:
                         f"event at t={when} popped after clock t={self._now}"
                     )
                 self._now = when
-                if tracer is not None:
-                    tracer.record(when, "event", event.label)
-                if event_log is not None:
-                    event_log.append(when, "event", event.label)
-                if profiler is not None:
-                    start = perf_counter()
-                    event.callback(*event.args)
-                    profiler.account(event.label, perf_counter() - start)
+                if observed:
+                    label = event.label
+                    if label.__class__ is tuple:
+                        label = "%s:%s->%s" % label
+                    if tracer is not None:
+                        tracer.record(when, "event", label)
+                    if event_log is not None:
+                        event_log.append(when, "event", label)
+                    if profiler is not None:
+                        start = perf_counter()
+                        event.callback(*event.args)
+                        profiler.account(label, perf_counter() - start)
+                    else:
+                        event.callback(*event.args)
                 else:
                     event.callback(*event.args)
                 executed += 1

@@ -227,13 +227,21 @@ class InvariantChecker:
     def make_delivery_wrapper(
         self, deliver: Callable[..., None]
     ) -> Callable[..., None]:
-        """Wrap the network's pre-bound delivery callback."""
+        """Wrap the network's pre-bound delivery callback.
+
+        The transport hands the callback *integer* intern-table indices
+        (the SoA hot path); the checker's bookkeeping is string-keyed, so
+        the wrapper translates through the network's name table once per
+        delivery. ``attach`` ran before this is called (see
+        ``Network.install_invariants``), so the network is bound.
+        """
+        names = self.network._names
 
         def checked_deliver(
-            from_id: str, to_id: str, msg: Message, epoch: int = -1
+            fi: int, ti: int, msg: Message, epoch: int = -1
         ) -> None:
-            self.on_delivery(from_id, to_id, msg)
-            deliver(from_id, to_id, msg, epoch)
+            self.on_delivery(names[fi], names[ti], msg)
+            deliver(fi, ti, msg, epoch)
 
         return checked_deliver
 

@@ -1,0 +1,117 @@
+"""Regression tests for the BehaviorSet runtime caches at scale.
+
+Two scale-exposed bugs pinned here:
+
+* the spoof-relay cache grew without bound past the node's own
+  ``known_tx_limit`` on long adversarial runs; and
+* ``Network.forget_known_transactions`` wiped the nodes' known-tx state
+  but left the behaviors' runtime caches populated, so a spoofing relay
+  silently stopped re-forwarding across measurement-iteration boundaries
+  — iterations were not isolated.
+"""
+
+import pytest
+
+from repro.eth.behaviors import _RUNTIME_CACHE_LIMIT, BehaviorMix, BehaviorSet
+from repro.eth.messages import Transactions
+from repro.eth.network import Network
+from repro.eth.node import NodeConfig
+from repro.eth.policies import GETH
+from repro.eth.transaction import Transaction, gwei
+
+
+def make_line(n=3, seed=11, **config_overrides):
+    network = Network(seed=seed)
+    config = NodeConfig(policy=GETH.scaled(64), **config_overrides)
+    for i in range(n):
+        network.create_node(f"n{i}", config)
+    for i in range(n - 1):
+        network.connect(f"n{i}", f"n{i + 1}")
+    return network
+
+
+def _seed_replaceable_tx(network, wallet, factory):
+    """Plant one admitted tx; under-bumped replacements of it get rejected
+    by every honest pool (distinct hashes, so each is a fresh spoof)."""
+    account = wallet.fresh_account()
+    original = Transaction(sender=account.address, nonce=0, gas_price=gwei(1))
+    network.node("n0").submit_transaction(original)
+    network.run(10.0)
+    return account
+
+
+def _send_rejected(network, account, index):
+    """One under-bumped replacement (below GETH's 10% bump) into n1."""
+    weak = Transaction(
+        sender=account.address,
+        nonce=0,
+        gas_price=int(gwei(1.0)) + 1 + index,  # < 10% bump: pool rejects
+    )
+    network.send("n0", "n1", Transactions(txs=(weak,)))
+    network.run(5.0)
+    return weak
+
+
+class TestSpoofCacheBound:
+    def test_spoof_cache_bounded_by_known_tx_limit(self, wallet, factory):
+        limit = 8
+        network = make_line(3, known_tx_limit=limit)
+        behavior_set = BehaviorSet(network, BehaviorMix())
+        behavior_set.install_on(network.node("n1"), "spoof_relay")
+        account = _seed_replaceable_tx(network, wallet, factory)
+
+        for index in range(3 * limit):
+            _send_rejected(network, account, index)
+
+        cache = behavior_set._runtime_caches["spoof:n1"]
+        assert behavior_set.counts["spoof_relay"] >= 3 * limit  # still spoofing
+        assert len(cache) <= limit  # ...but the memory of it is bounded
+
+    def test_unbounded_node_budget_falls_back_to_global_cap(self, wallet, factory):
+        network = make_line(3, known_tx_limit=None)
+        behavior_set = BehaviorSet(network, BehaviorMix())
+        behavior_set.install_on(network.node("n1"), "spoof_relay")
+        account = _seed_replaceable_tx(network, wallet, factory)
+        _send_rejected(network, account, 0)
+        cache = behavior_set._runtime_caches["spoof:n1"]
+        assert 0 < len(cache) <= _RUNTIME_CACHE_LIMIT
+
+
+class TestForgetLockstep:
+    def test_forget_clears_runtime_caches_in_lockstep(self, wallet, factory):
+        network = make_line(3)
+        behavior_set = network.install_behaviors(BehaviorMix())
+        behavior_set.install_on(network.node("n1"), "spoof_relay")
+        account = _seed_replaceable_tx(network, wallet, factory)
+        _send_rejected(network, account, 0)
+        cache = behavior_set._runtime_caches["spoof:n1"]
+        assert len(cache) > 0
+
+        network.forget_known_transactions()
+
+        assert len(cache) == 0  # cleared in place, same shared object
+        assert behavior_set._runtime_caches["spoof:n1"] is cache
+
+    def test_iterations_are_isolated_after_forget(self, wallet, factory):
+        """The same rejected tx must be re-forwarded in a new measurement
+        iteration: after forget, neither the nodes nor the spoof cache may
+        remember it from the previous iteration."""
+        network = make_line(3)
+        behavior_set = network.install_behaviors(BehaviorMix())
+        behavior_set.install_on(network.node("n1"), "spoof_relay")
+        account = _seed_replaceable_tx(network, wallet, factory)
+
+        weak = _send_rejected(network, account, 0)
+        first_iteration = behavior_set.counts["spoof_relay"]
+        assert first_iteration >= 1
+
+        # Replaying the identical body without a wipe is suppressed...
+        network.send("n0", "n1", Transactions(txs=(weak,)))
+        network.run(5.0)
+        assert behavior_set.counts["spoof_relay"] == first_iteration
+
+        # ...but after the iteration boundary it spoofs again.
+        network.forget_known_transactions()
+        network.send("n0", "n1", Transactions(txs=(weak,)))
+        network.run(5.0)
+        assert behavior_set.counts["spoof_relay"] > first_iteration

@@ -1,0 +1,72 @@
+"""Invalidation tests for the cached node-id tuples.
+
+``Network.node_ids`` and ``measurable_node_ids()`` were O(N) list builds
+per call — quadratic across a campaign's hot loops. Both are now cached
+tuples; these tests pin the part that can rot: the caches must invalidate
+on every mutation that changes their answer (add_node, supernode joins,
+even direct ``supernode_ids`` mutation).
+"""
+
+from repro.eth.network import Network
+from repro.eth.node import Node
+from repro.eth.supernode import Supernode
+from repro.netgen.ethereum import quick_network
+
+
+def make_network(n=5, seed=2):
+    network = Network(seed=seed)
+    for i in range(n):
+        network.create_node(f"n{i}")
+    return network
+
+
+def test_node_ids_cached_between_calls():
+    network = make_network()
+    first = network.node_ids
+    assert first == tuple(f"n{i}" for i in range(5))
+    assert network.node_ids is first  # cache hit: same tuple object
+
+
+def test_add_node_invalidates_node_ids():
+    network = make_network()
+    before = network.node_ids
+    network.create_node("late")
+    after = network.node_ids
+    assert after is not before
+    assert after == before + ("late",)
+
+
+def test_measurable_excludes_supernodes_and_invalidates_on_join():
+    network = quick_network(n_nodes=12, seed=4)
+    before = network.measurable_node_ids()
+    assert network.measurable_node_ids() is before  # cache hit
+
+    supernode = Supernode.join(network)
+    after = network.measurable_node_ids()
+    assert after is not before
+    assert supernode.id not in after
+    assert set(after) == set(before)  # same measurable population
+
+
+def test_measurable_self_heals_on_direct_supernode_mutation():
+    network = make_network()
+    before = network.measurable_node_ids()
+    # Not the supported path (Supernode.join is), but the length key must
+    # keep the cache honest even under direct mutation.
+    network.supernode_ids.add("n4")
+    after = network.measurable_node_ids()
+    assert "n4" not in after
+    assert after == tuple(f"n{i}" for i in range(4))
+
+
+def test_caches_consistent_after_interleaved_mutations():
+    network = make_network()
+    assert len(network.node_ids) == 5
+    network.add_node(Node("sn", network.sim), supernode=True)
+    assert "sn" in network.node_ids
+    assert "sn" not in network.measurable_node_ids()
+    network.create_node("n5")
+    assert network.node_ids[-1] == "n5"
+    assert "n5" in network.measurable_node_ids()
+    # The tuples always agree with the live node table.
+    assert set(network.node_ids) == set(network.nodes)
