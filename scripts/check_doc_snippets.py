@@ -15,6 +15,12 @@ Rules:
   write artifacts (``campaign.json``...) without polluting the repo.
 - A block can opt out by being immediately preceded by the marker comment
   ``<!-- doc-snippet: skip -->`` (e.g. deliberately partial fragments).
+- A fenced ``console`` block immediately preceded by the marker comment
+  ``<!-- doc-snippet: cli -->`` is executed too: every ``$ toposhot-repro
+  ...`` line in it (backslash continuations joined) runs in-process via
+  ``repro.cli.main`` and must exit 0. Non-``toposhot-repro`` command
+  lines in such a block are an error — use a separate unmarked block for
+  them.
 
 Usage::
 
@@ -26,6 +32,7 @@ With no arguments, checks README.md plus every docs/*.md.
 from __future__ import annotations
 
 import os
+import shlex
 import sys
 import tempfile
 import traceback
@@ -36,6 +43,7 @@ from typing import List
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 SKIP_MARKER = "<!-- doc-snippet: skip -->"
+CLI_MARKER = "<!-- doc-snippet: cli -->"
 
 
 @dataclass
@@ -44,48 +52,102 @@ class Snippet:
     start_line: int  # 1-based line of the opening fence
     code: str
     skipped: bool
+    kind: str = "python"  # "python" | "cli"
 
 
 def extract_snippets(path: Path) -> List[Snippet]:
-    """Fenced ```python blocks of one markdown file, in document order."""
+    """Fenced ```python (and cli-marked ```console) blocks, in order."""
     snippets: List[Snippet] = []
     lines = path.read_text(encoding="utf-8").splitlines()
     in_block = False
     fence_line = 0
     buffer: List[str] = []
     skip_next = False
+    cli_next = False
     pending_skip = False
+    pending_kind = "python"
     for number, line in enumerate(lines, start=1):
         stripped = line.strip()
         if not in_block:
             if stripped == SKIP_MARKER:
                 skip_next = True
                 continue
-            if stripped.startswith("```python"):
+            if stripped == CLI_MARKER:
+                cli_next = True
+                continue
+            if stripped.startswith("```python") or (
+                cli_next and stripped.startswith("```console")
+            ):
                 in_block = True
                 fence_line = number
                 buffer = []
                 pending_skip = skip_next
-            if stripped and stripped != SKIP_MARKER:
+                pending_kind = "cli" if stripped.startswith("```console") else "python"
+            if stripped:
                 # Any other non-blank line between marker and fence
-                # cancels the marker.
-                if not stripped.startswith("```python"):
+                # cancels the markers.
+                if not stripped.startswith("```"):
                     skip_next = False
+                    cli_next = False
             continue
         if stripped.startswith("```"):
             in_block = False
             skip_next = False
+            cli_next = False
             snippets.append(
                 Snippet(
                     path=path,
                     start_line=fence_line,
                     code="\n".join(buffer),
                     skipped=pending_skip,
+                    kind=pending_kind,
                 )
             )
             continue
         buffer.append(line)
     return snippets
+
+
+def cli_commands(snippet: Snippet) -> List[List[str]]:
+    """``$ toposhot-repro ...`` lines of a cli block as argv lists.
+
+    Backslash continuations are joined; output lines (no ``$`` prefix)
+    are ignored. Any other command is a hard error — the in-process
+    runner only knows how to invoke ``repro.cli.main``.
+    """
+    joined: List[str] = []
+    continuation = False
+    for raw in snippet.code.splitlines():
+        line = raw.rstrip()
+        if continuation:
+            joined[-1] = joined[-1][:-1].rstrip() + " " + line.strip()
+        elif line.lstrip().startswith("$ "):
+            joined.append(line.lstrip()[2:].strip())
+        else:
+            continue
+        continuation = joined[-1].endswith("\\")
+    commands = []
+    for command in joined:
+        argv = shlex.split(command)
+        if not argv or argv[0] != "toposhot-repro":
+            raise ValueError(
+                f"cli snippet may only run 'toposhot-repro ...' commands, "
+                f"got: {command!r}"
+            )
+        commands.append(argv[1:])
+    return commands
+
+
+def run_cli_snippet(snippet: Snippet) -> None:
+    """Run each command through ``repro.cli.main``; raise on rc != 0."""
+    from repro.cli import main as cli_main
+
+    for argv in cli_commands(snippet):
+        rc = cli_main(argv)
+        if rc != 0:
+            raise RuntimeError(
+                f"toposhot-repro {' '.join(argv)} exited with {rc}"
+            )
 
 
 def run_file(path: Path) -> List[str]:
@@ -105,8 +167,11 @@ def run_file(path: Path) -> List[str]:
                     print(f"  SKIP {label}")
                     continue
                 try:
-                    code = compile(snippet.code, str(label), "exec")
-                    exec(code, namespace)  # noqa: S102 - the point of the script
+                    if snippet.kind == "cli":
+                        run_cli_snippet(snippet)
+                    else:
+                        code = compile(snippet.code, str(label), "exec")
+                        exec(code, namespace)  # noqa: S102 - the point of the script
                 except Exception:
                     failures.append(
                         f"{label}\n{traceback.format_exc(limit=8)}"

@@ -1,27 +1,49 @@
 """Baseline topology-measurement methods the paper compares against.
 
-- :mod:`repro.baselines.txprobe` -- TxProbe (Delgado-Segura et al., FC'19)
-  adapted to Ethereum, demonstrating why announcement-blocking fails when
-  direct pushes exist (Section 4.1, Appendix A).
-- :mod:`repro.baselines.findnode` -- the W2 approach (Gao et al.): crawl
-  routing tables with FIND_NODE; measures *inactive* edges that do not
-  reveal the active topology.
-- :mod:`repro.baselines.timing` -- timing-correlation inference
-  (Neudecker et al. 2016 style), the low-accuracy W3 baseline.
+Seven protocols live under this package and in :mod:`repro.core` — the
+full W1/W2/W3 related-work ladder of the paper's Table 1 plus the two
+strongest successors, all runnable head-to-head via ``repro.cli arena``
+(see ``docs/arena.md``):
+
+- :mod:`repro.baselines.census` -- W1 (Kim et al., IMC'18): node
+  profiling via handshakes; no edges at all.
+- :mod:`repro.baselines.findnode` -- W2 (Gao et al.): crawl routing
+  tables with FIND_NODE; measures *inactive* edges that do not reveal
+  the active topology.
+- :mod:`repro.baselines.timing` -- W3 timing-correlation inference
+  (Neudecker et al. 2016 style), the low-accuracy active-edge baseline.
+- :mod:`repro.baselines.txprobe` -- TxProbe (Delgado-Segura et al.,
+  FC'19) adapted to Ethereum, demonstrating why announcement-blocking
+  fails when direct pushes exist (Section 4.1, Appendix A).
+- :mod:`repro.baselines.dethna` -- DEthna (arXiv:2402.03881):
+  marked-transaction edge discovery, the cheap-probe successor.
+- :mod:`repro.baselines.ethna` -- Ethna (arXiv:2010.01373): passive
+  degree estimation from the push/announce fanout split; no probing.
+- TopoShot itself is :class:`repro.core.campaign.TopoShot`.
+
+Every module follows one docstring template — *Method* (with citation),
+*Fidelity caveats vs the source paper*, *Config knobs* — so the arena
+documentation can point here for protocol details.
 """
 
 from repro.baselines.census import NodeCensus, run_census
+from repro.baselines.dethna import DethnaReport, run_dethna
+from repro.baselines.ethna import EthnaReport, run_ethna
 from repro.baselines.findnode import FindNodeCrawl, crawl_inactive_edges
 from repro.baselines.timing import TimingInference, timing_inference
 from repro.baselines.txprobe import TxProbeReport, txprobe_measure_link, txprobe_survey
 
 __all__ = [
+    "DethnaReport",
+    "EthnaReport",
     "FindNodeCrawl",
     "NodeCensus",
     "TimingInference",
     "TxProbeReport",
     "crawl_inactive_edges",
     "run_census",
+    "run_dethna",
+    "run_ethna",
     "timing_inference",
     "txprobe_measure_link",
     "txprobe_survey",

@@ -1,13 +1,34 @@
 """Node census — the W1 class of related work (Kim et al., IMC'18).
 
+Method
+------
 Before TopoShot, Ethereum measurement meant *profiling nodes*: launch a
 supernode, collect handshakes, and report network size, client mix,
-freshness and reachability. This module reproduces that methodology so the
-W1/W2/W3 ladder of the paper's Table 1 is complete in one package:
+freshness and reachability. This module reproduces that methodology so
+the W1/W2/W3 ladder of the paper's Table 1 is complete in one package:
 
 - W1 (:func:`run_census`): node attributes, no edges;
 - W2 (:mod:`repro.baselines.findnode`): inactive edges;
-- W3 (:mod:`repro.core`): active edges — TopoShot itself.
+- W3 (:mod:`repro.baselines.timing`, then :mod:`repro.core`): active
+  edges — the timing baseline and TopoShot itself, which improves on it.
+
+The census also feeds target selection: :func:`measurable_targets`
+filters to client families with a known non-zero replacement bump,
+which is where a TopoShot campaign starts (Section 5).
+
+Fidelity caveats vs the source paper
+------------------------------------
+- Kim et al. crawl the discovery DHT for weeks and geolocate IPs; the
+  simulator has no geography, so the census reduces to the parts that
+  matter downstream — size, client mix, RPC responsiveness, relay
+  behavior.
+- Handshake version strings here come from :class:`NodeConfig`, standing
+  in for the live network's user-agent diversity.
+
+Config knobs
+------------
+``handshake_wait``  simulated seconds to wait for Status handshakes
+                    before reading peer versions
 """
 
 from __future__ import annotations

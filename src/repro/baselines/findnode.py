@@ -1,11 +1,31 @@
 """FIND_NODE routing-table crawling (the W2 class of related work).
 
+Method
+------
 Gao et al. and Paphitis et al. measure Ethereum "topology" by querying
-every node's discovery routing table. That reveals *inactive* neighbours —
-a superset-ish, loosely correlated set that "cannot distinguish a node's
-(50) active neighbors from its (272) inactive ones" (Section 4). The crawl
-here reproduces the method and quantifies exactly how poorly routing-table
-edges predict active links, which is the gap TopoShot closes.
+every node's discovery routing table. That reveals *inactive*
+neighbours — a superset-ish, loosely correlated set that "cannot
+distinguish a node's (50) active neighbors from its (272) inactive
+ones" (Section 4). The crawl here reproduces the method and quantifies
+exactly how poorly routing-table edges predict active links, which is
+the gap TopoShot closes.
+
+Fidelity caveats vs the source paper
+------------------------------------
+- Real crawlers walk the Kademlia keyspace with many targeted FIND_NODE
+  queries per node; the simulator's routing tables are small enough that
+  one query returns the full table, so crawl cost here underestimates a
+  live crawl's message count.
+- Routing tables in the simulator are generated alongside the topology
+  (see :mod:`repro.netgen.ethereum`) with a controlled active/inactive
+  overlap, so the precision/recall this crawl reports is a property of
+  that generator, tuned to the paper's qualitative claim rather than
+  measured mainnet churn.
+
+Config knobs
+------------
+``wait``  simulated seconds to wait for Neighbors responses before
+          assembling the inactive-edge graph
 """
 
 from __future__ import annotations

@@ -1,24 +1,46 @@
 """TxProbe adapted to Ethereum (Section 4.1, Appendix A).
 
-TxProbe infers Bitcoin links by (1) announcing a marker transaction's hash
-to every node except the sink so they burn their announcement-hold window
-on a body that never arrives, (2) delivering the marker to the source, and
-(3) checking whether it shows up at the sink — the only node free to fetch
-it from the source.
+Method
+------
+TxProbe (Delgado-Segura et al., FC'19) infers Bitcoin links by
+(1) announcing a marker transaction's hash to every node except the sink
+so they burn their announcement-hold window on a body that never
+arrives, (2) delivering the marker to the source, and (3) checking
+whether it shows up at the sink — the only node free to fetch it from
+the source.
 
-On Bitcoin-style **announce-only** propagation this enforces isolation and
-the method works. On Ethereum it does not, for the two reasons the paper
-gives:
+On Bitcoin-style **announce-only** propagation this enforces isolation
+and the method works. On Ethereum it does not, for the two reasons the
+TopoShot paper gives:
 
-- transactions are also *pushed* directly ("no matter how small portion it
-  plays"), which bypasses the hold and relays the marker through third
-  parties — false positives;
+- transactions are also *pushed* directly ("no matter how small portion
+  it plays"), which bypasses the hold and relays the marker through
+  third parties — false positives;
 - under the account model the marker cannot be made an orphan the way a
   double-spend-dependent transaction is under UTXO: it carries a valid
   nonce, is merely an (unverifiable) overdraft, and propagates anyway.
 
 :func:`txprobe_survey` measures a pair list and scores it against ground
 truth so the benchmark can contrast TxProbe's precision with TopoShot's.
+
+Fidelity caveats vs the source paper
+------------------------------------
+- The original's marker is a double-spend orphan; Ethereum has no
+  equivalent, so the marker here is a plain (relayable) transfer — this
+  is the point the port demonstrates, not a shortcut.
+- TxProbe probes one directed pair at a time within Bitcoin's 120 s
+  inventory window; the port keeps the serial one-pair-at-a-time shape,
+  so its probe cost scales with the number of pairs — visible in the
+  arena's cost columns.
+
+Config knobs
+------------
+``blocking``      whether to run the announcement-hold blocking step
+                  (turning it off shows the method's floor)
+``wait``          seconds to wait for the marker at the sink; must stay
+                  below the clients' 5 s announcement hold
+``marker_price``  marker gas price (default 1.5x the ambient median so
+                  pools admit it everywhere)
 """
 
 from __future__ import annotations

@@ -3,6 +3,7 @@
 Subcommands mirroring the main workflows::
 
     toposhot-repro measure --preset ropsten --seed 1 --repeats 3
+    toposhot-repro arena --nodes 24 --seed 7 --output BENCH_arena.json
     toposhot-repro profile
     toposhot-repro schedule --nodes 500 --budget 2000
     toposhot-repro estimate-cost --nodes 8000 --eth-price 2700
@@ -16,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.degrees import degree_distribution
@@ -144,6 +146,67 @@ def _build_parser() -> argparse.ArgumentParser:
     observability.add_argument(
         "--trace-out", type=str, default=None, metavar="FILE",
         help="write the structured event log here as JSON-lines",
+    )
+
+    arena = sub.add_parser(
+        "arena",
+        help="run every inference protocol against one identical network "
+             "and score them head-to-head (see docs/arena.md)",
+    )
+    arena.add_argument("--nodes", type=int, default=24)
+    arena.add_argument("--seed", type=int, default=0)
+    arena.add_argument(
+        "--targets", type=int, default=None, metavar="T",
+        help="measure edges among the first T measurable nodes only "
+             "(default: all of them; required in practice beyond ~32 nodes "
+             "because txprobe probes every pair serially)",
+    )
+    arena.add_argument(
+        "--outbound-dials", type=int, default=None, metavar="D",
+        help="override the topology's outbound dial quota (sparser graphs "
+             "separate the protocols more clearly)",
+    )
+    arena.add_argument(
+        "--protocols", type=str, default=None, metavar="LIST",
+        help="comma-separated subset of: toposhot,txprobe,timing,findnode,"
+             "census,dethna,ethna (default: all seven)",
+    )
+    arena.add_argument("--toposhot-repeats", type=int, default=1)
+    arena.add_argument(
+        "--toposhot-cross-validate", type=int, default=3, metavar="N",
+        help="1-of-N timing-race re-probes for suspect TopoShot edges "
+             "(0 disables; default 3)",
+    )
+    arena.add_argument("--dethna-rounds", type=int, default=12)
+    arena.add_argument("--ethna-txs", type=int, default=60)
+    arena.add_argument("--timing-probes", type=int, default=3)
+    arena_faults = arena.add_argument_group(
+        "fault injection", "every protocol runs under the same fault plan"
+    )
+    arena_faults.add_argument("--loss", type=float, default=0.0, metavar="RATE")
+    arena_faults.add_argument("--churn", type=float, default=0.0, metavar="RATE")
+    arena_faults.add_argument("--crash-rate", type=float, default=0.0,
+                              metavar="RATE")
+    arena_adv = arena.add_argument_group(
+        "adversarial robustness",
+        "every protocol faces the same Byzantine draw (docs/adversarial.md)",
+    )
+    arena_adv.add_argument("--byzantine-mix", type=str, default=None,
+                           metavar="SPEC")
+    arena_adv.add_argument("--byzantine-frac", type=float, default=None,
+                           metavar="FRAC")
+    arena.add_argument(
+        "--output", type=str, default=None, metavar="FILE",
+        help="write the scorecard JSON here (BENCH_arena.json convention)",
+    )
+    arena_obs = arena.add_argument_group(
+        "observability", "export per-protocol arena metrics"
+    )
+    arena_obs.add_argument("--metrics-out", type=str, default=None,
+                           metavar="FILE")
+    arena_obs.add_argument(
+        "--metrics-format", choices=("jsonl", "prometheus", "csv"),
+        default=None,
     )
 
     sub.add_parser("profile", help="Table 3: profile the five clients")
@@ -414,6 +477,64 @@ def _report_measurement(args, measurement, obs) -> int:
     return 0
 
 
+def _cmd_arena(args: argparse.Namespace) -> int:
+    from repro.core.arena import PROTOCOLS, ArenaSpec, run_arena, write_arena_json
+    from repro.errors import BehaviorPlanError
+
+    protocols = PROTOCOLS
+    if args.protocols:
+        protocols = tuple(
+            p.strip() for p in args.protocols.split(",") if p.strip()
+        )
+    try:
+        spec = ArenaSpec(
+            n_nodes=args.nodes,
+            seed=args.seed,
+            n_targets=args.targets,
+            outbound_dials=args.outbound_dials,
+            protocols=protocols,
+            loss_rate=args.loss,
+            churn_rate=args.churn,
+            crash_rate=args.crash_rate,
+            byzantine_spec=args.byzantine_mix,
+            byzantine_frac=args.byzantine_frac,
+            toposhot_repeats=args.toposhot_repeats,
+            toposhot_cross_validate=args.toposhot_cross_validate,
+            timing_probes=args.timing_probes,
+            dethna_rounds=args.dethna_rounds,
+            ethna_txs=args.ethna_txs,
+        )
+        spec.behavior_mix()  # validate the spec string up front
+    except (ValueError, BehaviorPlanError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    obs = None
+    if args.metrics_out:
+        from repro.obs import Observability
+
+        obs = Observability()
+    print(
+        f"arena: {len(spec.ordered_protocols)} protocols on {spec.n_nodes} "
+        f"nodes (seed {spec.seed}"
+        + (f", {spec.n_targets} targets" if spec.n_targets else "")
+        + ")"
+    )
+    result = run_arena(
+        spec, obs=obs, progress=lambda name: print(f"  running {name} ...")
+    )
+    print()
+    print(result.summary())
+    if args.output:
+        print(f"\nscorecard written to {write_arena_json(result, args.output)}")
+    if obs is not None:
+        from repro.obs.export import write_metrics
+
+        Path(args.metrics_out).parent.mkdir(parents=True, exist_ok=True)
+        path = write_metrics(obs.metrics, args.metrics_out, fmt=args.metrics_format)
+        print(f"metrics written to {path}")
+    return 0
+
+
 def _cmd_profile(_args: argparse.Namespace) -> int:
     print(f"{'client':<12} {'R':>7} {'U':>6} {'P':>6} {'L':>6}  measurable")
     for policy in (GETH, PARITY, NETHERMIND, BESU, ALETH):
@@ -551,6 +672,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "measure": _cmd_measure,
+        "arena": _cmd_arena,
         "profile": _cmd_profile,
         "schedule": _cmd_schedule,
         "analyze": _cmd_analyze,

@@ -65,6 +65,13 @@ CAMPAIGN_ITER_WALL_SECONDS = "toposhot_campaign_iteration_wall_seconds"
 CAMPAIGN_CROSS_VALIDATIONS = "toposhot_campaign_cross_validations_total"
 CAMPAIGN_QUARANTINED = "toposhot_campaign_quarantined_edges_total"
 
+ARENA_PROTOCOLS_RUN = "toposhot_arena_protocols_run_total"
+ARENA_PREDICTED_EDGES = "toposhot_arena_predicted_edges"
+ARENA_PROBE_TXS = "toposhot_arena_probe_transactions_total"
+ARENA_PROBE_MESSAGES = "toposhot_arena_probe_messages_total"
+ARENA_SIM_SECONDS = "toposhot_arena_protocol_sim_seconds"
+ARENA_WALL_SECONDS = "toposhot_arena_protocol_wall_seconds"
+
 BEHAVIORS_INSTALLED = "toposhot_byzantine_nodes"
 BEHAVIOR_ACTIONS = "toposhot_byzantine_actions_total"
 INVARIANT_VIOLATIONS = "toposhot_invariant_violations_total"

@@ -1,0 +1,95 @@
+"""Tests for the Ethna passive degree-estimation baseline.
+
+Ethna never injects anything — the assertions check that (a) the
+push/announce ratio model inverts sensibly, (b) estimates land near the
+true gossip degrees on a golden topology, and (c) the method stays
+passive (zero probe transactions; only observation of organic traffic).
+"""
+
+import math
+
+from repro.baselines.ethna import (
+    expected_push_ratio,
+    invert_push_ratio,
+    run_ethna,
+)
+from repro.eth.supernode import Supernode
+from repro.eth.transaction import gwei
+from repro.netgen.ethereum import quick_network
+from repro.netgen.workloads import prefill_mempools
+
+
+def build(seed=41, n=12, **overrides):
+    network = quick_network(n_nodes=n, seed=seed, **overrides)
+    prefill_mempools(network, median_price=gwei(1.0))
+    supernode = Supernode.join(network)
+    network.run(1.0)
+    return network, supernode
+
+
+class TestRatioModel:
+    def test_matches_fanout_rule(self):
+        """r(d) = ceil(sqrt(d)) / (d - 1), capped at 1."""
+        assert expected_push_ratio(2) == 1.0
+        assert expected_push_ratio(10) == math.ceil(math.sqrt(10)) / 9
+        assert expected_push_ratio(26) == 6 / 25
+
+    def test_inversion_round_trips(self):
+        """Inverting a modelled ratio recovers a degree with the same
+        expected ratio (ceil() makes the map non-injective, so the exact
+        degree is not always recoverable — the ratio is)."""
+        for degree in (4, 9, 12, 20, 40):
+            recovered = invert_push_ratio(expected_push_ratio(degree), 64)
+            assert expected_push_ratio(recovered) == expected_push_ratio(degree)
+
+    def test_extreme_ratios_clamp(self):
+        assert invert_push_ratio(1.0, 64) <= 3
+        assert invert_push_ratio(0.0, 64) == 64
+
+
+class TestGoldenTopology:
+    def test_estimates_near_truth(self):
+        """On the golden net the mean absolute percentage error stays
+        well under the ~50% a degree-blind guess would give."""
+        network, supernode = build(seed=7, n=16)
+        report = run_ethna(network, supernode, observation_txs=80)
+        assert len(report.degree_estimates) >= 12
+        assert report.degree_mape < 0.45
+        for peer, estimate in report.degree_estimates.items():
+            true = report.true_degrees[peer]
+            assert abs(estimate - true) <= max(6, true)
+
+    def test_deterministic_for_fixed_seed(self):
+        results = []
+        for _ in range(2):
+            network, supernode = build(seed=7, n=12)
+            report = run_ethna(network, supernode, observation_txs=40)
+            results.append(dict(report.degree_estimates))
+        assert results[0] == results[1]
+
+
+class TestPassivity:
+    def test_no_probe_transactions(self):
+        """The monitor observes; it never injects. Its pool still holds
+        only transactions it fetched from announcements."""
+        network, supernode = build(seed=41, n=10)
+        sent_before = network.messages_sent
+        report = run_ethna(network, supernode, observation_txs=30)
+        # messages were exchanged (gossip + body fetches), but none of
+        # them originate probe transactions from the supernode
+        assert network.messages_sent > sent_before
+        assert report.observed_txs >= 30
+
+    def test_low_sample_peers_are_skipped(self):
+        network, supernode = build(seed=41, n=10)
+        report = run_ethna(
+            network, supernode, observation_txs=8, min_samples=1000
+        )
+        assert not report.degree_estimates
+        assert report.skipped_low_sample == len(network.measurable_node_ids())
+        assert report.degree_mae == 0.0
+
+    def test_summary_reports_error(self):
+        network, supernode = build(seed=41, n=10)
+        report = run_ethna(network, supernode, observation_txs=30)
+        assert "MAPE" in report.summary()
