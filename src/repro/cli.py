@@ -38,7 +38,7 @@ from repro.netgen.ethereum import (
     rinkeby_like,
     ropsten_like,
 )
-from repro.netgen.workloads import prefill_mempools
+from repro.netgen.workloads import SHAPES, prefill_mempools
 from repro.sim.faults import FaultPlan
 
 PRESETS = {
@@ -208,6 +208,68 @@ def _build_parser() -> argparse.ArgumentParser:
         "--metrics-format", choices=("jsonl", "prometheus", "csv"),
         default=None,
     )
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="continuous topology tracking: one full base snapshot, then "
+             "O(churn) incremental delta rounds (see docs/workloads.md)",
+    )
+    monitor.add_argument("--nodes", type=int, default=24)
+    monitor.add_argument("--seed", type=int, default=0)
+    monitor.add_argument(
+        "--targets", type=int, default=None, metavar="T",
+        help="track edges among the first T measurable nodes only "
+             "(default: all of them)",
+    )
+    monitor.add_argument("--rounds", type=int, default=3,
+                         help="delta rounds after the base snapshot")
+    monitor.add_argument(
+        "--churn", type=float, default=0.0, metavar="FRAC",
+        help="rewire this fraction of links between rounds (0 = static)",
+    )
+    monitor.add_argument(
+        "--staleness-ttl", type=float, default=None, metavar="SECONDS",
+        help="re-probe edges not confirmed for this long (default: only "
+             "churn signals trigger re-probes)",
+    )
+    monitor.add_argument(
+        "--max-pairs", type=int, default=None, metavar="N",
+        help="probe budget per delta round; the overflow stays flagged",
+    )
+    monitor.add_argument(
+        "--fee-market", action="store_true",
+        help="install the live fee market (floor-aware probe pricing)",
+    )
+    monitor.add_argument(
+        "--workload", choices=sorted(SHAPES), default=None,
+        help="drive a batched background workload between delta rounds; "
+             "probes themselves run in inflow lulls (concurrent pending "
+             "inflow evicts the future-transaction floods, Section 6.2.1)",
+    )
+    monitor.add_argument(
+        "--workload-rate", type=float, default=10000.0, metavar="TXS",
+        help="offered tx/s for --workload",
+    )
+    monitor.add_argument(
+        "--load-window", type=float, default=10.0, metavar="SECONDS",
+        help="how long the workload runs between delta rounds",
+    )
+    monitor.add_argument(
+        "--stream-out", type=str, default=None, metavar="FILE",
+        help="write one ChurnReport JSON line per delta round here "
+             "(default: stdout)",
+    )
+    monitor_obs = monitor.add_argument_group(
+        "observability", "export monitor metrics and an event trace"
+    )
+    monitor_obs.add_argument("--metrics-out", type=str, default=None,
+                             metavar="FILE")
+    monitor_obs.add_argument(
+        "--metrics-format", choices=("jsonl", "prometheus", "csv"),
+        default=None,
+    )
+    monitor_obs.add_argument("--trace-out", type=str, default=None,
+                             metavar="FILE")
 
     sub.add_parser("profile", help="Table 3: profile the five clients")
 
@@ -535,6 +597,108 @@ def _cmd_arena(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.core.monitor import TopologyMonitor, rewire_random_links
+    from repro.netgen.workloads import BatchedWorkload
+
+    network = quick_network(n_nodes=args.nodes, seed=args.seed)
+    if args.fee_market:
+        network.install_fee_market()
+    prefill_mempools(network)
+    obs = None
+    if args.metrics_out or args.trace_out:
+        from repro.obs import Observability
+
+        obs = Observability()
+    shot = TopoShot.attach(network, obs=obs)
+    targets = list(network.measurable_node_ids())
+    if args.targets is not None:
+        targets = targets[: args.targets]
+
+    workload = None
+    if args.workload:
+        workload = BatchedWorkload(
+            network, SHAPES[args.workload](rate_per_second=args.workload_rate)
+        )
+        if obs is not None:
+            from repro.obs.wiring import instrument_workload
+
+            instrument_workload(obs, workload)
+        print(
+            f"workload: {args.workload} at {args.workload_rate:.0f} tx/s "
+            f"for {args.load_window:.0f}s between rounds "
+            "(batched, O(ticks) engine cost)"
+        )
+
+    stream = open(args.stream_out, "w") if args.stream_out else sys.stdout
+    try:
+        monitor = TopologyMonitor(
+            shot, staleness_ttl=args.staleness_ttl, stream=stream
+        )
+        snapshot = monitor.take_snapshot(targets=targets, preprocess=False)
+        print(
+            f"base snapshot: {len(snapshot.edges)} edges among "
+            f"{len(targets)} targets at t={snapshot.taken_at:.0f}s"
+        )
+        for round_no in range(1, args.rounds + 1):
+            if workload is not None:
+                # Traffic (and churn) happen between rounds; the probes
+                # themselves run in inflow lulls — concurrent pending
+                # inflow would evict the future floods (Section 6.2.1).
+                workload.start()
+                network.sim.run(until=network.sim.now + args.load_window)
+                workload.stop()
+                # Drain the workload's leftovers back to ambient before
+                # probing, or the stale Y turns the round into mass false
+                # negatives (the campaign does the same between iterations).
+                shot.restore_ambient()
+            if args.churn > 0:
+                removed, added = rewire_random_links(network, args.churn)
+                for e in removed | added:
+                    for node_id in e:
+                        monitor.note_churn_hint(node_id)
+            report = monitor.delta_round(max_pairs=args.max_pairs)
+            print(f"round {round_no}: {report.summary()}")
+        savings = monitor.probe_savings
+        full_cost = max(1, savings["universe_pairs"])
+        print(
+            f"probe cost: {savings['probed_pairs']} pairs over "
+            f"{savings['delta_rounds']} delta rounds vs {full_cost} for "
+            f"full re-snapshots "
+            f"({savings['probed_pairs'] / full_cost:.1%} of snapshot cost)"
+        )
+    finally:
+        if stream is not sys.stdout:
+            stream.close()
+    if workload is not None:
+        workload.stop()
+        print(
+            f"workload offered {workload.stats['offered']} txs "
+            f"({workload.offered_rate():.0f} tx/s), "
+            f"admitted {workload.stats['admitted']}, "
+            f"floor-rejected {workload.stats['floor_rejected']}"
+        )
+    if args.fee_market:
+        market = network.fee_market
+        print(
+            f"fee market: floor={market.floor} quote={market.quote} "
+            f"surge=x{market.surge:.2f} ({market.updates} updates)"
+        )
+    if obs is not None:
+        from repro.obs.export import write_events, write_metrics
+
+        if args.metrics_out:
+            path = write_metrics(
+                obs.metrics, args.metrics_out, fmt=args.metrics_format
+            )
+            print(f"metrics written to {path}")
+        if args.trace_out:
+            print(
+                f"event trace written to {write_events(obs.events, args.trace_out)}"
+            )
+    return 0
+
+
 def _cmd_profile(_args: argparse.Namespace) -> int:
     print(f"{'client':<12} {'R':>7} {'U':>6} {'P':>6} {'L':>6}  measurable")
     for policy in (GETH, PARITY, NETHERMIND, BESU, ALETH):
@@ -673,6 +837,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "measure": _cmd_measure,
         "arena": _cmd_arena,
+        "monitor": _cmd_monitor,
         "profile": _cmd_profile,
         "schedule": _cmd_schedule,
         "analyze": _cmd_analyze,

@@ -68,12 +68,48 @@ def pool_waterline(node: Node, percentile: float = 0.1) -> Optional[int]:
     return prices[index]
 
 
+def probe_priority(
+    network,
+    pairs,
+    percentile: float = 0.1,
+):
+    """Order probe pairs by endpoint pool waterline, cheapest first.
+
+    The shared re-probe prioritizer (used by the incremental
+    :class:`~repro.core.monitor.TopologyMonitor`): a pair's cost is the
+    *higher* of its endpoints' waterlines — both pools take the
+    measurement flood, so the pricier one binds. Probing low-waterline
+    pairs first spends the safe price band where it is widest and defers
+    surging pools until the fee market calms. Stable sort, no RNG: the
+    order is deterministic given the pool states.
+    """
+    cache: dict = {}
+
+    def node_waterline(node_id: str) -> int:
+        value = cache.get(node_id)
+        if value is None:
+            level = pool_waterline(
+                network.node(node_id), percentile=percentile
+            )
+            value = cache[node_id] = 0 if level is None else level
+        return value
+
+    return sorted(
+        pairs,
+        key=lambda pair: max(
+            node_waterline(pair[0]), node_waterline(pair[1])
+        ),
+    )
+
+
 def choose_adaptive_y(
     chain: Chain,
     observer: Node,
     margin: float = 0.8,
     window: int = 10,
     percentile: float = 0.1,
+    fee_floor: Optional[int] = None,
+    replace_bump: float = 0.1,
 ) -> YDecision:
     """Pick Y = margin * inclusion_floor, clamped above the pool waterline.
 
@@ -81,11 +117,27 @@ def choose_adaptive_y(
     satisfied together (floor*margin below the waterline): the fee market
     leaves no safe band and the measurement should wait — exactly the
     condition under which the paper's V1/V2 verification would fail.
+
+    ``fee_floor`` (taken from the observer's network market when omitted)
+    adds the live-admission bound: txB at ``(1 - R/2) * Y`` must clear the
+    floor, so Y is additionally clamped to
+    :func:`repro.eth.fee_market.min_measurement_y`; a clamp that would
+    push Y to (or above) the inclusion floor is the same no-safe-band
+    condition and raises.
     """
     if not 0 < margin < 1:
         raise MeasurementError("margin must be in (0, 1)")
+    if fee_floor is None:
+        market = getattr(getattr(observer, "network", None), "fee_market", None)
+        if market is not None:
+            fee_floor = market.floor_for(observer.sim.now)
     floor = inclusion_floor(chain, window=window)
     waterline = pool_waterline(observer, percentile=percentile)
+    fee_bound: Optional[int] = None
+    if fee_floor is not None:
+        from repro.eth.fee_market import min_measurement_y
+
+        fee_bound = min_measurement_y(fee_floor, replace_bump)
     blocks = min(window, len(chain.blocks))
 
     if floor is None:
@@ -96,6 +148,8 @@ def choose_adaptive_y(
             raise MeasurementError(
                 "no inclusion data and an empty pool: cannot choose Y"
             )
+        if fee_bound is not None and median < fee_bound:
+            median = fee_bound
         return YDecision(
             y=median,
             inclusion_floor=None,
@@ -109,6 +163,12 @@ def choose_adaptive_y(
             f"no safe price band: {margin:.0%} of the inclusion floor "
             f"({y}) sits below the pool waterline ({waterline}); wait for "
             "the fee market to widen"
+        )
+    if fee_bound is not None and y < fee_bound:
+        raise MeasurementError(
+            f"no safe price band: {margin:.0%} of the inclusion floor "
+            f"({y}) sits below the live fee-market admission bound "
+            f"({fee_bound}); wait for the surge to pass"
         )
     return YDecision(
         y=y,

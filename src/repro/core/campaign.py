@@ -259,6 +259,19 @@ class TopoShot:
             median_price=self.ambient_price or self.config.default_gas_price_y,
         )
 
+    def restore_ambient(self) -> None:
+        """Restore the measurement precondition after a traffic window.
+
+        A heavy workload leaves pools full of its own (typically pricier)
+        traffic; probing straight into that with a Y estimated against the
+        pre-workload ambient turns whole rounds into false negatives. A
+        continuous-monitoring loop calls this between the load window and
+        the next delta round — the same compressed drain the campaign
+        applies between schedule iterations, pinned to the *original*
+        ambient price level.
+        """
+        self._refresh_pools()
+
     def _capture_ambient(self) -> None:
         """Pin the ambient price from the first node with a priced pool.
 

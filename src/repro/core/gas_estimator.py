@@ -22,13 +22,38 @@ def estimate_y(measurement_node: Node, config: MeasurementConfig) -> int:
     finally ``config.default_gas_price_y`` on an empty pool (the
     "underwhelmed testnet" situation of Section 6.2.1, where background
     transactions must be injected before measuring).
+
+    Under a live fee market (``Network.install_fee_market``) the estimate
+    is clamped up so that even the cheapest probe ``txB = (1 - R/2) * Y``
+    clears the current admission floor — an explicit ``gas_price_y`` is
+    respected as-is (the caller pinned it deliberately).
     """
     if config.gas_price_y is not None:
         return config.gas_price_y
     median = measurement_node.mempool.median_pending_price()
     if median is not None and median > 0:
-        return median
-    return config.default_gas_price_y
+        y = median
+    else:
+        y = config.default_gas_price_y
+    return clamp_y_to_fee_floor(measurement_node, config, y)
+
+
+def clamp_y_to_fee_floor(
+    node: Node, config: MeasurementConfig, y: int
+) -> int:
+    """Raise ``y`` until txB clears the live fee-market floor, if any.
+
+    No-op when the node's network has no market installed (the seed
+    behavior, which keeps golden fingerprints untouched).
+    """
+    network = getattr(node, "network", None)
+    market = getattr(network, "fee_market", None)
+    if market is None:
+        return y
+    from repro.eth.fee_market import min_measurement_y
+
+    floor = market.floor_for(node.sim.now)
+    return max(y, min_measurement_y(floor, config.replace_bump))
 
 
 def mempool_occupancy(node: Node) -> float:

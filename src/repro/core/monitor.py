@@ -6,15 +6,32 @@ and watch the overlay *change* — new links dialled, old ones dropped,
 critical nodes drifting. :class:`TopologyMonitor` wraps a
 :class:`~repro.core.campaign.TopoShot` session into repeated snapshots and
 diffs them into churn reports.
+
+Two modes:
+
+- **full**: :meth:`TopologyMonitor.take_snapshot` re-runs a whole campaign
+  (O(network) probe cost per tick) — the seed behavior;
+- **delta**: :meth:`TopologyMonitor.delta_round` re-probes only edges whose
+  per-edge evidence has gone *stale* (older than ``staleness_ttl``) or
+  whose endpoints' churn signals fired (peer-count polling over
+  ``admin_peers``, or explicit :meth:`note_churn_hint`), via
+  :meth:`~repro.core.campaign.TopoShot.measure_pairs`. Probe order comes
+  from the shared pool-waterline prioritizer
+  (:func:`repro.core.adaptive.probe_priority`), and each round streams a
+  :class:`ChurnReport` as one JSON line — O(churn) probe cost per tick,
+  the continuous-tracking path ``BENCH_monitor.json`` gates at >= 5x
+  cheaper than full re-snapshots.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Set
+from itertools import combinations
+from typing import Callable, Dict, IO, List, Optional, Sequence, Set, Tuple
 
 from repro.core.campaign import TopoShot
-from repro.core.results import Edge, NetworkMeasurement
+from repro.core.results import Edge, NetworkMeasurement, edge
 from repro.errors import MeasurementError
 
 
@@ -69,6 +86,22 @@ class ChurnReport:
             f"(churn {self.churn_rate:.0%})"
         )
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (sorted for deterministic output)."""
+
+        def edge_list(edges: Set[Edge]) -> List[List[str]]:
+            return sorted(sorted(e) for e in edges)
+
+        return {
+            "from_time": self.from_time,
+            "to_time": self.to_time,
+            "added": edge_list(self.added),
+            "removed": edge_list(self.removed),
+            "stable_count": len(self.stable),
+            "churn_rate": self.churn_rate,
+            "jaccard_similarity": self.jaccard_similarity,
+        }
+
 
 class TopologyMonitor:
     """Repeated measurement of one network with snapshot diffing.
@@ -82,10 +115,34 @@ class TopologyMonitor:
         self,
         shot: TopoShot,
         between_rounds: Optional[Callable[[], None]] = None,
+        staleness_ttl: Optional[float] = None,
+        reprobe_percentile: float = 0.1,
+        stream: Optional[IO[str]] = None,
     ) -> None:
         self.shot = shot
         self.between_rounds = between_rounds
         self.snapshots: List[TopologySnapshot] = []
+        # --- incremental (delta) mode state ---------------------------
+        # staleness_ttl=None means evidence never expires: delta rounds
+        # re-probe on churn signals only.
+        self.staleness_ttl = staleness_ttl
+        self.reprobe_percentile = reprobe_percentile
+        self.stream = stream
+        # edge -> simulated time the edge was last confirmed by a probe.
+        self.edge_state: Dict[Edge, float] = {}
+        # The live incremental view (seeded by the base snapshot, patched
+        # by every delta round).
+        self.current_edges: Set[Edge] = set()
+        self.targets: List[str] = []
+        self._peer_counts: Dict[str, int] = {}
+        self._flagged: Set[str] = set()
+        # Probe-cost accounting: what delta mode spent vs what repeated
+        # full snapshots over the same universe would have.
+        self.probe_savings: Dict[str, int] = {
+            "delta_rounds": 0,
+            "probed_pairs": 0,
+            "universe_pairs": 0,
+        }
 
     def take_snapshot(self, **measure_kwargs: object) -> TopologySnapshot:
         measurement = self.shot.measure_network(**measure_kwargs)  # type: ignore[arg-type]
@@ -93,6 +150,7 @@ class TopologyMonitor:
             taken_at=self.shot.network.sim.now, measurement=measurement
         )
         self.snapshots.append(snapshot)
+        self._seed_delta_state(snapshot)
         obs = self.shot.obs
         if obs.enabled:
             from repro.obs import wiring
@@ -127,6 +185,237 @@ class TopologyMonitor:
                     len(report.added), len(report.removed), len(report.stable),
                 )
         return snapshot
+
+    # ------------------------------------------------------------------
+    # Incremental (delta) mode
+    # ------------------------------------------------------------------
+    def _seed_delta_state(self, snapshot: TopologySnapshot) -> None:
+        """Adopt a full snapshot as the incremental baseline.
+
+        Per-edge confirmation times come from the hardened pipeline's
+        :class:`~repro.core.results.EdgeEvidence` where available (PR 5's
+        ``observed_at``), falling back to the snapshot time.
+        """
+        measurement = snapshot.measurement
+        self.current_edges = set(measurement.edges)
+        self.targets = list(measurement.node_ids)
+        evidence = measurement.evidence
+        taken_at = snapshot.taken_at
+        self.edge_state = {}
+        for e in self.current_edges:
+            proof = evidence.get(e)
+            observed = getattr(proof, "observed_at", None)
+            self.edge_state[e] = taken_at if observed is None else observed
+        self._flagged.clear()
+        self._peer_counts = self._poll_counts()
+
+    def note_churn_hint(self, node_id: str) -> None:
+        """Flag a node for re-probing in the next delta round (external
+        churn signals: discovery-table drift, gossip anomalies, an
+        operator's own alerting)."""
+        self._flagged.add(node_id)
+
+    def _poll_counts(self) -> Dict[str, int]:
+        """Peer counts of every RPC-answering target (``admin_peers``)."""
+        from repro.eth.rpc import RpcServer, RpcUnavailableError
+
+        counts: Dict[str, int] = {}
+        network = self.shot.network
+        for node_id in self.targets:
+            node = network.node(node_id)
+            if node.crashed:
+                continue
+            try:
+                counts[node_id] = len(RpcServer(node).call("admin_peers"))
+            except RpcUnavailableError:
+                continue
+        return counts
+
+    def poll_peer_counts(self) -> Set[str]:
+        """Flag targets whose ``admin_peers`` count moved since last poll.
+
+        The cheap churn signal: one RPC per target instead of a probe per
+        pair. A changed count pins *which* nodes re-wired; the next delta
+        round spends real probes only there. Returns the newly flagged
+        node ids.
+        """
+        fresh = self._poll_counts()
+        changed = {
+            node_id
+            for node_id, count in fresh.items()
+            if self._peer_counts.get(node_id, count) != count
+        }
+        self._peer_counts.update(fresh)
+        self._flagged |= changed
+        return changed
+
+    def stale_edges(self, now: Optional[float] = None) -> Set[Edge]:
+        """Known edges whose last confirmation exceeds ``staleness_ttl``."""
+        if self.staleness_ttl is None:
+            return set()
+        if now is None:
+            now = self.shot.network.sim.now
+        ttl = self.staleness_ttl
+        return {
+            e
+            for e, confirmed_at in self.edge_state.items()
+            if now - confirmed_at >= ttl
+        }
+
+    def _candidate_pairs(self, now: float) -> List[Tuple[str, str]]:
+        """The re-probe set: stale edges, edges incident to flagged nodes,
+        and (possibly new) pairs among flagged nodes."""
+        candidates: List[Tuple[str, str]] = []
+        seen: Set[Edge] = set()
+
+        def offer(a: str, b: str) -> None:
+            key = edge(a, b)
+            if key not in seen:
+                seen.add(key)
+                candidates.append(tuple(sorted((a, b))))  # type: ignore[arg-type]
+
+        for e in sorted(self.stale_edges(now), key=sorted):
+            a, b = sorted(e)
+            offer(a, b)
+        flagged = self._flagged
+        if flagged:
+            for e in sorted(self.current_edges, key=sorted):
+                a, b = sorted(e)
+                if a in flagged or b in flagged:
+                    offer(a, b)
+            target_set = set(self.targets)
+            for a, b in combinations(sorted(flagged & target_set), 2):
+                offer(a, b)
+        return candidates
+
+    def delta_round(
+        self,
+        max_pairs: Optional[int] = None,
+        poll: bool = True,
+    ) -> ChurnReport:
+        """One incremental round: re-probe only stale/churn-flagged pairs.
+
+        Requires a base snapshot (:meth:`take_snapshot`). Candidate pairs
+        are ordered by the shared pool-waterline prioritizer
+        (:func:`repro.core.adaptive.probe_priority`) — cheapest price band
+        first — and optionally truncated to ``max_pairs`` (the rest stays
+        flagged-by-staleness for the next round). The confirmed edge set
+        patches ``current_edges``; the diff against the pre-round view is
+        returned as a :class:`ChurnReport`, appended to ``snapshots`` as a
+        lightweight snapshot, and streamed as one JSON line when a
+        ``stream`` is attached.
+        """
+        if not self.snapshots:
+            raise MeasurementError(
+                "delta_round requires a base snapshot; call take_snapshot() first"
+            )
+        from repro.core.adaptive import probe_priority
+
+        network = self.shot.network
+        if poll:
+            self.poll_peer_counts()
+        round_start = network.sim.now
+        before = set(self.current_edges)
+        pairs = self._candidate_pairs(round_start)
+        pairs = probe_priority(
+            network, pairs, percentile=self.reprobe_percentile
+        )
+        if max_pairs is not None:
+            pairs = pairs[:max_pairs]
+
+        detected: Set[Edge] = set()
+        if pairs:
+            detected = self.shot.measure_pairs(pairs)
+        now = network.sim.now
+        for a, b in pairs:
+            key = edge(a, b)
+            if key in detected:
+                self.edge_state[key] = now
+                self.current_edges.add(key)
+            else:
+                self.current_edges.discard(key)
+                self.edge_state.pop(key, None)
+        self._flagged.clear()
+
+        after = self.current_edges
+        report = ChurnReport(
+            from_time=self.snapshots[-1].taken_at,
+            to_time=now,
+            added=after - before,
+            removed=before - after,
+            stable=before & after,
+        )
+        universe = len(self.targets)
+        savings = self.probe_savings
+        savings["delta_rounds"] += 1
+        savings["probed_pairs"] += len(pairs)
+        savings["universe_pairs"] += universe * (universe - 1) // 2
+        self.snapshots.append(
+            TopologySnapshot(
+                taken_at=now,
+                measurement=NetworkMeasurement(
+                    node_ids=list(self.targets),
+                    edges=set(after),
+                    sim_time_start=round_start,
+                    sim_time_end=now,
+                ),
+            )
+        )
+        if self.stream is not None:
+            record = report.to_dict()
+            record["probed_pairs"] = len(pairs)
+            record["edge_count"] = len(after)
+            self.stream.write(json.dumps(record, sort_keys=True) + "\n")
+        obs = self.shot.obs
+        if obs.enabled:
+            from repro.obs import wiring
+
+            obs.metrics.counter(
+                wiring.MONITOR_DELTA_ROUNDS, "Incremental monitor rounds"
+            ).inc()
+            obs.metrics.counter(
+                wiring.MONITOR_DELTA_PROBED,
+                "Pairs re-probed by incremental rounds",
+            ).inc(len(pairs))
+            saved = max(
+                0, universe * (universe - 1) // 2 - len(pairs)
+            )
+            obs.metrics.counter(
+                wiring.MONITOR_DELTA_SAVED,
+                "Pairs a full re-snapshot would have probed but delta mode skipped",
+            ).inc(saved)
+            obs.metrics.gauge(
+                wiring.MONITOR_LAST_EDGES, "Edges in the latest snapshot"
+            ).set(len(after))
+            obs.metrics.gauge(
+                wiring.MONITOR_LAST_CHURN,
+                "Churn rate between the two latest snapshots",
+            ).set(report.churn_rate)
+            obs.emit(
+                now, "monitor.delta",
+                len(pairs), len(report.added), len(report.removed),
+                len(after),
+            )
+        return report
+
+    def run_continuous(
+        self,
+        rounds: int,
+        max_pairs: Optional[int] = None,
+        **snapshot_kwargs: object,
+    ) -> List[ChurnReport]:
+        """A continuous run: one full base snapshot, then ``rounds`` delta
+        rounds with ``between_rounds`` (the world changing) in between."""
+        if rounds <= 0:
+            raise MeasurementError("rounds must be positive")
+        if not self.snapshots:
+            self.take_snapshot(**snapshot_kwargs)
+        reports: List[ChurnReport] = []
+        for _ in range(rounds):
+            if self.between_rounds is not None:
+                self.between_rounds()
+            reports.append(self.delta_round(max_pairs=max_pairs))
+        return reports
 
     def run_rounds(self, rounds: int, **measure_kwargs: object) -> List[TopologySnapshot]:
         """Take ``rounds`` snapshots, invoking ``between_rounds`` between."""

@@ -84,6 +84,75 @@ def check_conditions(
 
 
 @dataclass(frozen=True)
+class SurgeBandReport:
+    """Post-hoc check that surge pricing never closed the measurement band.
+
+    Under a live fee market (:mod:`repro.eth.fee_market`) V1/V2 are
+    necessary but no longer sufficient evidence that the primitive ran
+    cleanly: a surging admission floor could have *rejected* txB at
+    ``(1 - R/2) * Y0`` mid-measurement, silently turning a replacement
+    probe into a no-op (a false negative, not interference — but a result
+    the operator must not trust). This report verifies against the
+    market's recorded floor trajectory that every probe price stayed
+    admissible throughout ``[t1, t2]``.
+    """
+
+    t1: float
+    t2: float
+    y0: int
+    tx_b_price: int
+    samples_checked: int
+    admissible_throughout: bool
+    violating_samples: Tuple[float, ...] = field(default_factory=tuple)
+    peak_floor: int = 0
+    peak_surge: float = 1.0
+
+    def summary(self) -> str:
+        status = "CLEAR" if self.admissible_throughout else "CLOSED"
+        return (
+            f"surge band {status}: txB at {self.tx_b_price} vs peak floor "
+            f"{self.peak_floor} (surge x{self.peak_surge:.2f}) over "
+            f"{self.samples_checked} samples in [{self.t1:.0f}, {self.t2:.0f}]s"
+        )
+
+
+def check_surge_band(
+    market,
+    t1: float,
+    t2: float,
+    y0: int,
+    replace_bump: float = 0.1,
+) -> SurgeBandReport:
+    """Verify the fee-market floor stayed below every probe price.
+
+    ``market`` is a :class:`repro.eth.fee_market.FeeMarket`; its bounded
+    history of (time, floor, surge, occupancy) samples over ``[t1, t2]``
+    is compared against the cheapest probe ``txB = (1 - R/2) * Y0``. An
+    empty trajectory (market never updated in the window) is vacuously
+    clear with zero samples — callers should treat that as "no evidence"
+    rather than "verified".
+    """
+    tx_b = int(y0 * (1.0 - 0.5 * replace_bump))
+    trajectory = market.floor_trajectory(t1, t2)
+    violations = tuple(
+        sample_time
+        for sample_time, floor, _surge, _occ in trajectory
+        if tx_b < floor
+    )
+    return SurgeBandReport(
+        t1=t1,
+        t2=t2,
+        y0=y0,
+        tx_b_price=tx_b,
+        samples_checked=len(trajectory),
+        admissible_throughout=not violations,
+        violating_samples=violations,
+        peak_floor=max((f for _, f, _, _ in trajectory), default=0),
+        peak_surge=max((s for _, _, s, _ in trajectory), default=1.0),
+    )
+
+
+@dataclass(frozen=True)
 class WorldComparison:
     """Block-by-block diff between the measured and hypothetical worlds."""
 
@@ -158,6 +227,8 @@ class NonInterferenceMonitor:
     chain: Chain
     y0: int
     expiry: float = 3 * 3600.0
+    market: Optional[object] = None  # repro.eth.fee_market.FeeMarket
+    replace_bump: float = 0.1
     _t1: Optional[float] = None
     _t2: Optional[float] = None
 
@@ -172,4 +243,16 @@ class NonInterferenceMonitor:
             raise MeasurementError("monitor must be started and stopped first")
         return check_conditions(
             self.chain, self._t1, self._t2, self.y0, self.expiry
+        )
+
+    def verify_surge(self) -> SurgeBandReport:
+        """The fee-market companion check (requires ``market``)."""
+        if self._t1 is None or self._t2 is None:
+            raise MeasurementError("monitor must be started and stopped first")
+        if self.market is None:
+            raise MeasurementError(
+                "verify_surge requires a FeeMarket (pass market=...)"
+            )
+        return check_surge_band(
+            self.market, self._t1, self._t2, self.y0, self.replace_bump
         )

@@ -51,6 +51,7 @@ class AddOutcome(enum.Enum):
     REJECTED_FUTURE_LIMIT = "rejected_future_limit"
     REJECTED_POOL_FULL = "rejected_pool_full"
     REJECTED_BASE_FEE = "rejected_base_fee"
+    REJECTED_FEE_FLOOR = "rejected_fee_floor"
 
     # Enum members are singletons, so identity hashing is consistent with
     # their (identity-based) equality — and C-speed, unlike the default
@@ -154,10 +155,18 @@ class Mempool:
         self._confirmed_nonce: NonceProvider = confirmed_nonce or (lambda sender: 0)
         self._clock: Callable[[], float] = clock or (lambda: 0.0)
         self.base_fee: int = 0
+        # Live fee market (repro.eth.fee_market), attached opt-in by
+        # Network.install_fee_market. None keeps admission on the exact
+        # seed code path (golden fingerprints).
+        self.fee_market = None
         # Hot-path caches of (immutable) policy attributes.
         self._capacity = policy.capacity
         self._enforce_base_fee = policy.enforce_base_fee
         self._future_limit = policy.future_limit_per_account
+        # add_batch defers eviction-heap maintenance: while True,
+        # _rebalance_sender records no heap entries and draws no sequence
+        # numbers; the batch ends with one _rebuild_price_heaps().
+        self._heaps_deferred = False
 
         self._by_hash: Dict[str, Transaction] = {}
         self._by_sender: Dict[str, Dict[int, Transaction]] = {}
@@ -310,6 +319,92 @@ class Mempool:
             stats["evictions"] += len(result.evicted)
         return result
 
+    def add_batch(
+        self,
+        txs: Iterable[Transaction],
+        stop_when_full: bool = False,
+    ) -> Dict[str, int]:
+        """Offer many transactions with one heap rebuild instead of
+        per-transaction heappushes.
+
+        The fast path runs while the pool *cannot* fill mid-chunk
+        (``len(pool) + chunk <= capacity``): no eviction is possible, so
+        the lazy eviction heaps are not consulted and their maintenance —
+        the per-add heappush in ``_rebalance_sender`` — is deferred to a
+        single :meth:`_rebuild_price_heaps` at the end. Once the pool can
+        fill, the remainder falls back to sequential :meth:`add` (victim
+        selection needs live heaps). ``stop_when_full=True`` instead
+        replicates the legacy prefill loop exactly: stop offering the
+        moment the pool is full, never evict.
+
+        Equivalent to sequential :meth:`add` on every canonical observable
+        (transaction set, pending/future split, per-sender views, stats).
+        Tie-break order among *equal-priced* eviction candidates follows
+        the rebuilt-heap convention (``_by_hash`` insertion order) — the
+        same re-keying every base-fee change already performs in
+        :meth:`apply_block`.
+
+        Returns this batch's outcome counts (stats-key strings, plus
+        ``"evictions"`` when the fallback path evicted).
+        """
+        if not isinstance(txs, (list, tuple)):
+            txs = list(txs)
+        counts: Dict[str, int] = {}
+        if not txs:
+            return counts
+        stats = self.stats
+        by_hash = self._by_hash
+        capacity = self._capacity
+        mutated = False
+        self._heaps_deferred = True
+        try:
+            if stop_when_full:
+                for tx in txs:
+                    if len(by_hash) >= capacity:
+                        break
+                    result = self._add_inner(tx)
+                    key = _OUTCOME_KEY[result.outcome]
+                    stats[key] += 1
+                    counts[key] = counts.get(key, 0) + 1
+                    mutated = mutated or result.admitted
+            else:
+                i = 0
+                n = len(txs)
+                while i < n:
+                    room = capacity - len(by_hash)
+                    if room <= 0:
+                        break
+                    remaining = n - i
+                    chunk_end = i + (remaining if room >= remaining else room)
+                    for tx in txs[i:chunk_end]:
+                        result = self._add_inner(tx)
+                        key = _OUTCOME_KEY[result.outcome]
+                        stats[key] += 1
+                        counts[key] = counts.get(key, 0) + 1
+                        mutated = mutated or result.admitted
+                    i = chunk_end
+                if i < n:
+                    # Pool can now fill: rebuild the heaps the deferred
+                    # chunks skipped, then let add() handle eviction.
+                    self._heaps_deferred = False
+                    if mutated:
+                        self._rebuild_price_heaps()
+                        mutated = False
+                    for tx in txs[i:]:
+                        result = self.add(tx)
+                        key = _OUTCOME_KEY[result.outcome]
+                        counts[key] = counts.get(key, 0) + 1
+                        if result.evicted:
+                            counts["evictions"] = counts.get(
+                                "evictions", 0
+                            ) + len(result.evicted)
+                    return counts
+        finally:
+            self._heaps_deferred = False
+        if mutated:
+            self._rebuild_price_heaps()
+        return counts
+
     def _add_inner(self, tx: Transaction) -> AddResult:
         tx_hash = tx.hash
         if tx_hash in self._by_hash:
@@ -327,6 +422,15 @@ class Mempool:
             return AddResult(tx, AddOutcome.REJECTED_BASE_FEE)
 
         bid = tx.bid_price(self.base_fee)
+
+        # Live fee-market floor (opt-in; see repro.eth.fee_market). Applied
+        # to every offer including replacements, like Geth's underpriced
+        # check — which is why measurement prices are clamped so that even
+        # txB at (1 - R/2) * Y clears the floor (min_measurement_y).
+        market = self.fee_market
+        if market is not None and bid < market.floor_for(self._clock()):
+            return AddResult(tx, AddOutcome.REJECTED_FEE_FLOOR)
+
         nonces = self._by_sender.get(sender)
 
         # --- Replacement path: a stored transaction occupies (sender, nonce).
@@ -475,39 +579,46 @@ class Mempool:
         while nonce in nonces:
             pending_run.add(nonces[nonce].hash)
             nonce += 1
+        # Inside add_batch the heaps are rebuilt wholesale at the end, so
+        # per-transaction pushes (and their sequence draws) are skipped.
+        deferred = self._heaps_deferred
         for tx in nonces.values():
             currently_pending = tx.hash in self._pending
             should_be_pending = tx.hash in pending_run
             if should_be_pending and not currently_pending:
                 self._future.discard(tx.hash)
                 self._pending.add(tx.hash)
-                heapq.heappush(
-                    self._pending_heap,
-                    (tx.bid_price(self.base_fee), next(self._seq), tx.hash),
-                )
-                promoted.append(tx)
-            elif not should_be_pending and currently_pending:
-                self._pending.discard(tx.hash)
-                self._future.add(tx.hash)
-                heapq.heappush(
-                    self._future_heap,
-                    (tx.bid_price(self.base_fee), next(self._seq), tx.hash),
-                )
-            elif tx.hash not in self._pending and tx.hash not in self._future:
-                # Fresh insertion.
-                if should_be_pending:
-                    self._pending.add(tx.hash)
+                if not deferred:
                     heapq.heappush(
                         self._pending_heap,
                         (tx.bid_price(self.base_fee), next(self._seq), tx.hash),
                     )
-                    promoted.append(tx)
-                else:
-                    self._future.add(tx.hash)
+                promoted.append(tx)
+            elif not should_be_pending and currently_pending:
+                self._pending.discard(tx.hash)
+                self._future.add(tx.hash)
+                if not deferred:
                     heapq.heappush(
                         self._future_heap,
                         (tx.bid_price(self.base_fee), next(self._seq), tx.hash),
                     )
+            elif tx.hash not in self._pending and tx.hash not in self._future:
+                # Fresh insertion.
+                if should_be_pending:
+                    self._pending.add(tx.hash)
+                    if not deferred:
+                        heapq.heappush(
+                            self._pending_heap,
+                            (tx.bid_price(self.base_fee), next(self._seq), tx.hash),
+                        )
+                    promoted.append(tx)
+                else:
+                    self._future.add(tx.hash)
+                    if not deferred:
+                        heapq.heappush(
+                            self._future_heap,
+                            (tx.bid_price(self.base_fee), next(self._seq), tx.hash),
+                        )
         return promoted
 
     # ------------------------------------------------------------------

@@ -174,6 +174,10 @@ class Network:
         # ``self.obs.emit(...)`` site free; install_observability swaps in a
         # live bundle and registers the pull collectors.
         self.obs: Observability = NULL
+        # Live fee market (repro.eth.fee_market). None by default: pools
+        # only consult an attached market, so the uninstalled network runs
+        # the exact seed admission path (golden fingerprints).
+        self.fee_market = None
 
     # ------------------------------------------------------------------
     # Node management
@@ -311,6 +315,44 @@ class Network:
     def node_is_up(self, node_id: str) -> bool:
         """False while ``node_id`` is crashed (fault injection)."""
         return not self.node(node_id).crashed
+
+    # ------------------------------------------------------------------
+    # Live fee market (repro.eth.fee_market)
+    # ------------------------------------------------------------------
+    def install_fee_market(
+        self,
+        market=None,
+        sample=None,
+    ):
+        """Attach a shared :class:`~repro.eth.fee_market.FeeMarket`.
+
+        Binds the market to sampled pools and hands the same instance to
+        every node's mempool, so the admission floor is consistent
+        network-wide. The market is pull-based (no daemon events), which
+        is why it composes with :meth:`snapshot`/:meth:`restore` — its
+        state rides along in the capture. Pass a pre-configured
+        :class:`~repro.eth.fee_market.FeeMarket` (or None for defaults)
+        and optionally an explicit ``sample`` node-id list.
+        """
+        from repro.eth.fee_market import FeeMarket
+
+        if market is None:
+            market = FeeMarket()
+        market.bind(self, sample=sample)
+        self.fee_market = market
+        # Supernodes are exempt (the Geth "locals" carve-out): measurement
+        # infrastructure prices its own pool; targets enforce the floor.
+        supers = self.supernode_ids
+        for node in self._node_list:
+            if node.id not in supers:
+                node.mempool.fee_market = market
+        return market
+
+    def clear_fee_market(self) -> None:
+        """Detach the fee market; admission reverts to the seed path."""
+        self.fee_market = None
+        for node in self._node_list:
+            node.mempool.fee_market = None
 
     # ------------------------------------------------------------------
     # Byzantine behaviors (repro.eth.behaviors)
@@ -691,6 +733,13 @@ class Network:
                 if self.behaviors is not None
                 else None
             ),
+            # The fee market is pull-based (no queued events), so its
+            # scalar state freezes cleanly alongside the pools it reads.
+            "fee_market": (
+                self.fee_market.capture_state()
+                if self.fee_market is not None
+                else None
+            ),
         }
 
     def restore(self, snapshot: Dict[str, object]) -> None:
@@ -761,6 +810,10 @@ class Network:
             state = snapshot.get("behaviors_state")
             if state is not None:
                 self.behaviors.restore_state(state)
+        if self.fee_market is not None:
+            market_state = snapshot.get("fee_market")
+            if market_state is not None:
+                self.fee_market.restore_state(market_state)
 
     # ------------------------------------------------------------------
     # Ground truth & hygiene

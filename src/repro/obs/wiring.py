@@ -81,6 +81,22 @@ MONITOR_LAST_EDGES = "toposhot_monitor_last_edges"
 MONITOR_LAST_CHURN = "toposhot_monitor_last_churn_rate"
 MONITOR_EDGES_ADDED = "toposhot_monitor_edges_added_total"
 MONITOR_EDGES_REMOVED = "toposhot_monitor_edges_removed_total"
+MONITOR_DELTA_ROUNDS = "toposhot_monitor_delta_rounds_total"
+MONITOR_DELTA_PROBED = "toposhot_monitor_delta_probed_pairs_total"
+MONITOR_DELTA_SAVED = "toposhot_monitor_delta_saved_pairs_total"
+
+FEEMARKET_FLOOR = "toposhot_feemarket_floor_wei"
+FEEMARKET_SURGE = "toposhot_feemarket_surge_multiplier"
+FEEMARKET_OCCUPANCY = "toposhot_feemarket_sampled_occupancy"
+FEEMARKET_UPDATES = "toposhot_feemarket_updates_total"
+FEEMARKET_REJECTED = "toposhot_feemarket_rejected_total"
+
+WORKLOAD_TICKS = "toposhot_workload_ticks_total"
+WORKLOAD_OFFERED = "toposhot_workload_offered_total"
+WORKLOAD_FLOOR_REJECTED = "toposhot_workload_floor_rejected_total"
+WORKLOAD_MATERIALIZED = "toposhot_workload_materialized_total"
+WORKLOAD_REPLACEMENTS = "toposhot_workload_replacements_total"
+WORKLOAD_OFFERED_RATE = "toposhot_workload_offered_tx_per_second"
 
 SERVICE_QUEUE_DEPTH = "toposhot_service_queue_depth"
 SERVICE_RUNNING = "toposhot_service_running_jobs"
@@ -331,5 +347,69 @@ def instrument_network(
                     "Runtime invariant violations, by invariant",
                     labels={"invariant": name},
                 ).set_total(count)
+
+        market = network.fee_market
+        if market is not None:
+            registry.gauge(
+                FEEMARKET_FLOOR, "Current fee-market admission floor (wei)"
+            ).set(market.floor)
+            registry.gauge(
+                FEEMARKET_SURGE, "Current surge multiplier"
+            ).set(market.surge)
+            registry.gauge(
+                FEEMARKET_OCCUPANCY, "Mean sampled pool occupancy"
+            ).set(market.occupancy)
+            registry.counter(
+                FEEMARKET_UPDATES, "Fee-market floor recomputations"
+            ).set_total(market.updates)
+            registry.counter(
+                FEEMARKET_REJECTED,
+                "Transactions rejected below the fee-market floor",
+            ).set_total(totals.get("rejected_fee_floor", 0))
+
+    registry.add_collector(collect)
+
+
+def instrument_workload(obs: Observability, workload) -> None:
+    """Mirror a :class:`~repro.netgen.workloads.BatchedWorkload`'s tick
+    accounting into the registry (pull-based, like the rest)."""
+    if not obs.enabled:
+        return
+    registry = obs.metrics
+    name = workload.shape.name
+    labels = {"shape": name}
+    ticks = registry.counter(
+        WORKLOAD_TICKS, "Workload ticks executed", labels=labels
+    )
+    offered = registry.counter(
+        WORKLOAD_OFFERED, "Transactions offered by the workload", labels=labels
+    )
+    floor_rejected = registry.counter(
+        WORKLOAD_FLOOR_REJECTED,
+        "Offered transactions statistically rejected below the floor",
+        labels=labels,
+    )
+    materialized = registry.counter(
+        WORKLOAD_MATERIALIZED,
+        "Transactions actually constructed and inserted",
+        labels=labels,
+    )
+    replacements = registry.counter(
+        WORKLOAD_REPLACEMENTS,
+        "Replacement transactions submitted (MEV races)",
+        labels=labels,
+    )
+    rate = registry.gauge(
+        WORKLOAD_OFFERED_RATE, "Mean offered tx/s so far", labels=labels
+    )
+
+    def collect() -> None:
+        stats = workload.stats
+        ticks.set_total(stats["ticks"])
+        offered.set_total(stats["offered"])
+        floor_rejected.set_total(stats["floor_rejected"])
+        materialized.set_total(stats["materialized"])
+        replacements.set_total(stats["replacements"])
+        rate.set(workload.offered_rate())
 
     registry.add_collector(collect)

@@ -1,0 +1,191 @@
+"""Property and equivalence tests for :meth:`Mempool.add_batch`.
+
+The batched path defers eviction-heap maintenance to one rebuild per
+batch; these tests pin its contract: identical canonical state (transaction
+set, pending/future split, stats) to sequential :meth:`Mempool.add`, and
+identical *heap entries* to the legacy prefill loop on cleared pools (the
+golden-fingerprint safety argument).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eth.mempool import AddOutcome, Mempool
+from repro.eth.policies import GETH, PARITY, MempoolPolicy
+from repro.eth.transaction import Transaction, TransactionFactory, gwei
+
+SENDERS = [f"0xbatch{i}" for i in range(6)]
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(SENDERS),
+        st.integers(min_value=0, max_value=8),  # nonce
+        st.integers(min_value=1, max_value=1000),  # price
+    ),
+    min_size=1,
+    max_size=150,
+)
+
+
+def build_tx(sender: str, nonce: int, price: int) -> Transaction:
+    return Transaction(sender=sender, nonce=nonce, gas_price=price)
+
+
+def canonical_state(pool: Mempool):
+    return (
+        sorted(pool._by_hash),
+        sorted(pool._pending),
+        sorted(pool._future),
+        {
+            sender: sorted(txs)
+            for sender, txs in pool._by_sender.items()
+            if txs
+        },
+        pool.stats,
+    )
+
+
+@pytest.mark.parametrize(
+    "policy",
+    [GETH.scaled(16), PARITY.scaled(24), GETH.scaled(128)],
+    ids=["geth-16", "parity-24", "geth-128"],
+)
+@given(ops=operations)
+@settings(max_examples=60, deadline=None)
+def test_batch_matches_sequential_canonical_state(policy: MempoolPolicy, ops):
+    txs = [build_tx(*op) for op in ops]
+    sequential = Mempool(policy)
+    for tx in txs:
+        sequential.add(tx)
+    batched = Mempool(policy)
+    counts = batched.add_batch(txs)
+    batched.check_invariants()
+    assert canonical_state(batched) == canonical_state(sequential)
+    admitted = sum(
+        counts.get(key, 0)
+        for key in ("admitted_pending", "admitted_future", "replaced")
+    )
+    assert admitted <= len(txs)
+
+
+@given(ops=operations)
+@settings(max_examples=40, deadline=None)
+def test_batch_then_more_adds_stay_consistent(ops):
+    """The rebuilt heaps must keep serving later sequential evictions."""
+    policy = GETH.scaled(16)
+    txs = [build_tx(*op) for op in ops]
+    pool = Mempool(policy)
+    pool.add_batch(txs)
+    factory = TransactionFactory()
+    from repro.eth.account import Wallet
+
+    wallet = Wallet("after-batch")
+    for _ in range(24):
+        pool.add(
+            factory.transfer(wallet.fresh_account(), gas_price=gwei(2.0))
+        )
+        pool.check_invariants()
+    assert len(pool) <= policy.capacity
+
+
+class TestStopWhenFull:
+    def _legacy_prefill(self, pool, txs):
+        for tx in txs:
+            if pool.is_full:
+                break
+            pool.add(tx)
+
+    def _shared_txs(self, count, prices=None):
+        factory = TransactionFactory()
+        from repro.eth.account import Wallet
+
+        wallet = Wallet("prefill-eq")
+        prices = prices or [gwei(1.0) + i * 10**7 for i in range(count)]
+        return [
+            factory.transfer(wallet.fresh_account(), gas_price=prices[i])
+            for i in range(count)
+        ]
+
+    def test_matches_legacy_loop_exactly(self):
+        policy = GETH.scaled(64)
+        txs = self._shared_txs(100)
+        legacy = Mempool(policy)
+        self._legacy_prefill(legacy, txs)
+        batched = Mempool(policy)
+        batched.add_batch(txs, stop_when_full=True)
+        batched.check_invariants()
+        assert canonical_state(batched) == canonical_state(legacy)
+
+    def test_heap_entries_identical_on_cleared_pool(self):
+        """On a cleared pool the rebuilt eviction heap carries the exact
+        (price, seq, hash) multiset sequential adds would have pushed —
+        downstream victim selection is byte-identical."""
+        policy = GETH.scaled(32)
+        txs = self._shared_txs(48)
+        legacy = Mempool(policy)
+        self._legacy_prefill(legacy, txs)
+        batched = Mempool(policy)
+        batched.add_batch(txs, stop_when_full=True)
+        assert sorted(batched._pending_heap) == sorted(legacy._pending_heap)
+        assert sorted(batched._future_heap) == sorted(legacy._future_heap)
+
+    def test_never_evicts(self):
+        policy = GETH.scaled(8)
+        txs = self._shared_txs(50)
+        pool = Mempool(policy)
+        counts = pool.add_batch(txs, stop_when_full=True)
+        assert len(pool) == 8
+        assert "evictions" not in counts
+        assert pool.stats["evictions"] == 0
+
+
+class TestEvictionFallback:
+    def test_overflow_falls_back_to_sequential_eviction(self):
+        policy = GETH.scaled(16)
+        factory = TransactionFactory()
+        from repro.eth.account import Wallet
+
+        wallet = Wallet("overflow")
+        cheap = [
+            factory.transfer(wallet.fresh_account(), gas_price=gwei(1.0))
+            for _ in range(16)
+        ]
+        rich = [
+            factory.transfer(wallet.fresh_account(), gas_price=gwei(5.0))
+            for _ in range(8)
+        ]
+        pool = Mempool(policy)
+        counts = pool.add_batch(cheap + rich)
+        pool.check_invariants()
+        assert len(pool) == 16
+        assert counts.get("evictions", 0) >= 8
+        # The cheap cohort was evicted in favor of the rich one.
+        prices = sorted(pool.pending_prices(), reverse=True)
+        assert prices[:8] == [gwei(5.0)] * 8
+
+    def test_empty_batch_is_a_no_op(self):
+        pool = Mempool(GETH.scaled(8))
+        assert pool.add_batch([]) == {}
+        assert len(pool) == 0
+
+    def test_fee_floor_counted_in_batch(self):
+        from repro.eth.fee_market import FeeMarket, FeeMarketConfig
+
+        pool = Mempool(GETH.scaled(32))
+        pool.fee_market = FeeMarket(FeeMarketConfig(min_floor=gwei(1.0)))
+        factory = TransactionFactory()
+        from repro.eth.account import Wallet
+
+        wallet = Wallet("floored")
+        txs = [
+            factory.transfer(wallet.fresh_account(), gas_price=gwei(0.5))
+            for _ in range(5)
+        ] + [
+            factory.transfer(wallet.fresh_account(), gas_price=gwei(2.0))
+            for _ in range(3)
+        ]
+        counts = pool.add_batch(txs)
+        assert counts["rejected_fee_floor"] == 5
+        assert counts["admitted_pending"] == 3
+        assert len(pool) == 3

@@ -1,0 +1,214 @@
+"""Tests for the batched heavy-traffic workload engine.
+
+Pins the O(ticks) contract: exact long-run offered rate, deterministic
+same-seed runs, bounded per-tick materialization, shape modulators
+(bursts, diurnal cycles, replacement races), statistical fee-floor
+accounting, and prefill equivalence via ``add_batch``.
+"""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.eth.mempool import Mempool
+from repro.eth.policies import GETH
+from repro.eth.transaction import gwei
+from repro.netgen.ethereum import quick_network
+from repro.netgen.workloads import (
+    SHAPES,
+    BatchedWorkload,
+    WorkloadShape,
+    diurnal_load,
+    mev_replacement_race,
+    nft_mint_storm,
+    prefill_mempools,
+    spam_flood,
+    steady,
+)
+
+
+def run_workload(network, shape, seconds=10.0, **kwargs):
+    workload = BatchedWorkload(network, shape, **kwargs)
+    workload.start()
+    network.sim.run(until=network.sim.now + seconds)
+    workload.stop()
+    return workload
+
+
+class TestShapes:
+    def test_registry_builds_every_shape(self):
+        for name, build in SHAPES.items():
+            shape = build()
+            assert isinstance(shape, WorkloadShape)
+            assert shape.rate_per_second > 0
+
+    def test_flat_rate_without_modulators(self):
+        shape = steady(rate_per_second=100.0)
+        assert shape.rate_at(0.0) == shape.rate_at(1234.5) == 100.0
+
+    def test_burst_window_multiplies(self):
+        shape = nft_mint_storm(
+            rate_per_second=10.0,
+            burst_every=60.0,
+            burst_duration=5.0,
+            burst_multiplier=20.0,
+        )
+        assert shape.rate_at(61.0) == pytest.approx(200.0)
+        assert shape.rate_at(30.0) == pytest.approx(10.0)
+
+    def test_diurnal_sinusoid(self):
+        shape = diurnal_load(
+            rate_per_second=100.0,
+            diurnal_period=86400.0,
+            diurnal_amplitude=0.6,
+        )
+        rates = [shape.rate_at(t) for t in range(0, 86400, 3600)]
+        assert max(rates) == pytest.approx(160.0, rel=0.01)
+        assert min(rates) == pytest.approx(40.0, rel=0.01)
+        # The mean over one period is the nominal rate.
+        assert sum(rates) / len(rates) == pytest.approx(100.0, rel=0.02)
+
+
+class TestBatchedEngine:
+    def test_offered_count_is_exact_for_integer_rates(self):
+        network = quick_network(10, seed=5)
+        workload = run_workload(network, steady(rate_per_second=50000.0))
+        assert workload.stats["ticks"] == 10
+        assert workload.stats["offered"] == 500000
+        assert workload.offered_rate() == pytest.approx(50000.0)
+
+    def test_materialization_bounded_per_tick(self):
+        network = quick_network(10, seed=5)
+        workload = run_workload(
+            network, steady(rate_per_second=50000.0), materialize_cap=64
+        )
+        stats = workload.stats
+        assert stats["materialized"] <= 64 * stats["ticks"]
+        assert stats["materialized"] + stats["statistical"] + stats[
+            "floor_rejected"
+        ] == stats["offered"]
+        assert stats["admitted"] > 0
+
+    def test_deterministic_across_same_seed_runs(self):
+        def run():
+            network = quick_network(10, seed=17)
+            network.install_fee_market()
+            prefill_mempools(network)
+            workload = run_workload(
+                network,
+                steady(rate_per_second=20000.0, median_price=gwei(2.0)),
+                materialize_cap=32,
+            )
+            digest = sorted(
+                (nid, len(network.node(nid).mempool))
+                for nid in network.measurable_node_ids()
+            )
+            return workload.stats, digest
+
+        assert run() == run()
+
+    def test_floor_counts_casualties_statistically(self):
+        network = quick_network(10, seed=5)
+        network.install_fee_market()
+        prefill_mempools(network, median_price=gwei(1.0))
+        # Spam priced entirely under the ambient floor: every offered tx
+        # is floor fodder and none is ever constructed.
+        workload = run_workload(
+            network, spam_flood(rate_per_second=50000.0, median_price=gwei(0.01))
+        )
+        stats = workload.stats
+        assert stats["offered"] == 500000
+        assert stats["floor_rejected"] == stats["offered"]
+        assert stats["materialized"] == 0
+        assert stats["admitted"] == 0
+
+    def test_no_market_means_no_floor_rejections(self):
+        network = quick_network(10, seed=5)
+        workload = run_workload(
+            network, spam_flood(rate_per_second=1000.0)
+        )
+        assert workload.stats["floor_rejected"] == 0
+        assert workload.stats["admitted"] > 0
+
+    def test_replacement_race_submits_replacements(self):
+        network = quick_network(10, seed=5)
+        workload = run_workload(
+            network,
+            mev_replacement_race(
+                rate_per_second=500.0, replacement_fraction=0.5
+            ),
+            materialize_cap=32,
+        )
+        assert workload.stats["replacements"] > 0
+
+    def test_validation(self):
+        network = quick_network(4, seed=1)
+        with pytest.raises(MeasurementError):
+            BatchedWorkload(network, steady(), tick_interval=0.0)
+        with pytest.raises(MeasurementError):
+            BatchedWorkload(network, steady(), materialize_cap=0)
+        with pytest.raises(MeasurementError):
+            BatchedWorkload(network, steady(), price_table_size=4)
+
+    def test_engine_cost_is_per_tick_not_per_tx(self):
+        """The event count must not scale with the offered rate."""
+
+        def events_for(rate):
+            network = quick_network(8, seed=23)
+            run_workload(network, steady(rate_per_second=rate), seconds=5.0)
+            return network.sim.executed_events
+
+        low, high = events_for(100.0), events_for(100000.0)
+        # Identical tick count; the only divergence allowed is bounded
+        # per-tick pool work, not per-offered-tx events.
+        assert high <= low * 1.5
+
+
+class TestPrefillViaBatch:
+    def test_prefill_fills_to_capacity(self):
+        network = quick_network(8, seed=11)
+        txs = prefill_mempools(network, median_price=gwei(1.0))
+        for node_id in network.measurable_node_ids():
+            pool = network.node(node_id).mempool
+            assert pool.is_full
+            assert pool.pending_count == len(pool)
+        assert len(txs) >= max(
+            network.node(nid).config.policy.capacity
+            for nid in network.measurable_node_ids()
+        )
+
+    def test_prefill_consistent_across_nodes(self):
+        network = quick_network(8, seed=11)
+        prefill_mempools(network)
+        views = {
+            frozenset(network.node(nid).mempool._by_hash)
+            for nid in network.measurable_node_ids()
+            if network.node(nid).config.policy.capacity
+            == min(
+                network.node(m).config.policy.capacity
+                for m in network.measurable_node_ids()
+            )
+        }
+        # Same insertion order + same capacity => same content.
+        assert len(views) == 1
+
+    def test_floor_aware_prefill_keeps_pools_full(self):
+        network = quick_network(8, seed=11)
+        network.install_fee_market()
+        prefill_mempools(network, median_price=gwei(1.0))
+        # Raise the floor well above ambient, then refresh: senders bid
+        # the floor rather than being rejected en masse.
+        market = network.fee_market
+        market.floor_for(network.sim.now + market.config.update_interval)
+        floor = market.floor
+        assert floor > 0
+        for node_id in network.measurable_node_ids():
+            network.node(node_id).mempool.clear()
+        prefill_mempools(
+            network, median_price=max(1, floor // 4), count=None
+        )
+        for node_id in network.measurable_node_ids():
+            pool = network.node(node_id).mempool
+            assert pool.is_full
+            assert min(pool.pending_prices()) >= min(
+                floor, market.floor_for(network.sim.now)
+            )
