@@ -88,6 +88,24 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="node crash events per simulated second")
     faults.add_argument("--max-retries", type=int, default=0,
                         help="retry budget for failed/ambiguous probes")
+    faults.add_argument(
+        "--rpc-fault-rate", type=float, default=0.0, metavar="RATE",
+        help="unreliable RPC plane: per-call timeout/error probability plus "
+             "stale/truncated snapshots at the same rate (see docs/rpc.md)")
+    faults.add_argument(
+        "--rpc-rate-limit", type=float, default=0.0, metavar="PER_SEC",
+        help="token-bucket RPC rate limit per endpoint (0 disables)")
+    faults.add_argument(
+        "--rpc-flap-rate", type=float, default=0.0, metavar="RATE",
+        help="RPC connection flap events per simulated second")
+    faults.add_argument(
+        "--rpc-raw-client", action="store_true",
+        help="use the naive single-attempt RPC client (no deadlines, "
+             "retries, hedging or validation) — for A/B degradation runs")
+    faults.add_argument(
+        "--adaptive-flood", action="store_true",
+        help="resize eviction floods from observed pool occupancy "
+             "(storm-aware Z; see docs/rpc.md)")
     faults.add_argument("--checkpoint", type=str, default=None, metavar="FILE",
                         help="write a resumable checkpoint after each iteration")
     faults.add_argument("--resume", action="store_true",
@@ -386,10 +404,20 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     else:
         network = quick_network(n_nodes=args.nodes, seed=args.seed)
     prefill_mempools(network)
+    rpc_plan = None
+    if args.rpc_fault_rate or args.rpc_rate_limit or args.rpc_flap_rate:
+        from repro.sim.faults import RpcFaultPlan
+
+        rpc_plan = RpcFaultPlan.uniform(
+            args.rpc_fault_rate,
+            rate_limit_per_second=args.rpc_rate_limit,
+            flap_rate=args.rpc_flap_rate,
+        )
     plan = FaultPlan(
         loss_rate=args.loss,
         churn_rate=args.churn,
         crash_rate=args.crash_rate,
+        rpc=rpc_plan,
     )
     if plan.enabled:
         network.install_faults(plan)
@@ -397,6 +425,17 @@ def _cmd_measure(args: argparse.Namespace) -> int:
             f"fault plan: loss={plan.loss_rate:.1%} "
             f"churn={plan.churn_rate}/s crash={plan.crash_rate}/s"
         )
+        if rpc_plan is not None:
+            print(
+                f"rpc fault plan: fault={args.rpc_fault_rate:.1%} "
+                f"rate-limit={rpc_plan.rate_limit_per_second}/s "
+                f"flap={rpc_plan.flap_rate}/s"
+            )
+    if args.rpc_raw_client:
+        from repro.eth.rpc import RAW_POLICY
+
+        network.rpc_client(RAW_POLICY)
+        print("rpc client: raw (single attempt, failures read as negatives)")
     if mix is not None and mix.enabled:
         behaviors = network.install_behaviors(mix)
         counts = ", ".join(
@@ -418,6 +457,8 @@ def _cmd_measure(args: argparse.Namespace) -> int:
         shot.config = shot.config.with_retries(args.max_retries)
     if args.cross_validate is not None:
         shot.config = shot.config.with_cross_validation(args.cross_validate)
+    if args.adaptive_flood:
+        shot.config = shot.config.with_adaptive_flood()
     print(
         f"measuring {len(network.measurable_node_ids())} nodes "
         f"(Z={shot.config.future_count}, R={shot.config.replace_bump:.1%})"
@@ -454,6 +495,21 @@ def _cmd_measure_sharded(args: argparse.Namespace) -> int:
             "are not supported with --workers: the sharded executor resets "
             "shards from snapshots, which the invariant checker refuses and "
             "cross-validation would invalidate. Run without --workers.",
+            file=sys.stderr,
+        )
+        return 2
+    if (
+        args.rpc_fault_rate
+        or args.rpc_rate_limit
+        or args.rpc_flap_rate
+        or args.rpc_raw_client
+        or args.adaptive_flood
+    ):
+        print(
+            "--rpc-* and --adaptive-flood are not supported with --workers: "
+            "the resilient RPC client and its fault plan keep per-endpoint "
+            "state (breakers, token buckets, health scores) that sharding "
+            "would reset mid-campaign. Run without --workers.",
             file=sys.stderr,
         )
         return 2

@@ -72,6 +72,7 @@ def probe_priority(
     network,
     pairs,
     percentile: float = 0.1,
+    endpoint_health: Optional[dict] = None,
 ):
     """Order probe pairs by endpoint pool waterline, cheapest first.
 
@@ -82,6 +83,13 @@ def probe_priority(
     pairs first spends the safe price band where it is widest and defers
     surging pools until the fee market calms. Stable sort, no RNG: the
     order is deterministic given the pool states.
+
+    ``endpoint_health`` (node id -> score in [0, 1], from
+    ``ResilientRpcClient.health_report``) optionally demotes pairs whose
+    RPC endpoints have been misbehaving: a pair sorts by its *sickest*
+    endpoint first, so probes that are likely to come back degraded run
+    after the ones the plane can actually answer. Omitted or empty, the
+    ordering is exactly the waterline-only one.
     """
     cache: dict = {}
 
@@ -94,12 +102,56 @@ def probe_priority(
             value = cache[node_id] = 0 if level is None else level
         return value
 
+    def pair_sickness(pair) -> float:
+        if not endpoint_health:
+            return 0.0
+        return max(
+            1.0 - float(endpoint_health.get(pair[0], 1.0)),
+            1.0 - float(endpoint_health.get(pair[1], 1.0)),
+        )
+
     return sorted(
         pairs,
-        key=lambda pair: max(
-            node_waterline(pair[0]), node_waterline(pair[1])
+        key=lambda pair: (
+            pair_sickness(pair),
+            max(node_waterline(pair[0]), node_waterline(pair[1])),
         ),
     )
+
+
+def adaptive_flood_size(
+    network,
+    node_ids,
+    config,
+    y: int,
+) -> int:
+    """Flood size Z resized from observed pool occupancy (per round).
+
+    The static worst case ``Z = L`` assumes the flood must fill an empty
+    pool by itself. After a traffic storm the pools are already near
+    capacity with ambient pending transactions, and the flood only has
+    to (a) fill the remaining free slots and (b) evict the pending
+    transactions priced *below* the flood price — eviction removes
+    exactly one resident per admitted future, so the requirement is
+    their sum. Pending priced at or above the flood price cannot be
+    evicted by it and must not be counted (the paper's primitive accepts
+    that such traffic survives; the replacement check still works).
+
+    Returns the max requirement across ``node_ids`` — every involved
+    pool must be cleared — plus a small safety margin for traffic that
+    lands mid-flood, clamped to ``[margin, config.future_count]`` so the
+    adaptive size never exceeds the configured static Z.
+    """
+    flood_price = config.price_future(y)
+    margin = max(4, config.future_count // 16)
+    required = 0
+    for node_id in node_ids:
+        pool = network.node(node_id).mempool
+        evictable = sum(
+            1 for price in pool.pending_prices() if price < flood_price
+        )
+        required = max(required, pool.free_slots + evictable)
+    return max(margin, min(config.future_count, required + margin))
 
 
 def choose_adaptive_y(

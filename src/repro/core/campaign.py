@@ -33,6 +33,7 @@ from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.config import MeasurementConfig
+from repro.core.gas_estimator import estimate_y
 from repro.core.parallel import ParallelProbeReport, measure_par_with_repeats
 from repro.core.preprocess import PreprocessReport, preprocess_targets
 from repro.core.primitive import (
@@ -529,6 +530,17 @@ class TopoShot:
                     "send_timeout", iteration=index,
                     detail=f"{report.send_timeouts} injection(s) timed out",
                 )
+            degraded = sum(
+                1 for outcome in report.outcomes if outcome.rpc_degraded
+            )
+            if degraded:
+                measurement.add_failure(
+                    "rpc_degraded", iteration=index,
+                    detail=(
+                        f"{degraded} probe(s) answered over a degraded RPC "
+                        "plane; their verdicts rest on gossip alone"
+                    ),
+                )
             self.measurement_senders.extend(report.seed_senders)
             if obs.enabled:
                 iterations_total.inc()
@@ -544,6 +556,12 @@ class TopoShot:
                         "Campaign failures by kind",
                         labels={"kind": "unreachable"},
                     ).inc(len(report.unreachable))
+                if degraded:
+                    obs.metrics.counter(
+                        wiring.CAMPAIGN_FAILURES,
+                        "Campaign failures by kind",
+                        labels={"kind": "rpc_degraded"},
+                    ).inc(degraded)
                 obs.emit(
                     self.network.sim.now,
                     "campaign.iteration",
@@ -645,11 +663,20 @@ class TopoShot:
         """Serially re-probe one suspect edge: true iff at least
         ``config.cross_validate_k`` of up to ``config.cross_validate``
         probes confirm direct adjacency. Probes that error count as
-        failed."""
+        failed.
+
+        A probe whose RPC cross-check came back *unknown* (degraded
+        measurement plane) says nothing about the edge either way, so it
+        does not consume the cross-validation budget — up to
+        ``config.cross_validate`` such probes are retried for free
+        before degraded reports start counting like ordinary ones
+        (bounding the loop when the plane stays sick)."""
         needed = self.config.cross_validate_k
         clean_positives = 0
-        for attempt in range(self.config.cross_validate):
-            remaining = self.config.cross_validate - attempt
+        attempts = 0
+        degraded_allowance = self.config.cross_validate
+        while attempts < self.config.cross_validate:
+            remaining = self.config.cross_validate - attempts
             if clean_positives + remaining < needed:
                 break  # can no longer reach k
             self.supernode.clear_observations()
@@ -660,8 +687,13 @@ class TopoShot:
                     self.network, self.supernode, a, b, self.config, self.wallet
                 )
             except MeasurementError:
+                attempts += 1
                 continue
             self.measurement_senders.extend(report.measurement_senders)
+            if report.rpc_degraded and degraded_allowance > 0:
+                degraded_allowance -= 1
+                continue  # a sick plane is not evidence; re-probe for free
+            attempts += 1
             if report.confirmed_direct:
                 clean_positives += 1
                 if clean_positives >= needed:
@@ -714,11 +746,15 @@ class TopoShot:
             if not first_iteration:
                 self._refresh_pools()
             first_iteration = False
+            config = self.config
+            if config.adaptive_flood:
+                involved = {nid for pair in selected for nid in pair}
+                config = self._apply_adaptive_flood(config, involved)
             report = measure_par_with_repeats(
                 self.network,
                 self.supernode,
                 selected,
-                self.config,
+                config,
                 self.wallet,
                 refresh=self._refresh_pools,
             )
@@ -734,17 +770,52 @@ class TopoShot:
     def _config_for_iteration(self, iteration: ScheduleIteration) -> MeasurementConfig:
         """Apply per-target Z overrides: an iteration touching a node known
         to run a larger-than-default mempool uses a flood big enough for
-        it (the pre-processing phase's "right parameter")."""
-        if not self.z_overrides:
-            return self.config
+        it (the pre-processing phase's "right parameter"). With
+        ``config.adaptive_flood`` the static Z is then shrunk to what the
+        involved pools actually need this round (storm-aware sizing)."""
+        config = self.config
         involved = set(iteration.sources) | set(iteration.sinks)
-        needed = max(
-            (z for node, z in self.z_overrides.items() if node in involved),
-            default=0,
-        )
-        if needed <= self.config.future_count:
-            return self.config
-        return self.config.with_future_count(needed)
+        if self.z_overrides:
+            needed = max(
+                (z for node, z in self.z_overrides.items() if node in involved),
+                default=0,
+            )
+            if needed > config.future_count:
+                config = config.with_future_count(needed)
+        if config.adaptive_flood:
+            config = self._apply_adaptive_flood(config, involved)
+        return config
+
+    def _apply_adaptive_flood(
+        self, config: MeasurementConfig, involved: Set[str]
+    ) -> MeasurementConfig:
+        """Resize the flood from observed occupancy of the involved pools.
+
+        After a traffic storm the target pools sit near capacity, so the
+        static worst-case ``Z = L`` overshoots: the flood only needs to
+        fill the free slots and evict the cheap residents. The adaptive
+        size never exceeds the configured (or overridden) Z, so it can
+        only reduce interference, never recall.
+        """
+        from repro.core.adaptive import adaptive_flood_size
+
+        present = [nid for nid in sorted(involved) if nid in self.network]
+        if not present:
+            return config
+        y = config.gas_price_y
+        if y is None:
+            y = estimate_y(self.supernode, config)
+        z = adaptive_flood_size(self.network, present, config, y)
+        if z >= config.future_count:
+            return config
+        if self.obs.enabled:
+            self.obs.emit(
+                self.network.sim.now,
+                "campaign.adaptive_flood",
+                config.future_count,
+                z,
+            )
+        return config.with_future_count(z)
 
     def set_z_override(self, node_id: str, future_count: int) -> None:
         """Record that measurements involving ``node_id`` need a flood of

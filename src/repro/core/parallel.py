@@ -33,8 +33,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import MeasurementConfig
 from repro.core.gas_estimator import estimate_y
-from repro.core.primitive import build_future_flood, rebid
+from repro.core.primitive import _known, build_future_flood, rebid
 from repro.core.results import Edge, EdgeEvidence, PairOutcome, edge
+from repro.eth.rpc import rpc_tx_in_pool
 from repro.errors import MeasurementError, NotConnectedError, SendTimeoutError
 from repro.eth.account import Wallet
 from repro.eth.network import Network
@@ -244,11 +245,18 @@ def measure_par(
         source, sink = pair
         a_hash = tx_a[pair].hash
         observed = supernode.observed_from(sink, a_hash)
+        pair_degraded = False
         if hardened:
             # Byzantine-aware verdict (see measure_one_link): gossip
             # possession must survive the RPC cross-check, and any third
-            # party observed with txA breaks the isolation envelope.
-            rpc_confirmed = a_hash in network.node(sink).mempool
+            # party observed with txA breaks the isolation envelope. Every
+            # pool check runs through the (possibly faulty) measurement
+            # plane; an *unknown* answer degrades the pair instead of
+            # deciding it.
+            rpc_check = rpc_tx_in_pool(network, sink, a_hash)
+            if rpc_check is None:
+                pair_degraded = True
+            rpc_confirmed = _known(rpc_check, True)
             extra_observers = tuple(
                 sorted(supernode.observers_of(a_hash) - {source, sink})
             )
@@ -257,27 +265,36 @@ def measure_par(
             # backed by their pool over RPC — a spoofing relay's
             # fingerprint. Honest third parties that genuinely pooled
             # txA (eviction fallout) pass this check and are not
-            # accused; their presence still dirties the evidence.
-            if observed and not rpc_confirmed:
+            # accused; their presence still dirties the evidence. Only a
+            # *definite* miss accuses: an unanswerable plane is not
+            # evidence of misbehavior.
+            if observed and rpc_check is False:
                 report.suspect_nodes.add(sink)
             for observer_id in extra_observers:
-                if a_hash not in network.node(observer_id).mempool:
+                observer_check = rpc_tx_in_pool(network, observer_id, a_hash)
+                if observer_check is False:
                     report.suspect_nodes.add(observer_id)
+                elif observer_check is None:
+                    pair_degraded = True
         else:
             rpc_confirmed = True
             extra_observers = ()
             detected = observed
+        # Setup check per p2: txA must have taken hold on its source
+        # (verified RPC-style; gossip cannot confirm M's own sends).
+        setup_check = rpc_tx_in_pool(network, source, a_hash)
+        if setup_check is None:
+            pair_degraded = True
         outcome = PairOutcome(
             source=source,
             sink=sink,
             detected=detected,
-            # Setup check per p2: txA must have taken hold on its source
-            # (verified RPC-style; gossip cannot confirm M's own sends).
-            setup_ok=a_hash in network.node(source).mempool,
+            setup_ok=_known(setup_check, True),
             tx_a_hash=a_hash,
             observed_at=supernode.first_observation_time(sink, a_hash),
             rpc_confirmed=rpc_confirmed,
             extra_observers=extra_observers,
+            rpc_degraded=pair_degraded,
         )
         report.outcomes.append(outcome)
         if detected:
@@ -292,6 +309,7 @@ def measure_par(
                     kind=supernode.observation_kind(sink, a_hash) or "",
                     rpc_confirmed=rpc_confirmed,
                     extra_observers=extra_observers,
+                    rpc_degraded=pair_degraded,
                 )
     return report
 

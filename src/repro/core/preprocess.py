@@ -22,9 +22,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import MeasurementConfig
 from repro.core.gas_estimator import estimate_y
+from repro.errors import RpcError, RpcUnavailableError
 from repro.eth.account import Wallet
 from repro.eth.network import Network
-from repro.eth.rpc import RpcServer, RpcUnavailableError
+from repro.eth.rpc import RpcServer, rpc_faults_active
 from repro.eth.supernode import Supernode
 from repro.eth.transaction import TransactionFactory
 
@@ -39,6 +40,11 @@ class PreprocessReport:
     rejected_client: List[str] = field(default_factory=list)
     rejected_unresponsive: List[str] = field(default_factory=list)
     rejected_future_forwarders: List[str] = field(default_factory=list)
+    # Endpoints the resilient RPC client could not get an answer from (or
+    # whose health score / circuit breaker flags them): skipped for this
+    # campaign rather than measured through a plane that will turn their
+    # probes into noise.
+    rejected_degraded: List[str] = field(default_factory=list)
     z_overrides: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -47,6 +53,7 @@ class PreprocessReport:
             self.rejected_client
             + self.rejected_unresponsive
             + self.rejected_future_forwarders
+            + self.rejected_degraded
         )
 
     def summary(self) -> str:
@@ -54,7 +61,8 @@ class PreprocessReport:
             f"accepted={len(self.accepted)} "
             f"non-measurable-client={len(self.rejected_client)} "
             f"unresponsive={len(self.rejected_unresponsive)} "
-            f"future-forwarders={len(self.rejected_future_forwarders)}"
+            f"future-forwarders={len(self.rejected_future_forwarders)} "
+            f"degraded-endpoint={len(self.rejected_degraded)}"
         )
 
 
@@ -85,12 +93,38 @@ def preprocess_targets(
             report.rejected_client.append(node_id)
             continue
         if check_responsiveness:
-            try:
-                RpcServer(node).call("web3_clientVersion")
-            except RpcUnavailableError:
-                report.rejected_unresponsive.append(node_id)
-                continue
+            if rpc_faults_active(network):
+                # Route the probe through the resilient client so transient
+                # plane faults (timeouts, throttling, flaps) get retried
+                # instead of condemning a perfectly responsive node.
+                client = network.rpc_client()
+                try:
+                    client.call(node_id, "web3_clientVersion")
+                except RpcUnavailableError:
+                    report.rejected_unresponsive.append(node_id)
+                    continue
+                except RpcError:
+                    report.rejected_degraded.append(node_id)
+                    continue
+            else:
+                try:
+                    RpcServer(node).call("web3_clientVersion")
+                except RpcUnavailableError:
+                    report.rejected_unresponsive.append(node_id)
+                    continue
         survivors.append(node_id)
+
+    # Endpoints whose health score or circuit breaker already flags them
+    # (from earlier traffic through the shared resilient client) are skipped
+    # up front: measuring through them yields degraded probes, not data.
+    if rpc_faults_active(network) and survivors:
+        client = network.rpc_client()
+        unhealthy = set(client.unhealthy_endpoints())
+        if unhealthy:
+            report.rejected_degraded.extend(
+                nid for nid in survivors if nid in unhealthy
+            )
+            survivors = [nid for nid in survivors if nid not in unhealthy]
 
     if check_future_forwarding and survivors:
         forwarders = detect_future_forwarders(

@@ -28,8 +28,20 @@ from repro.core.gas_estimator import estimate_y
 from repro.errors import NotConnectedError, SendTimeoutError
 from repro.eth.account import Wallet
 from repro.eth.network import Network
+from repro.eth.rpc import rpc_tx_in_pool
 from repro.eth.supernode import Supernode
 from repro.eth.transaction import Transaction, TransactionFactory
+
+
+def _known(value: Optional[bool], default: bool) -> bool:
+    """Collapse a tri-state RPC answer: *unknown* takes the default.
+
+    Every pool check below runs through the (possibly faulty) measurement
+    plane and may come back ``None``. Defaults are chosen so a broken
+    plane can only ever *weaken* a verdict (degrade to suspect/LOW), never
+    manufacture a negative — the paper's false-negative discussion, §6.1.
+    """
+    return default if value is None else value
 
 
 class LinkProbeOutcome(enum.Enum):
@@ -89,6 +101,10 @@ class ProbeReport:
     rpc_confirmed: bool = True
     extra_observers: Tuple[str, ...] = ()
     extra_observed_at: Optional[float] = None
+    # True when any pool check behind this verdict came back *unknown*
+    # (exhausted retries, open breaker on the measurement plane): the
+    # verdict stands, but it is degraded — suspect, worth a re-probe.
+    rpc_degraded: bool = False
 
     @property
     def connected(self) -> bool:
@@ -106,8 +122,14 @@ class ProbeReport:
     @property
     def clean(self) -> bool:
         """A positive with an intact isolation envelope: RPC-confirmed
-        and nobody but the sink ever showed ``txA``."""
-        return self.connected and self.rpc_confirmed and not self.extra_observers
+        over a healthy plane, and nobody but the sink ever showed
+        ``txA``."""
+        return (
+            self.connected
+            and self.rpc_confirmed
+            and not self.rpc_degraded
+            and not self.extra_observers
+        )
 
     @property
     def confirmed_direct(self) -> bool:
@@ -260,11 +282,16 @@ def measure_one_link(
     # eth_getTransactionByHash validation of Section 6.1 (a node never
     # propagates a transaction back to the peer it came from, so M cannot
     # verify its own injections through gossip).
-    setup_a_ok = tx_a.hash in network.node(a_id).mempool
-    setup_b_ok = (
-        tx_b.hash in network.node(b_id).mempool
-        or tx_a.hash in network.node(b_id).mempool
-    )
+    a_has_a = rpc_tx_in_pool(network, a_id, tx_a.hash)
+    b_has_b = rpc_tx_in_pool(network, b_id, tx_b.hash)
+    # Short-circuit like the seed's ``or``: only consult txA on B when txB
+    # is demonstrably absent.
+    b_has_a = b_has_b if b_has_b else rpc_tx_in_pool(network, b_id, tx_a.hash)
+    rpc_degraded = a_has_a is None or b_has_b is None or b_has_a is None
+    # Unknown setup answers default to "ok": a sick measurement plane must
+    # not convert a live probe into a setup failure.
+    setup_a_ok = _known(a_has_a, True)
+    setup_b_ok = _known(b_has_b, True) if b_has_b is not False else _known(b_has_a, True)
     observed = supernode.observed_from(b_id, tx_a.hash)
     if config.hardened:
         # Byzantine-aware verdict: possession claimed via gossip must be
@@ -272,7 +299,12 @@ def measure_one_link(
         # without ever pooling it), and third-party observers of txA are
         # recorded — on a conforming network the price band keeps that
         # set empty, so any entry marks a broken isolation envelope.
-        rpc_confirmed = tx_a.hash in network.node(b_id).mempool
+        rpc_check = rpc_tx_in_pool(network, b_id, tx_a.hash)
+        if rpc_check is None:
+            rpc_degraded = True
+        # An unconfirmable cross-check keeps the gossip verdict (degraded,
+        # never a manufactured negative).
+        rpc_confirmed = _known(rpc_check, True)
         extra_observers = tuple(
             sorted(supernode.observers_of(tx_a.hash) - {a_id, b_id})
         )
@@ -308,7 +340,13 @@ def measure_one_link(
     # trustworthy when the whole setup demonstrably worked end to end.
     if outcome is LinkProbeOutcome.CONNECTED:
         confidence = ProbeConfidence.HIGH
-    elif outcome is LinkProbeOutcome.NOT_CONNECTED and flood_confirmed:
+    elif (
+        outcome is LinkProbeOutcome.NOT_CONNECTED
+        and flood_confirmed
+        and not rpc_degraded
+    ):
+        # A negative reached through an unanswerable plane is never HIGH:
+        # it gets the ambiguous/re-probe treatment, not a false negative.
         confidence = ProbeConfidence.HIGH
     else:
         confidence = ProbeConfidence.LOW
@@ -330,6 +368,7 @@ def measure_one_link(
         rpc_confirmed=rpc_confirmed,
         extra_observers=extra_observers,
         extra_observed_at=extra_observed_at,
+        rpc_degraded=rpc_degraded,
     )
 
 

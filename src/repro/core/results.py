@@ -55,6 +55,10 @@ class EdgeEvidence:
     rpc_confirmed: bool = True
     extra_observers: Tuple[str, ...] = ()
     iteration: int = -1
+    # True when the RPC cross-check behind this claim came back *unknown*
+    # (degraded measurement plane): the edge stands on gossip alone and
+    # is labeled suspect rather than silently trusted.
+    rpc_degraded: bool = False
 
     @property
     def edge(self) -> Edge:
@@ -62,8 +66,12 @@ class EdgeEvidence:
 
     @property
     def clean(self) -> bool:
-        """RPC-confirmed with an intact isolation envelope."""
-        return self.rpc_confirmed and not self.extra_observers
+        """RPC-confirmed over a healthy plane, intact isolation envelope."""
+        return (
+            self.rpc_confirmed
+            and not self.rpc_degraded
+            and not self.extra_observers
+        )
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -75,6 +83,7 @@ class EdgeEvidence:
             "rpc_confirmed": self.rpc_confirmed,
             "extra_observers": list(self.extra_observers),
             "iteration": self.iteration,
+            "rpc_degraded": self.rpc_degraded,
         }
 
     @classmethod
@@ -91,6 +100,7 @@ class EdgeEvidence:
                 str(x) for x in payload.get("extra_observers", ())  # type: ignore[union-attr]
             ),
             iteration=int(payload.get("iteration", -1)),  # type: ignore[arg-type]
+            rpc_degraded=bool(payload.get("rpc_degraded", False)),
         )
 
 
@@ -302,6 +312,8 @@ class PairOutcome:
     # Hardened-pipeline fields (defaults match an honest positive).
     rpc_confirmed: bool = True
     extra_observers: Tuple[str, ...] = ()
+    # Any pool check behind this outcome came back unknown (sick plane).
+    rpc_degraded: bool = False
 
     @property
     def edge(self) -> Edge:

@@ -234,3 +234,130 @@ class CircuitOpen(ServiceError):
         payload = super().to_dict()
         payload["retry_after"] = self.retry_after
         return payload
+
+
+# ----------------------------------------------------------------------
+# RPC transport taxonomy (repro.eth.rpc)
+# ----------------------------------------------------------------------
+class RpcError(ReproError):
+    """Base class for RPC transport failures against a target endpoint.
+
+    Every subclass carries a stable ``code`` so the resilient client and
+    the degraded-mode inference path dispatch on the error *kind* (retry?
+    back off? comply with a rate limit? give up?) instead of parsing
+    messages. ``retryable`` tells the client whether another attempt at
+    the same endpoint can ever succeed.
+    """
+
+    code = "rpc_error"
+    retryable = False
+
+
+class RpcUnavailableError(RpcError):
+    """The target node does not expose an RPC interface.
+
+    A *permanent* condition of the target's configuration
+    (``responds_to_rpc=False``): retrying cannot help, so the client
+    re-raises immediately and pre-processing rejects the target.
+    """
+
+    code = "rpc_unavailable"
+
+
+class RpcMethodNotFoundError(RpcError, KeyError):
+    """The endpoint does not implement the requested method.
+
+    Subclasses :class:`KeyError` for backward compatibility with callers
+    that caught the bare ``KeyError`` :meth:`RpcServer.call` used to
+    raise; new code should catch this type (or :class:`RpcError`).
+    """
+
+    code = "rpc_method_not_found"
+
+    def __init__(self, method: str) -> None:
+        super().__init__(f"unknown RPC method {method!r}")
+        self.method = method
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+
+class RpcTimeoutError(RpcError):
+    """A call exceeded its per-attempt deadline (slow or wedged endpoint).
+
+    The client has already waited the deadline out when this surfaces;
+    retrying (or hedging, for snapshot-critical reads) may succeed.
+    """
+
+    code = "rpc_timeout"
+    retryable = True
+
+    def __init__(self, node_id: str, method: str, deadline: float) -> None:
+        super().__init__(
+            f"RPC {method} to {node_id} timed out after {deadline:g}s"
+        )
+        self.node_id = node_id
+        self.method = method
+        self.deadline = float(deadline)
+
+
+class RpcTransientError(RpcError):
+    """The endpoint answered with a transient server-side failure (a 5xx:
+    overloaded worker, internal error). Retrying after backoff may succeed."""
+
+    code = "rpc_transient"
+    retryable = True
+
+
+class RpcConnectionError(RpcError):
+    """The endpoint's transport is down (connection refused / flapping).
+
+    Distinct from :class:`RpcUnavailableError`: the target *does* serve
+    RPC, but its listener is currently unreachable — retrying after the
+    flap heals may succeed."""
+
+    code = "rpc_connection"
+    retryable = True
+
+
+class RpcRateLimitedError(RpcError):
+    """The endpoint rejected the call with a 429-style throttle.
+
+    ``retry_after`` is the server's refill hint in (simulated) seconds; a
+    compliant client waits at least that long instead of hammering."""
+
+    code = "rpc_rate_limited"
+    retryable = True
+
+    def __init__(self, node_id: str, retry_after: float) -> None:
+        super().__init__(
+            f"RPC to {node_id} rate-limited, retry after {retry_after:g}s"
+        )
+        self.node_id = node_id
+        self.retry_after = float(retry_after)
+
+
+class RpcExhaustedError(RpcError):
+    """The resilient client gave up on a call: every attempt within the
+    retry budget failed, or the endpoint's circuit breaker is open.
+
+    Carries the last transport error so diagnostics keep the root cause;
+    degraded-mode inference maps this to *unknown*, never to a negative."""
+
+    code = "rpc_exhausted"
+
+    def __init__(
+        self,
+        node_id: str,
+        method: str,
+        attempts: int,
+        last_error: "RpcError | None" = None,
+    ) -> None:
+        detail = f": {last_error}" if last_error is not None else ""
+        super().__init__(
+            f"RPC {method} to {node_id} failed after {attempts} attempt(s){detail}"
+        )
+        self.node_id = node_id
+        self.method = method
+        self.attempts = int(attempts)
+        self.last_error = last_error

@@ -178,6 +178,10 @@ class Network:
         # only consult an attached market, so the uninstalled network runs
         # the exact seed admission path (golden fingerprints).
         self.fee_market = None
+        # Lazily-built resilient RPC client (repro.eth.rpc). Only consulted
+        # when a fault plan carries an RpcFaultPlan; the fault-free path
+        # never touches it.
+        self._rpc_client = None
 
     # ------------------------------------------------------------------
     # Node management
@@ -315,6 +319,21 @@ class Network:
     def node_is_up(self, node_id: str) -> bool:
         """False while ``node_id`` is crashed (fault injection)."""
         return not self.node(node_id).crashed
+
+    def rpc_client(self, policy=None):
+        """The network-wide resilient RPC client (lazily built, cached).
+
+        Passing a :class:`~repro.eth.rpc.RpcClientPolicy` replaces the
+        cached client (fresh breakers/health); passing ``None`` returns
+        the existing one, creating a default-policy client on first use.
+        """
+        from repro.eth.rpc import ResilientRpcClient
+
+        if policy is not None:
+            self._rpc_client = ResilientRpcClient(self, policy)
+        elif self._rpc_client is None:
+            self._rpc_client = ResilientRpcClient(self)
+        return self._rpc_client
 
     # ------------------------------------------------------------------
     # Live fee market (repro.eth.fee_market)

@@ -54,6 +54,18 @@ FAULT_SEND_TIMEOUTS = "toposhot_fault_send_timeouts_total"
 FAULT_CRASHES = "toposhot_fault_crashes_total"
 FAULT_CHURN = "toposhot_fault_churn_events_total"
 
+RPC_FAULTS_INJECTED = "toposhot_rpc_faults_injected_total"
+RPC_CALLS = "toposhot_rpc_calls_total"
+RPC_ATTEMPTS = "toposhot_rpc_attempts_total"
+RPC_RETRIES = "toposhot_rpc_retries_total"
+RPC_HEDGES = "toposhot_rpc_hedged_attempts_total"
+RPC_RATE_LIMITED = "toposhot_rpc_rate_limited_total"
+RPC_BREAKER_REJECTIONS = "toposhot_rpc_breaker_rejections_total"
+RPC_EXHAUSTED = "toposhot_rpc_exhausted_total"
+RPC_DEGRADED_LOOKUPS = "toposhot_rpc_degraded_lookups_total"
+RPC_SNAPSHOT_VERDICTS = "toposhot_rpc_snapshot_verdicts_total"
+RPC_ENDPOINT_HEALTH = "toposhot_rpc_endpoint_health"
+
 CAMPAIGN_ITERATIONS = "toposhot_campaign_iterations_total"
 CAMPAIGN_EDGES = "toposhot_campaign_edges_detected"
 CAMPAIGN_TXS = "toposhot_campaign_transactions_sent_total"
@@ -323,6 +335,65 @@ def instrument_network(
             registry.counter(
                 FAULT_CHURN, "Links churned by fault injection"
             ).set_total(faults.churn_events)
+            rpc_faults = faults.rpc
+            if rpc_faults is not None:
+                for kind, total in (
+                    ("timeout", rpc_faults.timeouts),
+                    ("error", rpc_faults.transient_errors),
+                    ("rate_limit", rpc_faults.rate_limited),
+                    ("stale", rpc_faults.stale_served),
+                    ("truncate", rpc_faults.truncated),
+                    ("flap", rpc_faults.flaps),
+                ):
+                    registry.counter(
+                        RPC_FAULTS_INJECTED,
+                        "RPC-plane faults injected, by kind",
+                        labels={"kind": kind},
+                    ).set_total(total)
+
+        # Resilient RPC client counters (only materialized once someone
+        # actually called through the client — reading the private slot
+        # avoids creating a client as an instrumentation side effect).
+        client = getattr(network, "_rpc_client", None)
+        if client is not None:
+            registry.counter(
+                RPC_CALLS, "Logical RPC calls issued by the client"
+            ).set_total(client.calls_total)
+            registry.counter(
+                RPC_ATTEMPTS, "Physical RPC attempts (incl. retries)"
+            ).set_total(client.attempts_total)
+            registry.counter(
+                RPC_RETRIES, "RPC attempts beyond the first, per call"
+            ).set_total(client.retries_total)
+            registry.counter(
+                RPC_HEDGES, "Hedged re-attempts after a timed-out read"
+            ).set_total(client.hedges_total)
+            registry.counter(
+                RPC_RATE_LIMITED, "Attempts deferred by endpoint throttling"
+            ).set_total(client.rate_limited_total)
+            registry.counter(
+                RPC_BREAKER_REJECTIONS,
+                "Calls refused because the endpoint breaker was open",
+            ).set_total(client.breaker_rejections_total)
+            registry.counter(
+                RPC_EXHAUSTED, "Calls that ran out of attempts"
+            ).set_total(client.exhausted_total)
+            registry.counter(
+                RPC_DEGRADED_LOOKUPS,
+                "Pool lookups that returned unknown (degraded plane)",
+            ).set_total(client.degraded_lookups_total)
+            for verdict, count in client.snapshot_verdicts.items():
+                registry.counter(
+                    RPC_SNAPSHOT_VERDICTS,
+                    "Snapshot validation verdicts, by verdict",
+                    labels={"verdict": verdict},
+                ).set_total(count)
+            for node_id, score in client.health_report().items():
+                registry.gauge(
+                    RPC_ENDPOINT_HEALTH,
+                    "EMA health score per RPC endpoint (1 = healthy)",
+                    labels={"node": node_id},
+                ).set(score)
 
         behaviors = network.behaviors
         if behaviors is not None:

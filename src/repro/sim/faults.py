@@ -66,6 +66,122 @@ class LinkFaults:
 
 
 @dataclass(frozen=True)
+class RpcFaultPlan:
+    """Adversity on the *measurement plane*: the JSON-RPC calls themselves.
+
+    The wire faults above degrade the network under measurement; this plan
+    degrades the measurer's view of it — the throttled public endpoints,
+    slow txpool dumps and flapping connections a live deployment fights
+    (Section 6). Installed as the ``rpc`` field of a :class:`FaultPlan`,
+    consulted by :class:`repro.eth.rpc.RpcEndpoint` on every call, and
+    sampled from its own named RNG stream (``"rpc"``) so composing it with
+    wire faults never perturbs their draw sequences.
+
+    Attributes
+    ----------
+    timeout_rate:
+        Probability any single call attempt times out (the client burns its
+        per-method deadline waiting). Drawn together with ``error_rate``
+        from one uniform sample, so the two must sum to at most 1.
+    error_rate:
+        Probability any single call attempt fails with a transient
+        server-side error (a 5xx).
+    rate_limit_per_second:
+        Token-bucket refill rate per endpoint; once the bucket runs dry
+        calls are rejected with a 429-style error carrying the refill
+        horizon as ``retry_after``. 0 disables rate limiting.
+    rate_limit_burst:
+        Bucket capacity (maximum burst of back-to-back calls).
+    stale_rate:
+        Probability a ``txpool_*`` snapshot read is served from a lagged
+        copy instead of live state (a caching proxy / slow follower).
+    stale_lag:
+        How long (seconds) a lagged copy is kept before it is refreshed —
+        the worst-case age of a stale snapshot.
+    truncate_rate:
+        Probability a ``txpool_content`` response loses its tail page
+        (the endpoint cut the dump short); ``txpool_status`` still reports
+        the full counts, which is exactly how the client detects it.
+    truncate_keep_fraction:
+        Fraction of pending/queued sender groups kept by a truncated dump.
+    flap_rate:
+        Expected connection flaps per simulated second (Poisson). Each
+        flap takes one random RPC-serving target's listener down for
+        ``flap_downtime`` seconds; calls fail with a connection error.
+    flap_downtime:
+        Seconds a flapped endpoint stays unreachable.
+    """
+
+    timeout_rate: float = 0.0
+    error_rate: float = 0.0
+    rate_limit_per_second: float = 0.0
+    rate_limit_burst: int = 8
+    stale_rate: float = 0.0
+    stale_lag: float = 5.0
+    truncate_rate: float = 0.0
+    truncate_keep_fraction: float = 0.5
+    flap_rate: float = 0.0
+    flap_downtime: float = 3.0
+
+    def __post_init__(self) -> None:
+        _check_probability("timeout_rate", self.timeout_rate)
+        _check_probability("error_rate", self.error_rate)
+        _check_probability("stale_rate", self.stale_rate)
+        _check_probability("truncate_rate", self.truncate_rate)
+        if self.timeout_rate + self.error_rate > 1.0:
+            raise FaultPlanError(
+                "timeout_rate + error_rate must not exceed 1, got "
+                f"{self.timeout_rate + self.error_rate}"
+            )
+        _check_non_negative("rate_limit_per_second", self.rate_limit_per_second)
+        _check_non_negative("flap_rate", self.flap_rate)
+        if self.rate_limit_per_second > 0 and self.rate_limit_burst < 1:
+            raise FaultPlanError(
+                f"rate_limit_burst must be >= 1, got {self.rate_limit_burst}"
+            )
+        if self.stale_lag <= 0:
+            raise FaultPlanError(f"stale_lag must be positive, got {self.stale_lag}")
+        if not 0.0 < self.truncate_keep_fraction < 1.0:
+            raise FaultPlanError(
+                "truncate_keep_fraction must be in (0, 1), got "
+                f"{self.truncate_keep_fraction}"
+            )
+        if self.flap_downtime <= 0:
+            raise FaultPlanError(
+                f"flap_downtime must be positive, got {self.flap_downtime}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True if any RPC fault can ever fire under this plan."""
+        return bool(
+            self.timeout_rate
+            or self.error_rate
+            or self.rate_limit_per_second
+            or self.stale_rate
+            or self.truncate_rate
+            or self.flap_rate
+        )
+
+    @classmethod
+    def uniform(cls, rate: float, **overrides: object) -> "RpcFaultPlan":
+        """A plan where every call fails in transport with probability
+        ``rate`` (split evenly between timeouts and transient errors) and
+        every snapshot read is additionally served stale or truncated with
+        probability ``rate`` each. The benchmark's "X% per-call fault
+        rate" knob."""
+        _check_probability("rate", rate)
+        params: dict = {
+            "timeout_rate": rate / 2.0,
+            "error_rate": rate / 2.0,
+            "stale_rate": rate,
+            "truncate_rate": rate,
+        }
+        params.update(overrides)  # type: ignore[arg-type]
+        return cls(**params)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A complete, validated description of the adversity to inject.
 
@@ -99,6 +215,11 @@ class FaultPlan:
     send_timeout_rate:
         Probability that one ``Supernode.send_transactions`` call times out
         (raises :class:`~repro.errors.SendTimeoutError`) instead of sending.
+    rpc:
+        Optional :class:`RpcFaultPlan` degrading the measurement plane
+        itself (call timeouts, rate limits, stale snapshots, connection
+        flaps). Samples from its own ``"rpc"`` RNG stream, so it composes
+        with the wire faults above without perturbing their sequences.
     """
 
     loss_rate: float = 0.0
@@ -110,6 +231,7 @@ class FaultPlan:
     crash_rate: float = 0.0
     crash_downtime: float = 10.0
     send_timeout_rate: float = 0.0
+    rpc: Optional[RpcFaultPlan] = None
 
     def __post_init__(self) -> None:
         _check_probability("loss_rate", self.loss_rate)
@@ -136,6 +258,7 @@ class FaultPlan:
             or self.churn_rate
             or self.crash_rate
             or self.send_timeout_rate
+            or (self.rpc is not None and self.rpc.enabled)
         )
 
     def link_faults(self, a: str, b: str) -> Tuple[float, float]:
@@ -151,8 +274,157 @@ class FaultEvent:
     """One fault that actually fired (for diagnostics and tests)."""
 
     time: float
-    kind: str  # "loss" | "churn_down" | "churn_up" | "crash" | "restart" | "send_timeout"
+    # "loss" | "churn_down" | "churn_up" | "crash" | "restart" | "send_timeout"
+    # | "rpc_timeout" | "rpc_error" | "rpc_rate_limit" | "rpc_stale"
+    # | "rpc_truncate" | "rpc_flap_down" | "rpc_flap_up"
+    kind: str
     detail: str
+
+
+class RpcFaultState:
+    """Runtime state of an :class:`RpcFaultPlan` (owned by the injector).
+
+    Consulted by :class:`repro.eth.rpc.RpcEndpoint` on every call. All
+    randomness comes from the ``"rpc"`` stream; the draw order per call is
+    fixed (flap check — no draw; token bucket — no draw; one transport
+    draw; then per-snapshot stale/truncate draws), so a (seed, plan, call
+    sequence) triple fully determines the faults that fire.
+    """
+
+    def __init__(self, injector: "FaultInjector", plan: RpcFaultPlan) -> None:
+        self.injector = injector
+        self.network = injector.network
+        self.plan = plan
+        self._rng = self.network.sim.rng.stream("rpc")
+        self._active = True
+        # node -> (tokens, last refill stamp)
+        self._buckets: Dict[str, Tuple[float, float]] = {}
+        self._down_until: Dict[str, float] = {}
+        # node -> (captured_at, bundle) lagged snapshot copy
+        self._stale_cache: Dict[str, Tuple[float, dict]] = {}
+        self.timeouts = 0
+        self.transient_errors = 0
+        self.rate_limited = 0
+        self.stale_served = 0
+        self.truncated = 0
+        self.flaps = 0
+        if plan.flap_rate > 0:
+            self._schedule_next_flap()
+
+    # -- per-call hooks (called by RpcEndpoint) ------------------------
+    def endpoint_down(self, node_id: str) -> bool:
+        """True while ``node_id``'s listener is flapped away (no draw)."""
+        return self.network.sim.now < self._down_until.get(node_id, 0.0)
+
+    def consume_token(self, node_id: str) -> Optional[float]:
+        """Take one token from ``node_id``'s bucket.
+
+        Returns ``None`` when admitted, else the ``retry_after`` horizon
+        (seconds until one token refills). Deterministic — no RNG draw.
+        """
+        rate = self.plan.rate_limit_per_second
+        if rate <= 0:
+            return None
+        now = self.network.sim.now
+        tokens, stamp = self._buckets.get(
+            node_id, (float(self.plan.rate_limit_burst), now)
+        )
+        tokens = min(
+            float(self.plan.rate_limit_burst), tokens + (now - stamp) * rate
+        )
+        if tokens >= 1.0:
+            self._buckets[node_id] = (tokens - 1.0, now)
+            return None
+        self._buckets[node_id] = (tokens, now)
+        self.rate_limited += 1
+        self.injector._log("rpc_rate_limit", node_id)
+        return (1.0 - tokens) / rate
+
+    def transport_fault(self, node_id: str) -> Optional[str]:
+        """One uniform draw deciding this attempt's transport fate.
+
+        Returns ``"timeout"``, ``"error"``, or ``None`` (call goes
+        through). No draw at all when both rates are zero.
+        """
+        timeout, error = self.plan.timeout_rate, self.plan.error_rate
+        if timeout <= 0.0 and error <= 0.0:
+            return None
+        sample = self._rng.random()
+        if sample < timeout:
+            self.timeouts += 1
+            self.injector._log("rpc_timeout", node_id)
+            return "timeout"
+        if sample < timeout + error:
+            self.transient_errors += 1
+            self.injector._log("rpc_error", node_id)
+            return "error"
+        return None
+
+    def lagged_bundle(self, node_id: str, fresh: dict) -> dict:
+        """Maybe serve a snapshot bundle from the lagged copy.
+
+        The cached copy refreshes once it is ``stale_lag`` old, so a stale
+        read is at most that far behind live state. One draw when
+        ``stale_rate`` is armed, none otherwise.
+        """
+        now = self.network.sim.now
+        cached = self._stale_cache.get(node_id)
+        if cached is None or now - cached[0] >= self.plan.stale_lag:
+            cached = (now, fresh)
+            self._stale_cache[node_id] = cached
+        if self.plan.stale_rate <= 0.0 or self._rng.random() >= self.plan.stale_rate:
+            return fresh
+        if cached[0] < now:
+            self.stale_served += 1
+            self.injector._log("rpc_stale", f"{node_id}@{cached[0]:g}")
+            return cached[1]
+        return fresh
+
+    def should_truncate(self, node_id: str) -> bool:
+        """One draw deciding whether a ``txpool_content`` dump loses its
+        tail page. None when ``truncate_rate`` is zero."""
+        rate = self.plan.truncate_rate
+        if rate <= 0.0 or self._rng.random() >= rate:
+            return False
+        self.truncated += 1
+        self.injector._log("rpc_truncate", node_id)
+        return True
+
+    # -- connection flaps (Poisson over RPC-serving targets) -----------
+    def _schedule_next_flap(self) -> None:
+        delay = self._rng.expovariate(self.plan.flap_rate)
+        self.network.sim.schedule(
+            delay, self._flap_once, label="fault:rpc_flap", daemon=True
+        )
+
+    def _flap_once(self) -> None:
+        if not self._active:
+            return
+        now = self.network.sim.now
+        victims = sorted(
+            nid
+            for nid in self.network.measurable_node_ids()
+            if self.network.node(nid).config.responds_to_rpc
+            and not self.endpoint_down(nid)
+        )
+        if victims:
+            victim = self._rng.choice(victims)
+            self._down_until[victim] = now + self.plan.flap_downtime
+            self.flaps += 1
+            self.injector._log("rpc_flap_down", victim)
+            self.network.sim.schedule(
+                self.plan.flap_downtime,
+                lambda: self.injector._log("rpc_flap_up", victim),
+                label=f"fault:rpc_flap_up:{victim}",
+                daemon=True,
+            )
+        self._schedule_next_flap()
+
+    def stop(self) -> None:
+        """Disarm: no new faults, and flapped listeners come back up so a
+        stopped injector leaves no endpoint unreachable."""
+        self._active = False
+        self._down_until.clear()
 
 
 class FaultInjector:
@@ -174,6 +446,11 @@ class FaultInjector:
         self.crashes = 0
         self.churn_events = 0
         self._active = True
+        self.rpc: Optional[RpcFaultState] = (
+            RpcFaultState(self, plan.rpc)
+            if plan.rpc is not None and plan.rpc.enabled
+            else None
+        )
         if plan.churn_rate > 0:
             self._schedule_next_churn()
         if plan.crash_rate > 0:
@@ -294,6 +571,8 @@ class FaultInjector:
         """Disarm the injector: no new faults fire, but pending heals
         (reconnects, restarts) still run so nothing stays broken."""
         self._active = False
+        if self.rpc is not None:
+            self.rpc.stop()
 
     def _log(self, kind: str, detail: str) -> None:
         now = self.network.sim.now

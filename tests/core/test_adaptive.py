@@ -1,20 +1,27 @@
-"""Tests for workload-adaptive Y selection (Section 6.3)."""
+"""Tests for workload-adaptive Y selection (Section 6.3) and the
+occupancy-driven flood sizing that rides on top of it."""
 
 import pytest
 
 from repro.core.adaptive import (
     AdaptiveYController,
+    adaptive_flood_size,
     choose_adaptive_y,
     inclusion_floor,
     pool_waterline,
 )
+from repro.core.campaign import TopoShot
+from repro.core.config import MeasurementConfig
 from repro.core.noninterference import check_conditions
 from repro.errors import MeasurementError
+from repro.eth.account import Wallet
 from repro.eth.chain import Chain
 from repro.eth.network import Network
 from repro.eth.node import NodeConfig
 from repro.eth.policies import GETH
 from repro.eth.transaction import INTRINSIC_GAS, Transaction, gwei
+from repro.netgen.ethereum import quick_network
+from repro.netgen.workloads import prefill_mempools
 
 
 def priced_block(chain, wallet, factory, prices, t=1.0):
@@ -119,3 +126,111 @@ class TestController:
         assert second > first
         assert len(controller.decisions) == 2
         assert controller.last_decision.y == second
+
+
+# ----------------------------------------------------------------------
+# Occupancy-driven flood sizing (the Section 5.2.3 "right parameter"
+# reused per round: a storm-inflated pool needs a smaller flood)
+# ----------------------------------------------------------------------
+FLOOD_CONFIG = MeasurementConfig(future_count=64)
+Y = gwei(2.0)
+FLOOD_PRICE = FLOOD_CONFIG.price_future(Y)
+MARGIN = max(4, FLOOD_CONFIG.future_count // 16)
+
+
+def pool_network(prices, capacity=64, seed=74):
+    network = Network(seed=seed)
+    network.create_node("t", NodeConfig(policy=GETH.scaled(capacity)))
+    wallet = Wallet("flood-size")
+    for price in prices:
+        result = network.node("t").mempool.add(
+            Transaction(
+                sender=wallet.fresh_account().address, nonce=0, gas_price=price
+            )
+        )
+        assert result.admitted
+    return network
+
+
+class TestAdaptiveFloodSize:
+    def test_empty_pool_needs_the_full_static_flood(self):
+        network = pool_network([])
+        assert adaptive_flood_size(network, ["t"], FLOOD_CONFIG, Y) == 64
+
+    def test_storm_residue_above_flood_price_shrinks_z(self):
+        """48 of 64 slots hold storm transactions the flood cannot evict:
+        only the 16 free slots (plus margin) need filling."""
+        network = pool_network([gwei(50.0)] * 48)
+        z = adaptive_flood_size(network, ["t"], FLOOD_CONFIG, Y)
+        assert z == 16 + MARGIN
+        assert z < FLOOD_CONFIG.future_count
+
+    def test_cheap_residents_still_need_evicting(self):
+        """Residents priced below the flood price are displaced one-for-one
+        by admitted futures, so they count toward the requirement — a pool
+        full of cheap traffic gets no discount."""
+        assert gwei(1.0) < FLOOD_PRICE
+        network = pool_network([gwei(1.0)] * 48)
+        assert (
+            adaptive_flood_size(network, ["t"], FLOOD_CONFIG, Y)
+            == FLOOD_CONFIG.future_count
+        )
+
+    def test_saturated_pool_floors_at_the_margin(self):
+        network = pool_network([gwei(50.0)] * 64)
+        assert adaptive_flood_size(network, ["t"], FLOOD_CONFIG, Y) == MARGIN
+
+    def test_requirement_is_the_max_over_involved_pools(self):
+        """Every involved pool must be cleared, so the emptiest binds."""
+        network = pool_network([gwei(50.0)] * 48)
+        network.create_node("empty", NodeConfig(policy=GETH.scaled(64)))
+        assert (
+            adaptive_flood_size(network, ["t", "empty"], FLOOD_CONFIG, Y)
+            == FLOOD_CONFIG.future_count
+        )
+
+    def test_never_exceeds_the_configured_z(self):
+        """A pool larger than the static Z must not inflate the flood."""
+        network = pool_network([], capacity=128)
+        assert (
+            adaptive_flood_size(network, ["t"], FLOOD_CONFIG, Y)
+            == FLOOD_CONFIG.future_count
+        )
+
+
+class TestAdaptiveFloodCampaign:
+    def test_off_by_default(self):
+        assert MeasurementConfig().adaptive_flood is False
+        assert MeasurementConfig().with_adaptive_flood().adaptive_flood
+        assert not MeasurementConfig().with_adaptive_flood(False).adaptive_flood
+
+    def test_storm_residue_shrinks_floods_without_losing_links(self):
+        """Acceptance bar (ROADMAP, PR 9 leftover): after a storm leaves
+        the pools mostly full of high-priced residue, the adaptive
+        campaign sends measurably fewer transactions than the static one
+        and still finds the same edges."""
+
+        def measure(adaptive):
+            network = quick_network(n_nodes=10, seed=55)
+            prefill_mempools(network)
+            wallet = Wallet("storm-residue")
+            for node_id in sorted(network.nodes):
+                pool = network.node(node_id).mempool
+                while pool.free_slots > pool.policy.capacity // 4:
+                    pool.add(
+                        Transaction(
+                            sender=wallet.fresh_account().address,
+                            nonce=0,
+                            gas_price=gwei(50.0),
+                        )
+                    )
+            shot = TopoShot.attach(network)
+            if adaptive:
+                shot.config = shot.config.with_adaptive_flood()
+            return shot.measure_network()
+
+        static = measure(False)
+        adaptive = measure(True)
+        assert adaptive.edges == static.edges
+        assert str(adaptive.score) == str(static.score)
+        assert adaptive.transactions_sent < static.transactions_sent

@@ -144,9 +144,16 @@ class TestRpc:
             RpcServer(node).call("web3_clientVersion")
 
     def test_unknown_method_raises(self, rpc_network):
+        from repro.errors import RpcMethodNotFoundError
+
         network, _ = rpc_network
-        with pytest.raises(KeyError):
+        with pytest.raises(RpcMethodNotFoundError) as excinfo:
             RpcServer(network.node("a")).call("eth_mine_me_some_coins")
+        assert excinfo.value.method == "eth_mine_me_some_coins"
+        # Regression: the typed error still satisfies legacy KeyError
+        # handlers, and str() gives the message, not KeyError's repr.
+        assert isinstance(excinfo.value, KeyError)
+        assert "eth_mine_me_some_coins" in str(excinfo.value)
 
 
 class TestSupernode:
